@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction benchmark binaries.
+ */
+
+#ifndef NETAFFINITY_BENCH_BENCH_COMMON_HH
+#define NETAFFINITY_BENCH_BENCH_COMMON_HH
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "src/analysis/table.hh"
+#include "src/core/experiment.hh"
+#include "src/sim/logging.hh"
+
+namespace na::bench {
+
+/** Transaction sizes swept by the paper's Figures 3 and 4. */
+constexpr std::array<std::uint32_t, 7> paperSizes = {
+    128, 256, 1024, 4096, 8192, 16384, 65536};
+
+/** The two extreme sizes the in-depth analysis uses. */
+constexpr std::uint32_t smallSize = 128;
+constexpr std::uint32_t largeSize = 65536;
+
+/** Default schedule for bench runs. */
+inline core::RunSchedule
+benchSchedule()
+{
+    core::RunSchedule s;
+    s.warmup = 60'000'000;   // 30 ms
+    s.measure = 100'000'000; // 50 ms
+    return s;
+}
+
+/** Build the paper's standard configuration. */
+inline core::SystemConfig
+paperConfig(workload::TtcpMode mode, std::uint32_t msg_size,
+            core::AffinityMode affinity)
+{
+    core::SystemConfig cfg;
+    cfg.ttcp.mode = mode;
+    cfg.ttcp.msgSize = msg_size;
+    cfg.affinity = affinity;
+    return cfg;
+}
+
+/** Run one configuration with the bench schedule. */
+inline core::RunResult
+runOne(workload::TtcpMode mode, std::uint32_t msg_size,
+       core::AffinityMode affinity)
+{
+    return core::Experiment::run(paperConfig(mode, msg_size, affinity),
+                                 benchSchedule());
+}
+
+inline const char *
+modeLabel(workload::TtcpMode m)
+{
+    return m == workload::TtcpMode::Transmit ? "TX" : "RX";
+}
+
+/** Standard banner for every bench binary. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s  (reproduces %s of Foong et al., ISPASS 2005)\n",
+                what, paper_ref);
+    std::printf("==================================================="
+                "===========\n");
+}
+
+} // namespace na::bench
+
+#endif // NETAFFINITY_BENCH_BENCH_COMMON_HH

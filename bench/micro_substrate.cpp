@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * event queue throughput, cache/TLB model access rates, the pure TCP
+ * engine's segment processing rate, and the statistics helpers. These
+ * gate the wall-clock cost of the paper-reproduction sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/spearman.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/mem/tlb.hh"
+#include "src/net/tcp_connection.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/random.hh"
+
+using namespace na;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.scheduleLambda(eq.now() + 10, "bm", [&n] { ++n; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    mem::SnoopDomain domain;
+    stats::Group root(nullptr, "");
+    mem::CacheGeometry geom;
+    mem::CacheHierarchy h0(&root, "h0", 0, geom, domain);
+    mem::CacheHierarchy h1(&root, "h1", 1, geom, domain);
+    sim::Random rng(1);
+    std::uint64_t stalls = 0;
+    for (auto _ : state) {
+        const sim::Addr addr = (rng.next() % (1u << 22)) & ~63ULL;
+        const bool write = rng.chance(0.3);
+        stalls += h0.access(addr, 64, write).stallCycles;
+    }
+    benchmark::DoNotOptimize(stalls);
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    stats::Group root(nullptr, "");
+    mem::Tlb tlb(&root, "tlb", 64);
+    sim::Random rng(2);
+    std::uint64_t hits = 0;
+    for (auto _ : state)
+        hits += tlb.access(rng.next() % (1u << 26));
+    benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_TcpSegmentRoundTrip(benchmark::State &state)
+{
+    // One sender/receiver pair exchanging an MSS of data per iteration
+    // through the pure protocol engine.
+    net::TcpConnection a;
+    net::TcpConnection b;
+    a.openActive();
+    b.openPassive();
+    std::vector<net::Segment> replies;
+    sim::Tick now = 0;
+    auto deliver = [&](net::TcpConnection &from, net::TcpConnection &to) {
+        for (const net::Segment &s : from.pullSegments(now)) {
+            replies.clear();
+            to.onSegment(s, now, replies);
+            for (const net::Segment &r : replies) {
+                std::vector<net::Segment> drop;
+                from.onSegment(r, now, drop);
+            }
+        }
+    };
+    deliver(a, b); // SYN
+    deliver(b, a); // (handshake completes via replies)
+    deliver(a, b);
+
+    for (auto _ : state) {
+        now += 1000;
+        a.appendSendData(1448);
+        deliver(a, b);
+        b.consume(b.readableBytes());
+        deliver(b, a);
+    }
+    benchmark::DoNotOptimize(a.ackedBytes());
+}
+BENCHMARK(BM_TcpSegmentRoundTrip);
+
+void
+BM_Spearman(benchmark::State &state)
+{
+    sim::Random rng(3);
+    std::vector<double> x(64);
+    std::vector<double> y(64);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.uniform();
+        y[i] = x[i] + 0.1 * rng.uniform();
+    }
+    double rho = 0;
+    for (auto _ : state)
+        rho += analysis::spearman(x, y);
+    benchmark::DoNotOptimize(rho);
+}
+BENCHMARK(BM_Spearman);
+
+void
+BM_RandomNext(benchmark::State &state)
+{
+    sim::Random rng(4);
+    std::uint64_t v = 0;
+    for (auto _ : state)
+        v ^= rng.next();
+    benchmark::DoNotOptimize(v);
+}
+BENCHMARK(BM_RandomNext);
+
+} // namespace
+
+BENCHMARK_MAIN();

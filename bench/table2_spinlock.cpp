@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Table 2: spinlock anatomy. The paper explains the paradox that full
+ * affinity *raises* the lock bin's mispredict ratio: uncontended
+ * acquisitions execute almost no branches, so the one real mispredict
+ * per contended exit dominates a tiny denominator, while under
+ * contention the PAUSE spin loop inflates branch counts enormously.
+ *
+ * We reproduce it two ways: (a) the lock bin extracted from full runs
+ * in both affinity modes, and (b) a controlled microbenchmark of one
+ * SpinLock acquired with and without a conflicting hold.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "src/os/kernel.hh"
+#include "src/os/spinlock.hh"
+
+using namespace na;
+
+namespace {
+
+void
+fullStackView(std::uint32_t size, const char *label)
+{
+    const core::RunResult no = bench::runOne(
+        workload::TtcpMode::Transmit, size, core::AffinityMode::None);
+    const core::RunResult full = bench::runOne(
+        workload::TtcpMode::Transmit, size, core::AffinityMode::Full);
+
+    const auto &ln = no.bins[static_cast<std::size_t>(prof::Bin::Locks)];
+    const auto &lf =
+        full.bins[static_cast<std::size_t>(prof::Bin::Locks)];
+
+    std::printf("\nLocks bin, TX %s (from full runs):\n\n", label);
+    analysis::TableWriter t({"", "No Aff", "Full Aff", "Full/No"});
+    auto ratio = [](double a, double b) {
+        return b > 0 ? analysis::TableWriter::num(a / b, 3) : "-";
+    };
+    t.addRow({"branches", analysis::TableWriter::integer(ln.branches),
+              analysis::TableWriter::integer(lf.branches),
+              ratio(static_cast<double>(lf.branches),
+                    static_cast<double>(ln.branches))});
+    t.addRow({"mispredicts",
+              analysis::TableWriter::integer(ln.brMispredicts),
+              analysis::TableWriter::integer(lf.brMispredicts),
+              ratio(static_cast<double>(lf.brMispredicts),
+                    static_cast<double>(ln.brMispredicts))});
+    t.addRow({"mispredict ratio",
+              analysis::TableWriter::pct(ln.pctBrMispred, 2),
+              analysis::TableWriter::pct(lf.pctBrMispred, 2), ""});
+    t.addRow({"instructions",
+              analysis::TableWriter::integer(ln.instructions),
+              analysis::TableWriter::integer(lf.instructions),
+              ratio(static_cast<double>(lf.instructions),
+                    static_cast<double>(ln.instructions))});
+    t.addRow({"% cycles", analysis::TableWriter::pct(ln.pctCycles, 2),
+              analysis::TableWriter::pct(lf.pctCycles, 2), ""});
+    t.print(std::cout);
+}
+
+void
+microbench()
+{
+    std::printf("\nSpinlock microbenchmark (one lock word, 2 CPUs):\n\n");
+
+    cpu::PlatformConfig pc;
+    sim::EventQueue eq;
+    stats::Group root(nullptr, "");
+    os::Kernel kernel(&root, eq, pc);
+    os::SpinLock lock(&root, "ulock", prof::FuncId::LockSock,
+                      kernel.addressSpace().alloc(
+                          mem::Region::KernelData, 64));
+
+    auto snapshot = [&kernel](sim::CpuId c) {
+        const auto &pf = kernel.core(c).counters;
+        return std::pair<double, double>(pf.branches.value(),
+                                         pf.brMispredicts.value());
+    };
+
+    // Uncontended: CPU0 takes and releases the lock back to back.
+    os::ExecContext c0(kernel, kernel.processor(0), nullptr);
+    const auto before_u = snapshot(0);
+    for (int i = 0; i < 1000; ++i) {
+        lock.acquire(c0, kernel.core(0).dispatchCycles());
+        lock.release(c0, kernel.core(0).dispatchCycles());
+    }
+    const auto after_u = snapshot(0);
+
+    // Contended: CPU1 arrives mid-hold every time.
+    os::ExecContext c1(kernel, kernel.processor(1), nullptr);
+    const auto before_c = snapshot(1);
+    sim::Tick t = 0;
+    for (int i = 0; i < 1000; ++i) {
+        lock.acquire(c0, t);
+        lock.release(c0, t + 400); // hold 400 cycles
+        lock.acquire(c1, t + 100); // lands inside the hold: spins
+        lock.release(c1, t + 600);
+        t += 10'000;
+    }
+    const auto after_c = snapshot(1);
+
+    const double ub = after_u.first - before_u.first;
+    const double um = after_u.second - before_u.second;
+    const double cb = after_c.first - before_c.first;
+    const double cm = after_c.second - before_c.second;
+
+    analysis::TableWriter t2({"case", "branches/acq", "mispred/acq",
+                              "mispred ratio"});
+    t2.addRow({"uncontended (lock decb, js not taken)",
+               analysis::TableWriter::num(ub / 1000, 2),
+               analysis::TableWriter::num(um / 1000, 3),
+               analysis::TableWriter::pct(ub > 0 ? 100 * um / ub : 0,
+                                          2)});
+    t2.addRow({"contended (cmpb/repz nop/jle spin)",
+               analysis::TableWriter::num(cb / 1000, 2),
+               analysis::TableWriter::num(cm / 1000, 3),
+               analysis::TableWriter::pct(cb > 0 ? 100 * cm / cb : 0,
+                                          2)});
+    t2.print(std::cout);
+    std::printf("\ncontended spins: %.0f, spin cycles: %.0f\n",
+                lock.contentions.value(), lock.spinCycles.value());
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Table 2: spinlock implementation behaviour",
+                  "Table 2 and Section 6.1's lock discussion");
+
+    fullStackView(bench::largeSize, "64KB");
+    fullStackView(bench::smallSize, "128B");
+    microbench();
+
+    std::printf(
+        "\nExpected shape: full affinity executes a small fraction of "
+        "the no-affinity branch count in the lock bin (no spinning), "
+        "so its mispredict *ratio* can look worse while absolute "
+        "mispredicts stay tiny — the paper's Table 2 paradox.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 4: per-CPU functions with the highest machine-clear counts
+ * (TCP engine + interrupt handlers), TX/RX 128B, no vs full affinity —
+ * the per-CPU Oprofile view the paper used to argue that no-affinity
+ * splits the execution path across CPUs and pays for it in IPIs.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "src/prof/sampler.hh"
+
+using namespace na;
+
+namespace {
+
+void
+view(workload::TtcpMode mode, core::AffinityMode aff)
+{
+    core::System system(
+        bench::paperConfig(mode, bench::smallSize, aff));
+    prof::SampleProfiler profiler(system.kernel().numCpus(),
+                                  /*seed=*/99);
+    // Sample machine clears like Oprofile would: one sample per N
+    // events, with some skid into the interrupted code.
+    profiler.setSamplingInterval(prof::Event::MachineClears, 8);
+    profiler.setSkidProbability(0.10);
+    system.kernel().accounting().setListener(&profiler);
+
+    core::Experiment::measure(system, bench::benchSchedule());
+
+    std::printf("\n%s 128B, %s\n", bench::modeLabel(mode),
+                std::string(core::affinityName(aff)).c_str());
+    for (int c = 0; c < system.kernel().numCpus(); ++c) {
+        std::printf("  CPU %d\n", c);
+        analysis::TableWriter t({"  samples", "%", "symbol"});
+        for (const prof::SampleRow &row : profiler.topFunctions(
+                 c, prof::Event::MachineClears, 14)) {
+            const prof::FuncDesc &d = prof::funcDesc(row.func);
+            // The paper's table shows only engine + interrupt symbols.
+            if (d.bin != prof::Bin::Engine &&
+                d.bin != prof::Bin::Driver &&
+                row.func != prof::FuncId::RescheduleIpi) {
+                continue;
+            }
+            t.addRow({"  " + analysis::TableWriter::integer(row.samples),
+                      analysis::TableWriter::num(row.percent, 2),
+                      std::string(d.name)});
+        }
+        t.print(std::cout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner(
+        "Table 4: functions with the most machine clears, per CPU",
+        "Table 4");
+
+    view(workload::TtcpMode::Transmit, core::AffinityMode::None);
+    view(workload::TtcpMode::Transmit, core::AffinityMode::Full);
+    view(workload::TtcpMode::Receive, core::AffinityMode::None);
+    view(workload::TtcpMode::Receive, core::AffinityMode::Full);
+
+    std::printf(
+        "\nExpected shape: under no affinity CPU0 owns every "
+        "IRQ0xNN_interrupt symbol and the engine clears concentrate on "
+        "the other CPU (IPI victims); under full affinity the ISRs "
+        "split 4/4 across CPUs and engine clears drop sharply and "
+        "evenly. Per-ISR clear counts stay similar across modes — "
+        "affinity does not change device interrupt arrivals.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parameterized affinity sweep: the user-facing version of the paper's
+ * Figures 3/4 with knobs on the command line.
+ *
+ * Usage:
+ *   ./build/examples/affinity_sweep [--rx] [--conns N] [--cpus N]
+ *                                   [--size BYTES] [--loss P]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "src/analysis/table.hh"
+#include "src/core/experiment.hh"
+#include "src/sim/logging.hh"
+
+using namespace na;
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+
+    core::SystemConfig cfg;
+    cfg.ttcp.mode = workload::TtcpMode::Transmit;
+    cfg.ttcp.msgSize = 65536;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--rx")) {
+            cfg.ttcp.mode = workload::TtcpMode::Receive;
+        } else if (!std::strcmp(argv[i], "--conns") && i + 1 < argc) {
+            cfg.numConnections = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--cpus") && i + 1 < argc) {
+            cfg.platform.numCpus = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--size") && i + 1 < argc) {
+            cfg.ttcp.msgSize =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--loss") && i + 1 < argc) {
+            cfg.wireLossProb = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--rx] [--conns N] [--cpus N] "
+                         "[--size BYTES] [--loss P]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("%s, %u-byte transactions, %d connections, %d CPUs\n\n",
+                cfg.ttcp.mode == workload::TtcpMode::Transmit
+                    ? "ttcp transmit"
+                    : "ttcp receive",
+                cfg.ttcp.msgSize, cfg.numConnections,
+                cfg.platform.numCpus);
+
+    analysis::TableWriter t({"Mode", "BW (Mb/s)", "GHz/Gbps", "Util",
+                             "IPIs", "Migrations", "Clears/KB",
+                             "LLC/KB"});
+    for (core::AffinityMode m : core::allAffinityModes) {
+        cfg.affinity = m;
+        const core::RunResult r = core::Experiment::run(cfg);
+        t.addRow({std::string(core::affinityName(m)),
+                  analysis::TableWriter::num(r.throughputMbps, 0),
+                  analysis::TableWriter::num(r.ghzPerGbps),
+                  analysis::TableWriter::pct(100 * r.cpuUtil, 0),
+                  analysis::TableWriter::integer(r.ipis),
+                  analysis::TableWriter::integer(r.migrations),
+                  analysis::TableWriter::num(
+                      1024 *
+                      r.eventsPerByte(prof::Event::MachineClears)),
+                  analysis::TableWriter::num(
+                      1024 * r.eventsPerByte(prof::Event::LlcMisses))});
+    }
+    t.print(std::cout);
+    return 0;
+}

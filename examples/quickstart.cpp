@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: stand up the paper's testbed (2-CPU SUT, 8 GbE NICs,
+ * 8 ttcp connections), run a 64 KiB bulk transmit under no affinity and
+ * full affinity, and print throughput / cost / event summaries.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.hh"
+#include "src/core/report.hh"
+#include "src/sim/logging.hh"
+
+using namespace na;
+
+namespace {
+
+void
+report(const char *label, const core::RunResult &r)
+{
+    std::printf("%-10s  %s  (cpu0 %.1f%%, cpu1 %.1f%%)\n", label,
+                core::summaryLine(r).c_str(),
+                100.0 * r.utilPerCpu[0], 100.0 * r.utilPerCpu[1]);
+    std::printf("  irqs %llu  ipis %llu  migrations %llu  ctxsw %llu\n",
+                (unsigned long long)r.irqs, (unsigned long long)r.ipis,
+                (unsigned long long)r.migrations,
+                (unsigned long long)r.contextSwitches);
+    std::printf("  per-bin %% cycles:");
+    for (std::size_t b = 0; b < prof::numBins; ++b) {
+        std::printf(" %s=%.1f%%",
+                    std::string(prof::binName(static_cast<prof::Bin>(b)))
+                        .c_str(),
+                    r.bins[b].pctCycles);
+    }
+    std::printf("\n  overall CPI %.2f  MPI %.4f  clears %llu  llc %llu\n",
+                r.overall.cpi, r.overall.mpi,
+                (unsigned long long)r.overall.machineClears,
+                (unsigned long long)r.overall.llcMisses);
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+
+    core::SystemConfig cfg;
+    cfg.ttcp.mode = workload::TtcpMode::Transmit;
+    cfg.ttcp.msgSize = 65536;
+
+    std::printf("ttcp TX 64KB, 8 connections, 2 CPUs\n");
+    std::printf("===================================\n");
+
+    cfg.affinity = core::AffinityMode::None;
+    report("no aff", core::Experiment::run(cfg));
+
+    cfg.affinity = core::AffinityMode::Full;
+    report("full aff", core::Experiment::run(cfg));
+
+    return 0;
+}

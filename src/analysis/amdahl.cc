@@ -1,0 +1,83 @@
+#include "src/analysis/amdahl.hh"
+
+#include "src/sim/logging.hh"
+
+namespace na::analysis {
+
+namespace {
+
+std::uint64_t
+binEvent(const core::BinMetrics &m, prof::Event e)
+{
+    using prof::Event;
+    switch (e) {
+      case Event::Cycles:        return m.cycles;
+      case Event::Instructions:  return m.instructions;
+      case Event::Branches:      return m.branches;
+      case Event::BrMispredicts: return m.brMispredicts;
+      case Event::LlcMisses:     return m.llcMisses;
+      case Event::L2Misses:      return m.l2Misses;
+      case Event::TcMisses:      return m.tcMisses;
+      case Event::ItlbMisses:    return m.itlbMisses;
+      case Event::DtlbMisses:    return m.dtlbMisses;
+      case Event::MachineClears: return m.machineClears;
+      default:
+        sim::panic("binEvent: bad event");
+    }
+}
+
+} // namespace
+
+ImprovementColumn
+improvementColumn(const core::RunResult &base, const core::RunResult &opt,
+                  prof::Event event)
+{
+    ImprovementColumn col;
+    if (base.payloadBytes == 0 || opt.payloadBytes == 0)
+        return col;
+
+    const double base_total = static_cast<double>(
+        base.eventTotals[static_cast<std::size_t>(event)]);
+    if (base_total <= 0)
+        return col;
+
+    const double base_work = static_cast<double>(base.payloadBytes);
+    const double opt_work = static_cast<double>(opt.payloadBytes);
+
+    for (std::size_t b = 0; b < prof::numBins; ++b) {
+        const double e_base =
+            static_cast<double>(binEvent(base.bins[b], event));
+        const double e_opt =
+            static_cast<double>(binEvent(opt.bins[b], event));
+        if (e_base <= 0) {
+            // A bin that only appears under the optimized mode is a
+            // (small) regression; count it against the total.
+            col.perBin[b] = e_opt > 0
+                                ? -100.0 * (e_opt / opt_work) /
+                                      (base_total / base_work)
+                                : 0.0;
+            continue;
+        }
+        const double weight = e_base / base_total;
+        const double ratio =
+            (e_opt / opt_work) / (e_base / base_work);
+        col.perBin[b] = 100.0 * weight * (1.0 - ratio);
+    }
+
+    for (double v : col.perBin)
+        col.overall += v;
+    return col;
+}
+
+ImprovementTable
+improvementTable(const core::RunResult &base, const core::RunResult &opt)
+{
+    ImprovementTable t;
+    t.cycles = improvementColumn(base, opt, prof::Event::Cycles);
+    t.llcMisses = improvementColumn(base, opt, prof::Event::LlcMisses);
+    t.machineClears =
+        improvementColumn(base, opt, prof::Event::MachineClears);
+    return t;
+}
+
+} // namespace na::analysis

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Amdahl-style per-bin speedup analysis (paper Section 6.3).
+ *
+ * The paper derives the share of overall improvement contributed by one
+ * functional bin for one event:
+ *
+ *   %improvement = (E_no[bin] / E_no[total])
+ *                * (1 - (e_full[bin] / e_no[bin]))
+ *
+ * where E are raw event counts and lowercase e are counts *per unit of
+ * work done* (bytes moved), so runs at different throughput compare
+ * fairly.
+ */
+
+#ifndef NETAFFINITY_ANALYSIS_AMDAHL_HH
+#define NETAFFINITY_ANALYSIS_AMDAHL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/measurement.hh"
+#include "src/prof/bins.hh"
+
+namespace na::analysis {
+
+/** Per-bin improvement percentages for one event. */
+struct ImprovementColumn
+{
+    std::array<double, prof::numBins> perBin{};
+    double overall = 0; ///< sum across bins
+};
+
+/** Table-3 contents: cycles / LLC / machine-clear improvements. */
+struct ImprovementTable
+{
+    ImprovementColumn cycles;
+    ImprovementColumn llcMisses;
+    ImprovementColumn machineClears;
+};
+
+/**
+ * Improvement in @p event going from @p base (no affinity) to @p opt
+ * (full affinity), normalized per payload byte.
+ */
+ImprovementColumn improvementColumn(const core::RunResult &base,
+                                    const core::RunResult &opt,
+                                    prof::Event event);
+
+/** Build the full Table-3 style improvement table. */
+ImprovementTable improvementTable(const core::RunResult &base,
+                                  const core::RunResult &opt);
+
+} // namespace na::analysis
+
+#endif // NETAFFINITY_ANALYSIS_AMDAHL_HH

@@ -1,0 +1,79 @@
+#include "src/analysis/impact.hh"
+
+#include "src/sim/logging.hh"
+
+namespace na::analysis {
+
+double
+impactCost(ImpactRow row)
+{
+    // Paper Figure 5's cost column.
+    switch (row) {
+      case ImpactRow::MachineClear: return 500.0;
+      case ImpactRow::TcMiss:       return 20.0;
+      case ImpactRow::L2Miss:       return 10.0;
+      case ImpactRow::LlcMiss:      return 300.0;
+      case ImpactRow::ItlbMiss:     return 30.0;
+      case ImpactRow::DtlbMiss:     return 36.0;
+      case ImpactRow::BrMispredict: return 30.0;
+      case ImpactRow::Instructions: return 1.0 / 3.0;
+      default:
+        sim::panic("impactCost: bad row");
+    }
+}
+
+std::string_view
+impactRowName(ImpactRow row)
+{
+    switch (row) {
+      case ImpactRow::MachineClear: return "Machine clear";
+      case ImpactRow::TcMiss:       return "TC miss";
+      case ImpactRow::L2Miss:       return "L2 miss";
+      case ImpactRow::LlcMiss:      return "LLC miss";
+      case ImpactRow::ItlbMiss:     return "ITLB miss";
+      case ImpactRow::DtlbMiss:     return "DTLB miss";
+      case ImpactRow::BrMispredict: return "Br Mispredict";
+      case ImpactRow::Instructions: return "Instr";
+      default:                      return "?";
+    }
+}
+
+std::uint64_t
+impactCount(const core::RunResult &r, ImpactRow row)
+{
+    using prof::Event;
+    auto total = [&r](Event e) {
+        return r.eventTotals[static_cast<std::size_t>(e)];
+    };
+    switch (row) {
+      case ImpactRow::MachineClear: return total(Event::MachineClears);
+      case ImpactRow::TcMiss:       return total(Event::TcMisses);
+      case ImpactRow::L2Miss:       return total(Event::L2Misses);
+      case ImpactRow::LlcMiss:      return total(Event::LlcMisses);
+      case ImpactRow::ItlbMiss:     return total(Event::ItlbMisses);
+      case ImpactRow::DtlbMiss:     return total(Event::DtlbMisses);
+      case ImpactRow::BrMispredict: return total(Event::BrMispredicts);
+      case ImpactRow::Instructions: return total(Event::Instructions);
+      default:
+        sim::panic("impactCount: bad row");
+    }
+}
+
+ImpactColumn
+impactColumn(const core::RunResult &r)
+{
+    ImpactColumn col;
+    const auto cycles = static_cast<double>(
+        r.eventTotals[static_cast<std::size_t>(prof::Event::Cycles)]);
+    if (cycles <= 0)
+        return col;
+    for (std::size_t i = 0; i < numImpactRows; ++i) {
+        const auto row = static_cast<ImpactRow>(i);
+        col.pctTime[i] = 100.0 *
+                         static_cast<double>(impactCount(r, row)) *
+                         impactCost(row) / cycles;
+    }
+    return col;
+}
+
+} // namespace na::analysis

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Performance impact indicators (paper Section 6.2, Figure 5).
+ *
+ * First-order attribution: %time(event) = count * nominal_cost / cycles.
+ * The nominal per-event penalties follow the paper's VTune-derived
+ * table; as the paper itself notes, on a deep out-of-order pipeline the
+ * costs overlap and the columns are NOT additive — rows can legitimately
+ * sum past 100%. The final row applies the P4's theoretical 3-wide
+ * retirement as a lower bound on compute time.
+ */
+
+#ifndef NETAFFINITY_ANALYSIS_IMPACT_HH
+#define NETAFFINITY_ANALYSIS_IMPACT_HH
+
+#include <array>
+#include <string_view>
+
+#include "src/core/measurement.hh"
+#include "src/prof/bins.hh"
+
+namespace na::analysis {
+
+/** Rows of the paper's Figure 5 (plus the instruction bound). */
+enum class ImpactRow
+{
+    MachineClear,
+    TcMiss,
+    L2Miss,
+    LlcMiss,
+    ItlbMiss,
+    DtlbMiss,
+    BrMispredict,
+    Instructions, ///< lower bound at 3 retired/cycle
+    NumRows
+};
+
+constexpr std::size_t numImpactRows =
+    static_cast<std::size_t>(ImpactRow::NumRows);
+
+/** @return the paper's nominal event cost (cycles per occurrence). */
+double impactCost(ImpactRow row);
+
+/** @return paper-style row label. */
+std::string_view impactRowName(ImpactRow row);
+
+/** @return event count for a row out of a run's totals. */
+std::uint64_t impactCount(const core::RunResult &r, ImpactRow row);
+
+/** One column of Figure 5: % of total time attributed per event. */
+struct ImpactColumn
+{
+    std::array<double, numImpactRows> pctTime{};
+};
+
+/** Compute the impact column for a finished run. */
+ImpactColumn impactColumn(const core::RunResult &r);
+
+} // namespace na::analysis
+
+#endif // NETAFFINITY_ANALYSIS_IMPACT_HH

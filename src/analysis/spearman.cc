@@ -1,0 +1,103 @@
+#include "src/analysis/spearman.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace na::analysis {
+
+std::vector<double>
+averageRanks(std::span<const double> values)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&values](std::size_t a, std::size_t b) {
+                  return values[a] < values[b];
+              });
+
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        // Positions i..j (0-based) share ranks i+1..j+1.
+        const double avg =
+            (static_cast<double>(i + 1) + static_cast<double>(j + 1)) /
+            2.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(std::span<const double> x, std::span<const double> y)
+{
+    const std::size_t n = std::min(x.size(), y.size());
+    if (n < 2)
+        return 0.0;
+
+    const std::vector<double> rx =
+        averageRanks(std::span<const double>(x.data(), n));
+    const std::vector<double> ry =
+        averageRanks(std::span<const double>(y.data(), n));
+
+    double mean_x = 0;
+    double mean_y = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mean_x += rx[i];
+        mean_y += ry[i];
+    }
+    mean_x /= static_cast<double>(n);
+    mean_y /= static_cast<double>(n);
+
+    double sxy = 0;
+    double sxx = 0;
+    double syy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = rx[i] - mean_x;
+        const double dy = ry[i] - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0 || syy <= 0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+spearmanCriticalValue(std::size_t n)
+{
+    // One-tailed p=0.05 critical values (Zar, standard tables).
+    static constexpr double table[] = {
+        /* n=4 */ 1.000, /* 5 */ 0.900, /* 6 */ 0.829, /* 7 */ 0.714,
+        /* 8 */ 0.643,  /* 9 */ 0.600, /* 10 */ 0.564, /* 11 */ 0.536,
+        /* 12 */ 0.503, /* 13 */ 0.484, /* 14 */ 0.464, /* 15 */ 0.446,
+        /* 16 */ 0.429, /* 17 */ 0.414, /* 18 */ 0.401, /* 19 */ 0.391,
+        /* 20 */ 0.380, /* 21 */ 0.370, /* 22 */ 0.361, /* 23 */ 0.353,
+        /* 24 */ 0.344, /* 25 */ 0.337, /* 26 */ 0.331, /* 27 */ 0.324,
+        /* 28 */ 0.318, /* 29 */ 0.312, /* 30 */ 0.306,
+    };
+    if (n < 4)
+        return 1.0;
+    if (n <= 30)
+        return table[n - 4];
+    return 1.645 / std::sqrt(static_cast<double>(n - 1));
+}
+
+SpearmanResult
+spearmanTest(std::span<const double> x, std::span<const double> y)
+{
+    SpearmanResult r;
+    r.rho = spearman(x, y);
+    r.critical = spearmanCriticalValue(std::min(x.size(), y.size()));
+    r.significant = r.rho > r.critical;
+    return r;
+}
+
+} // namespace na::analysis

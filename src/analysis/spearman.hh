@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Spearman's rank correlation with tie handling (paper Table 5).
+ *
+ * The paper validates its impact indicators by rank-correlating per-bin
+ * timing improvements against per-bin LLC-miss and machine-clear
+ * improvements, checking significance against the one-tailed p=0.05
+ * critical value.
+ */
+
+#ifndef NETAFFINITY_ANALYSIS_SPEARMAN_HH
+#define NETAFFINITY_ANALYSIS_SPEARMAN_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace na::analysis {
+
+/**
+ * Average ranks of @p values (rank 1 = smallest); tied values share the
+ * mean of the ranks they span.
+ */
+std::vector<double> averageRanks(std::span<const double> values);
+
+/**
+ * Spearman's rho of two equal-length samples, computed as the Pearson
+ * correlation of their (tie-averaged) ranks.
+ * @return rho in [-1, 1]; 0 for degenerate inputs (n < 2 or constant).
+ */
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/**
+ * One-tailed p=0.05 critical value of |rho| for sample size @p n.
+ * Standard tables for n in [4, 30]; beyond that a normal approximation
+ * (1.645 / sqrt(n - 1)).
+ * @return threshold; a computed rho above it is significant.
+ */
+double spearmanCriticalValue(std::size_t n);
+
+/** Convenience: rho plus its significance verdict. */
+struct SpearmanResult
+{
+    double rho = 0;
+    double critical = 1;
+    bool significant = false;
+};
+
+/** Run the test at one-tailed p=0.05. */
+SpearmanResult spearmanTest(std::span<const double> x,
+                            std::span<const double> y);
+
+} // namespace na::analysis
+
+#endif // NETAFFINITY_ANALYSIS_SPEARMAN_HH

@@ -1,0 +1,75 @@
+#include "src/analysis/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace na::analysis {
+
+TableWriter::TableWriter(std::vector<std::string> header_cells)
+    : headers(std::move(header_cells))
+{
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TableWriter::pct(double v, int precision)
+{
+    return num(v, precision) + "%";
+}
+
+std::string
+TableWriter::integer(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            if (c == 0)
+                os << std::left << std::setw(
+                       static_cast<int>(widths[c])) << cell;
+            else
+                os << "  " << std::right
+                   << std::setw(static_cast<int>(widths[c])) << cell;
+        }
+        os << '\n';
+    };
+
+    emit(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace na::analysis

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table writer for the benchmark reports.
+ */
+
+#ifndef NETAFFINITY_ANALYSIS_TABLE_HH
+#define NETAFFINITY_ANALYSIS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace na::analysis {
+
+/** Column-aligned text table. */
+class TableWriter
+{
+  public:
+    /** Start a table with the given column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append a row (cells beyond the header count are dropped). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience cell formatters. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double v, int precision = 1);
+    static std::string integer(std::uint64_t v);
+
+    /** Render with a header underline and 2-space gutters. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace na::analysis
+
+#endif // NETAFFINITY_ANALYSIS_TABLE_HH

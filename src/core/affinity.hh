@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The four affinity modes of the study (paper Section 4).
+ */
+
+#ifndef NETAFFINITY_CORE_AFFINITY_HH
+#define NETAFFINITY_CORE_AFFINITY_HH
+
+#include <array>
+#include <string_view>
+
+namespace na::core {
+
+/** Affinity configuration under test. */
+enum class AffinityMode
+{
+    None, ///< interrupts default to CPU0, OS-based scheduling
+    Irq,  ///< NIC interrupts split across CPUs; processes free
+    Proc, ///< processes pinned; interrupts default to CPU0
+    Full, ///< each process pinned to its NIC's interrupt CPU
+};
+
+constexpr std::array<AffinityMode, 4> allAffinityModes = {
+    AffinityMode::None, AffinityMode::Irq, AffinityMode::Proc,
+    AffinityMode::Full};
+
+/** @return paper-style label. */
+constexpr std::string_view
+affinityName(AffinityMode m)
+{
+    switch (m) {
+      case AffinityMode::None: return "No Aff";
+      case AffinityMode::Irq:  return "IRQ Aff";
+      case AffinityMode::Proc: return "Proc Aff";
+      case AffinityMode::Full: return "Full Aff";
+      default:                 return "?";
+    }
+}
+
+/** @return true if the mode pins interrupts per NIC. */
+constexpr bool
+pinsIrqs(AffinityMode m)
+{
+    return m == AffinityMode::Irq || m == AffinityMode::Full;
+}
+
+/** @return true if the mode pins processes. */
+constexpr bool
+pinsProcs(AffinityMode m)
+{
+    return m == AffinityMode::Proc || m == AffinityMode::Full;
+}
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_AFFINITY_HH

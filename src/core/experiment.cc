@@ -1,0 +1,151 @@
+#include "src/core/experiment.hh"
+
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace na::core {
+
+RunResult
+Experiment::extract(System &system, double seconds,
+                    std::uint64_t payload_bytes)
+{
+    os::Kernel &kern = system.kernel();
+    prof::BinAccounting &acct = kern.accounting();
+
+    RunResult r;
+    r.seconds = seconds;
+    r.payloadBytes = payload_bytes;
+    r.throughputMbps =
+        seconds > 0
+            ? static_cast<double>(payload_bytes) * 8.0 / seconds / 1.0e6
+            : 0.0;
+
+    double util_sum = 0;
+    double busy_total = 0;
+    for (int c = 0; c < kern.numCpus(); ++c) {
+        const cpu::PerfCounters &pc = kern.core(c).counters;
+        r.utilPerCpu[static_cast<std::size_t>(c)] = pc.utilization();
+        util_sum += pc.utilization();
+        busy_total += pc.busyCycles.value();
+        r.irqs += static_cast<std::uint64_t>(pc.irqsReceived.value());
+        r.ipis += static_cast<std::uint64_t>(pc.ipisReceived.value());
+        r.migrations +=
+            static_cast<std::uint64_t>(pc.migrationsIn.value());
+        r.contextSwitches +=
+            static_cast<std::uint64_t>(pc.contextSwitches.value());
+    }
+    r.cpuUtil = util_sum / kern.numCpus();
+
+    const double used_ghz = seconds > 0 ? busy_total / seconds / 1.0e9
+                                        : 0.0;
+    const double gbps = r.throughputMbps / 1000.0;
+    r.ghzPerGbps = gbps > 0 ? used_ghz / gbps : 0.0;
+
+    auto fill = [&acct](BinMetrics &m, auto getter) {
+        using prof::Event;
+        m.cycles = getter(Event::Cycles);
+        m.instructions = getter(Event::Instructions);
+        m.branches = getter(Event::Branches);
+        m.brMispredicts = getter(Event::BrMispredicts);
+        m.llcMisses = getter(Event::LlcMisses);
+        m.l2Misses = getter(Event::L2Misses);
+        m.tcMisses = getter(Event::TcMisses);
+        m.itlbMisses = getter(Event::ItlbMisses);
+        m.dtlbMisses = getter(Event::DtlbMisses);
+        m.machineClears = getter(Event::MachineClears);
+        (void)acct;
+    };
+
+    const auto total_cycles =
+        static_cast<double>(acct.total(prof::Event::Cycles));
+
+    auto derive = [total_cycles](BinMetrics &m) {
+        m.pctCycles = total_cycles > 0
+                          ? 100.0 * static_cast<double>(m.cycles) /
+                                total_cycles
+                          : 0.0;
+        m.cpi = m.instructions
+                    ? static_cast<double>(m.cycles) /
+                          static_cast<double>(m.instructions)
+                    : 0.0;
+        m.mpi = m.instructions
+                    ? static_cast<double>(m.llcMisses) /
+                          static_cast<double>(m.instructions)
+                    : 0.0;
+        m.pctBranches = m.instructions
+                            ? 100.0 * static_cast<double>(m.branches) /
+                                  static_cast<double>(m.instructions)
+                            : 0.0;
+        m.pctBrMispred = m.branches
+                             ? 100.0 *
+                                   static_cast<double>(m.brMispredicts) /
+                                   static_cast<double>(m.branches)
+                             : 0.0;
+    };
+
+    for (std::size_t b = 0; b < prof::numBins; ++b) {
+        const auto bin = static_cast<prof::Bin>(b);
+        fill(r.bins[b],
+             [&acct, bin](prof::Event e) { return acct.byBin(bin, e); });
+        derive(r.bins[b]);
+    }
+    fill(r.overall, [&acct](prof::Event e) { return acct.total(e); });
+    derive(r.overall);
+
+    for (std::size_t e = 0; e < prof::numEvents; ++e)
+        r.eventTotals[e] = acct.total(static_cast<prof::Event>(e));
+
+    return r;
+}
+
+RunResult
+Experiment::measure(System &system, const RunSchedule &schedule)
+{
+    if (!system.establishAll(schedule.establishDeadline))
+        sim::fatal("connections failed to establish before the deadline");
+
+    system.runFor(schedule.warmup);
+    system.beginMeasurement();
+    const std::uint64_t sink_before = system.sinkBytes();
+    const sim::Tick t0 = system.eventQueue().now();
+    const double freq = system.config().platform.freqHz;
+
+    if (schedule.maxWindows <= 1) {
+        system.runFor(schedule.measure);
+    } else {
+        // Convergence mode: extend window by window until the
+        // cumulative throughput stabilizes.
+        double prev_rate = -1.0;
+        for (int w = 0; w < schedule.maxWindows; ++w) {
+            system.runFor(schedule.measure);
+            const double secs = sim::ticksToSeconds(
+                system.eventQueue().now() - t0, freq);
+            const double rate =
+                static_cast<double>(system.sinkBytes() - sink_before) /
+                secs;
+            if (prev_rate > 0 &&
+                std::abs(rate - prev_rate) <=
+                    schedule.convergeTolerance * prev_rate) {
+                break;
+            }
+            prev_rate = rate;
+        }
+    }
+    system.endMeasurement();
+
+    const sim::Tick t1 = system.eventQueue().now();
+    const std::uint64_t payload = system.sinkBytes() - sink_before;
+    const double seconds = sim::ticksToSeconds(t1 - t0, freq);
+
+    return extract(system, seconds, payload);
+}
+
+RunResult
+Experiment::run(const SystemConfig &config, const RunSchedule &schedule)
+{
+    System system(config);
+    return measure(system, schedule);
+}
+
+} // namespace na::core

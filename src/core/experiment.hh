@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Experiment runner: establish, warm up, measure, extract.
+ */
+
+#ifndef NETAFFINITY_CORE_EXPERIMENT_HH
+#define NETAFFINITY_CORE_EXPERIMENT_HH
+
+#include "src/core/measurement.hh"
+#include "src/core/system.hh"
+
+namespace na::core {
+
+/** Timing of a measurement run (simulated durations in ticks). */
+struct RunSchedule
+{
+    sim::Tick establishDeadline = 4'000'000'000; ///< 2 s
+    sim::Tick warmup = 60'000'000;               ///< 30 ms
+    sim::Tick measure = 100'000'000;             ///< 50 ms
+
+    /**
+     * Convergence mode: instead of one fixed window, measure in
+     * windows of @c measure ticks until consecutive windows'
+     * throughputs agree within @c convergeTolerance (relative), or
+     * @c maxWindows is reached. 0 windows disables (the default).
+     */
+    int maxWindows = 0;
+    double convergeTolerance = 0.01;
+};
+
+/** Drives Systems through the measurement protocol. */
+class Experiment
+{
+  public:
+    /**
+     * Full protocol on an existing System (which stays alive for
+     * post-run inspection: accounting matrix, sampler, stats).
+     */
+    static RunResult measure(System &system,
+                             const RunSchedule &schedule = RunSchedule{});
+
+    /** Build a System from @p config, run, return the result. */
+    static RunResult run(const SystemConfig &config,
+                         const RunSchedule &schedule = RunSchedule{});
+
+    /** Extract a RunResult from the system's current counters. */
+    static RunResult extract(System &system, double seconds,
+                             std::uint64_t payload_bytes);
+};
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_EXPERIMENT_HH

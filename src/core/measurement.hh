@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Measurement results: what one experiment run produced.
+ */
+
+#ifndef NETAFFINITY_CORE_MEASUREMENT_HH
+#define NETAFFINITY_CORE_MEASUREMENT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/prof/bins.hh"
+
+namespace na::core {
+
+/** Table-1-style metrics for one functional bin (or the overall row). */
+struct BinMetrics
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t brMispredicts = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t tcMisses = 0;
+    std::uint64_t itlbMisses = 0;
+    std::uint64_t dtlbMisses = 0;
+    std::uint64_t machineClears = 0;
+
+    double pctCycles = 0;     ///< % of all busy cycles
+    double cpi = 0;           ///< cycles / instruction
+    double mpi = 0;           ///< LLC misses / instruction
+    double pctBranches = 0;   ///< branches / instructions
+    double pctBrMispred = 0;  ///< mispredicted / branches
+};
+
+/** Everything one run of one configuration yields. */
+struct RunResult
+{
+    double seconds = 0;            ///< measured window, simulated
+    std::uint64_t payloadBytes = 0;///< app-level bytes at the sink
+    double throughputMbps = 0;     ///< payload megabits per second
+    double cpuUtil = 0;            ///< mean across CPUs, [0,1]
+    std::array<double, 8> utilPerCpu{};
+    double ghzPerGbps = 0;         ///< the paper's cost metric
+
+    std::array<BinMetrics, prof::numBins> bins{};
+    BinMetrics overall;
+
+    /** Grand totals per event (indexable by prof::Event). */
+    std::array<std::uint64_t, prof::numEvents> eventTotals{};
+
+    std::uint64_t irqs = 0;
+    std::uint64_t ipis = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t contextSwitches = 0;
+
+    /** @return events normalized per sink byte (work done). */
+    double
+    eventsPerByte(prof::Event e) const
+    {
+        return payloadBytes
+                   ? static_cast<double>(
+                         eventTotals[static_cast<std::size_t>(e)]) /
+                         static_cast<double>(payloadBytes)
+                   : 0.0;
+    }
+};
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_MEASUREMENT_HH

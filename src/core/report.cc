@@ -1,0 +1,87 @@
+#include "src/core/report.hh"
+
+#include "src/analysis/table.hh"
+#include "src/sim/logging.hh"
+
+namespace na::core {
+
+namespace {
+
+void
+addMetricRow(analysis::TableWriter &t, const std::string &label,
+             const BinMetrics &m)
+{
+    t.addRow({label, analysis::TableWriter::pct(m.pctCycles),
+              analysis::TableWriter::num(m.cpi),
+              analysis::TableWriter::num(m.mpi, 4),
+              analysis::TableWriter::pct(m.pctBranches),
+              analysis::TableWriter::pct(m.pctBrMispred)});
+}
+
+bool
+rowIncluded(std::size_t bin, const ReportOptions &opts)
+{
+    return opts.includeUserBin ||
+           static_cast<prof::Bin>(bin) != prof::Bin::User;
+}
+
+} // namespace
+
+void
+renderCharacterization(std::ostream &os, const RunResult &run,
+                       const ReportOptions &opts)
+{
+    analysis::TableWriter t(
+        {"", "%Cycles", "CPI", "MPI", "%Branches", "%BrMispred"});
+    for (std::size_t b = 0; b < prof::numBins; ++b) {
+        if (!rowIncluded(b, opts))
+            continue;
+        addMetricRow(t,
+                     std::string(prof::binName(static_cast<prof::Bin>(b))),
+                     run.bins[b]);
+    }
+    if (opts.includeOverall)
+        addMetricRow(t, "Overall", run.overall);
+    t.print(os);
+}
+
+void
+renderComparison(std::ostream &os, const std::string &label_a,
+                 const RunResult &a, const std::string &label_b,
+                 const RunResult &b, const ReportOptions &opts)
+{
+    analysis::TableWriter t({"", "%Cyc(" + label_a + ")",
+                             "%Cyc(" + label_b + ")",
+                             "CPI(" + label_a + ")",
+                             "CPI(" + label_b + ")",
+                             "MPI(" + label_a + ")",
+                             "MPI(" + label_b + ")"});
+    auto add = [&t](const std::string &label, const BinMetrics &ma,
+                    const BinMetrics &mb) {
+        t.addRow({label, analysis::TableWriter::pct(ma.pctCycles),
+                  analysis::TableWriter::pct(mb.pctCycles),
+                  analysis::TableWriter::num(ma.cpi),
+                  analysis::TableWriter::num(mb.cpi),
+                  analysis::TableWriter::num(ma.mpi, 4),
+                  analysis::TableWriter::num(mb.mpi, 4)});
+    };
+    for (std::size_t bin = 0; bin < prof::numBins; ++bin) {
+        if (!rowIncluded(bin, opts))
+            continue;
+        add(std::string(prof::binName(static_cast<prof::Bin>(bin))),
+            a.bins[bin], b.bins[bin]);
+    }
+    if (opts.includeOverall)
+        add("Overall", a.overall, b.overall);
+    t.print(os);
+}
+
+std::string
+summaryLine(const RunResult &run)
+{
+    return sim::format("%.0f Mb/s, %.2f GHz/Gbps, util %.0f%%",
+                       run.throughputMbps, run.ghzPerGbps,
+                       100.0 * run.cpuUtil);
+}
+
+} // namespace na::core

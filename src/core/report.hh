@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Characterization report formatting: the paper's Table-1 view as a
+ * reusable library facility (benches and applications share it).
+ */
+
+#ifndef NETAFFINITY_CORE_REPORT_HH
+#define NETAFFINITY_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "src/core/measurement.hh"
+
+namespace na::core {
+
+/** Options for renderCharacterization(). */
+struct ReportOptions
+{
+    /** Include the Bin::User row (the paper's tables omit it). */
+    bool includeUserBin = false;
+    /** Append the Overall summary row. */
+    bool includeOverall = true;
+};
+
+/**
+ * Render one run's per-bin characterization (the columns of the paper's
+ * Table 1: %cycles, CPI, MPI, %branches, %branches mispredicted) as an
+ * aligned text table.
+ */
+void renderCharacterization(std::ostream &os, const RunResult &run,
+                            const ReportOptions &opts = ReportOptions{});
+
+/**
+ * Render a side-by-side comparison of two runs (e.g. no affinity vs
+ * full affinity), Table-1 style.
+ */
+void renderComparison(std::ostream &os, const std::string &label_a,
+                      const RunResult &a, const std::string &label_b,
+                      const RunResult &b,
+                      const ReportOptions &opts = ReportOptions{});
+
+/** One-line summary: throughput, cost, utilization. */
+std::string summaryLine(const RunResult &run);
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_REPORT_HH

@@ -1,0 +1,141 @@
+#include "src/core/system.hh"
+
+#include "src/sim/logging.hh"
+
+namespace na::core {
+
+System::System(const SystemConfig &config)
+    : stats::Group(nullptr, ""), cfg(config)
+{
+    if (cfg.numConnections < 1)
+        sim::fatal("need at least one connection");
+
+    kern = std::make_unique<os::Kernel>(this, eq, cfg.platform);
+
+    int pool_slots = cfg.skbPoolSlots;
+    if (pool_slots == 0) {
+        // RX rings pin one buffer per descriptor; sndbufs bound TX use.
+        pool_slots = cfg.numConnections * cfg.nic.rxRingSize +
+                     cfg.numConnections *
+                         (static_cast<int>(cfg.tcp.sndBufBytes /
+                                           cfg.tcp.mss) +
+                          8) +
+                     512;
+    }
+    pool = std::make_unique<net::SkbPool>(this, *kern, pool_slots);
+    drv = std::make_unique<net::Driver>(this, *kern, *pool);
+
+    const workload::TtcpMode mode = cfg.ttcp.mode;
+
+    for (int i = 0; i < cfg.numConnections; ++i) {
+        wires.push_back(std::make_unique<net::Wire>(
+            this, sim::format("wire%d", i), eq, cfg.platform.freqHz,
+            cfg.wireBitsPerSec, cfg.wireLatencyTicks, cfg.wireLossProb,
+            cfg.platform.seed * 131 + static_cast<std::uint64_t>(i)));
+        nics.push_back(std::make_unique<net::Nic>(
+            this, sim::format("nic%d", i), i, *kern, *pool, *wires[i],
+            cfg.nic));
+        drv->attachNic(*nics[i]);
+
+        sockets.push_back(std::make_unique<net::Socket>(
+            this, sim::format("sock%d", i), *kern, *drv, *pool, i,
+            cfg.tcp));
+        drv->bindSocket(*sockets[i], *nics[i]);
+
+        peers.push_back(std::make_unique<net::RemotePeer>(
+            this, sim::format("peer%d", i), eq, *wires[i], i,
+            mode == workload::TtcpMode::Transmit ? net::PeerRole::Sink
+                                                 : net::PeerRole::Source,
+            cfg.tcp));
+        peers[i]->start();
+    }
+
+    // Affinity plumbing: interrupts via smp_affinity, processes via
+    // sched_setaffinity (paper Section 4).
+    for (int i = 0; i < cfg.numConnections; ++i) {
+        if (pinsIrqs(cfg.affinity)) {
+            kern->irqController().setSmpAffinity(
+                nics[i]->irqVector(), 1u << cpuForConn(i));
+        }
+        // else: Linux 2.4 default, everything to CPU0 (mask 0x1).
+    }
+
+    for (int i = 0; i < cfg.numConnections; ++i) {
+        apps.push_back(std::make_unique<workload::TtcpApp>(
+            this, sim::format("ttcp%d", i), *kern, *sockets[i],
+            cfg.ttcp));
+        const std::uint32_t mask =
+            pinsProcs(cfg.affinity) ? (1u << cpuForConn(i)) : 0xffffffffu;
+        tasks.push_back(kern->createTask(sim::format("ttcp%d", i),
+                                         apps[i].get(), mask));
+    }
+
+    kern->start();
+}
+
+sim::CpuId
+System::cpuForConn(int i) const
+{
+    // Block assignment like the paper: NICs 1-4 -> CPU0, 5-8 -> CPU1.
+    return static_cast<sim::CpuId>(
+        static_cast<long>(i) * cfg.platform.numCpus /
+        cfg.numConnections);
+}
+
+bool
+System::establishAll(sim::Tick deadline)
+{
+    const sim::Tick slice = 1'000'000; // 0.5 ms
+    while (eq.now() < deadline) {
+        bool all = true;
+        for (const auto &s : sockets) {
+            if (!s->established()) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            return true;
+        eq.runUntil(eq.now() + slice);
+    }
+    return false;
+}
+
+void
+System::runFor(sim::Tick duration)
+{
+    eq.runUntil(eq.now() + duration);
+}
+
+void
+System::beginMeasurement()
+{
+    kern->accounting().reset();
+    resetStats();
+    kern->finalizeIdle(eq.now()); // clamp open idle windows...
+    // ...and drop what finalizeIdle just accumulated.
+    for (int c = 0; c < kern->numCpus(); ++c)
+        kern->core(c).counters.idleCycles.reset();
+}
+
+void
+System::endMeasurement()
+{
+    kern->finalizeIdle(eq.now());
+}
+
+std::uint64_t
+System::sinkBytes() const
+{
+    std::uint64_t total = 0;
+    if (cfg.ttcp.mode == workload::TtcpMode::Transmit) {
+        for (const auto &p : peers)
+            total += p->bytesReceived();
+    } else {
+        for (const auto &a : apps)
+            total += a->bytesRead();
+    }
+    return total;
+}
+
+} // namespace na::core

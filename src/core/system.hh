@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The complete simulated cluster: SUT + NICs + wires + client peers.
+ *
+ * Mirrors the paper's setup: one connection per physical NIC, one ttcp
+ * process per connection, clients provisioned off the SUT's critical
+ * path. An AffinityMode maps connections/processes onto CPUs the same
+ * way the paper's /proc/irq/N/smp_affinity writes and
+ * sys_sched_setaffinity calls did.
+ */
+
+#ifndef NETAFFINITY_CORE_SYSTEM_HH
+#define NETAFFINITY_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/core/affinity.hh"
+#include "src/cpu/platform_config.hh"
+#include "src/net/driver.hh"
+#include "src/net/nic.hh"
+#include "src/net/peer.hh"
+#include "src/net/skb.hh"
+#include "src/net/socket.hh"
+#include "src/net/wire.hh"
+#include "src/os/kernel.hh"
+#include "src/sim/event_queue.hh"
+#include "src/workload/ttcp.hh"
+
+namespace na::core {
+
+/** Everything needed to stand up one experiment system. */
+struct SystemConfig
+{
+    cpu::PlatformConfig platform{};
+    AffinityMode affinity = AffinityMode::None;
+    int numConnections = 8; ///< one NIC + one ttcp process each
+    workload::TtcpConfig ttcp{};
+    net::TcpConfig tcp{};
+    net::NicConfig nic{};
+    double wireBitsPerSec = 1.0e9;
+    sim::Tick wireLatencyTicks = 10'000; ///< 5 us
+    double wireLossProb = 0.0;
+    int skbPoolSlots = 0; ///< 0 = sized automatically
+};
+
+/** The assembled simulation. */
+class System : public stats::Group
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    const SystemConfig &config() const { return cfg; }
+    sim::EventQueue &eventQueue() { return eq; }
+    os::Kernel &kernel() { return *kern; }
+    net::Driver &driver() { return *drv; }
+    net::SkbPool &skbPool() { return *pool; }
+
+    int numConnections() const { return cfg.numConnections; }
+    net::Socket &socket(int i) { return *sockets[i]; }
+    net::RemotePeer &peer(int i) { return *peers[i]; }
+    net::Nic &nic(int i) { return *nics[i]; }
+    net::Wire &wire(int i) { return *wires[i]; }
+    workload::TtcpApp &app(int i) { return *apps[i]; }
+    os::Task &task(int i) { return *tasks[i]; }
+
+    /** The CPU connection @p i is affined to (under Irq/Proc/Full). */
+    sim::CpuId cpuForConn(int i) const;
+
+    /**
+     * Run until every connection's handshake completes.
+     * @return true on success before @p deadline.
+     */
+    bool establishAll(sim::Tick deadline);
+
+    /** Advance simulated time by @p duration. */
+    void runFor(sim::Tick duration);
+
+    /** Zero all statistics and clamp idle accounting (end of warmup). */
+    void beginMeasurement();
+
+    /** Close out idle accounting at the current tick (end of window). */
+    void endMeasurement();
+
+    /** @return sum of application-level payload bytes received at the
+     *          traffic sinks (peers for TX tests, apps for RX tests). */
+    std::uint64_t sinkBytes() const;
+
+  private:
+    SystemConfig cfg;
+    sim::EventQueue eq;
+
+    std::unique_ptr<os::Kernel> kern;
+    std::unique_ptr<net::SkbPool> pool;
+    std::unique_ptr<net::Driver> drv;
+    std::vector<std::unique_ptr<net::Wire>> wires;
+    std::vector<std::unique_ptr<net::Nic>> nics;
+    std::vector<std::unique_ptr<net::Socket>> sockets;
+    std::vector<std::unique_ptr<net::RemotePeer>> peers;
+    std::vector<std::unique_ptr<workload::TtcpApp>> apps;
+    std::vector<os::Task *> tasks;
+};
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_SYSTEM_HH

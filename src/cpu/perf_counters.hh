@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-core hardware performance counters.
+ *
+ * The same quantities a P4's event counter registers expose; every
+ * charge on a Core bumps these, and the characterization layer reads
+ * them (in addition to the finer-grained prof::BinAccounting).
+ */
+
+#ifndef NETAFFINITY_CPU_PERF_COUNTERS_HH
+#define NETAFFINITY_CPU_PERF_COUNTERS_HH
+
+#include <string>
+
+#include "src/stats/stats.hh"
+
+namespace na::cpu {
+
+/** One core's architectural event counters. */
+class PerfCounters : public stats::Group
+{
+  public:
+    PerfCounters(stats::Group *parent, const std::string &name)
+        : stats::Group(parent, name),
+          busyCycles(this, "busy_cycles", "cycles doing work"),
+          idleCycles(this, "idle_cycles", "cycles in the poll-idle loop"),
+          instructions(this, "instructions", "instructions retired"),
+          branches(this, "branches", "branches retired"),
+          brMispredicts(this, "br_mispredicts", "branches mispredicted"),
+          llcMisses(this, "llc_misses", "last-level cache misses"),
+          l2Misses(this, "l2_misses", "L2 misses"),
+          tcMisses(this, "tc_misses", "trace cache line builds"),
+          itlbMisses(this, "itlb_misses", "ITLB page walks"),
+          dtlbMisses(this, "dtlb_misses", "DTLB page walks"),
+          machineClears(this, "machine_clears", "pipeline flushes"),
+          irqsReceived(this, "irqs_received", "device interrupts taken"),
+          ipisReceived(this, "ipis_received", "inter-processor ints"),
+          contextSwitches(this, "context_switches", "task switches"),
+          migrationsIn(this, "migrations_in", "tasks migrated here")
+    {
+    }
+
+    stats::Scalar busyCycles;
+    stats::Scalar idleCycles;
+    stats::Scalar instructions;
+    stats::Scalar branches;
+    stats::Scalar brMispredicts;
+    stats::Scalar llcMisses;
+    stats::Scalar l2Misses;
+    stats::Scalar tcMisses;
+    stats::Scalar itlbMisses;
+    stats::Scalar dtlbMisses;
+    stats::Scalar machineClears;
+    stats::Scalar irqsReceived;
+    stats::Scalar ipisReceived;
+    stats::Scalar contextSwitches;
+    stats::Scalar migrationsIn;
+
+    /** @return total cycles observed (busy + idle). */
+    double
+    totalCycles() const
+    {
+        return busyCycles.value() + idleCycles.value();
+    }
+
+    /** @return CPU utilization in [0, 1]. */
+    double
+    utilization() const
+    {
+        const double total = totalCycles();
+        return total > 0 ? busyCycles.value() / total : 0.0;
+    }
+};
+
+} // namespace na::cpu
+
+#endif // NETAFFINITY_CPU_PERF_COUNTERS_HH

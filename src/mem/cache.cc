@@ -1,0 +1,183 @@
+#include "src/mem/cache.hh"
+
+#include "src/sim/logging.hh"
+
+namespace na::mem {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+log2u(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+Cache::Cache(stats::Group *parent, const std::string &name,
+             std::uint64_t size_bytes, unsigned assoc_ways,
+             unsigned line_bytes)
+    : stats::Group(parent, name),
+      hits(this, "hits", "lookups that hit"),
+      misses(this, "misses", "lookups that missed"),
+      evictions(this, "evictions", "lines displaced by fills"),
+      writebacks(this, "writebacks", "dirty lines displaced"),
+      snoopInvalidations(this, "snoop_invalidations",
+                         "lines invalidated by remote writes"),
+      lineSize(line_bytes), assoc(assoc_ways)
+{
+    if (!isPow2(line_bytes))
+        sim::fatal("cache line size %u not a power of two", line_bytes);
+    if (size_bytes % (static_cast<std::uint64_t>(assoc_ways) * line_bytes))
+        sim::fatal("cache size %llu not divisible by assoc*line",
+                   (unsigned long long)size_bytes);
+    numSets = static_cast<unsigned>(
+        size_bytes / (static_cast<std::uint64_t>(assoc_ways) * line_bytes));
+    if (!isPow2(numSets))
+        sim::fatal("cache set count %u not a power of two", numSets);
+    lineShift = log2u(line_bytes);
+    lines.resize(static_cast<std::size_t>(numSets) * assoc);
+}
+
+Cache::Line *
+Cache::findLine(sim::Addr addr)
+{
+    const sim::Addr la = lineAddr(addr);
+    Line *set = &lines[static_cast<std::size_t>(setIndex(addr)) * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (set[w].state != LineState::Invalid && set[w].tag == la)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(sim::Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+LineState
+Cache::lookup(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line) {
+        ++misses;
+        return LineState::Invalid;
+    }
+    ++hits;
+    line->lru = ++lruCounter;
+    return line->state;
+}
+
+LineState
+Cache::probe(sim::Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? line->state : LineState::Invalid;
+}
+
+Cache::Victim
+Cache::insert(sim::Addr addr, LineState state)
+{
+    Victim victim;
+    const sim::Addr la = lineAddr(addr);
+
+    if (Line *existing = findLine(addr)) {
+        // Upgrade in place; never downgrade Modified to Shared here.
+        if (state == LineState::Modified)
+            existing->state = LineState::Modified;
+        existing->lru = ++lruCounter;
+        return victim;
+    }
+
+    Line *set = &lines[static_cast<std::size_t>(setIndex(addr)) * assoc];
+    Line *target = nullptr;
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (set[w].state == LineState::Invalid) {
+            target = &set[w];
+            break;
+        }
+    }
+    if (!target) {
+        target = &set[0];
+        for (unsigned w = 1; w < assoc; ++w) {
+            if (set[w].lru < target->lru)
+                target = &set[w];
+        }
+        victim.valid = true;
+        victim.lineAddr = target->tag;
+        victim.dirty = target->state == LineState::Modified;
+        ++evictions;
+        if (victim.dirty)
+            ++writebacks;
+    }
+    target->tag = la;
+    target->state = state;
+    target->lru = ++lruCounter;
+    return victim;
+}
+
+LineState
+Cache::invalidate(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return LineState::Invalid;
+    const LineState prev = line->state;
+    line->state = LineState::Invalid;
+    ++snoopInvalidations;
+    return prev;
+}
+
+bool
+Cache::downgrade(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    if (line->state == LineState::Modified)
+        line->state = LineState::Shared;
+    return true;
+}
+
+void
+Cache::setModified(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        sim::panic("setModified on absent line %llx",
+                   (unsigned long long)addr);
+    line->state = LineState::Modified;
+}
+
+void
+Cache::flushAll()
+{
+    for (Line &line : lines)
+        line.state = LineState::Invalid;
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines) {
+        if (line.state != LineState::Invalid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace na::mem

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * A set-associative, write-back cache model with MSI-style line states.
+ *
+ * Used for all three data levels (L1D, L2, L3). Lookup and fill operate
+ * on line addresses; timing is composed by mem::CacheHierarchy. The model
+ * tracks true LRU within each set.
+ */
+
+#ifndef NETAFFINITY_MEM_CACHE_HH
+#define NETAFFINITY_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::mem {
+
+/** Coherence state of a cached line (MSI subset of MESI). */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/**
+ * One set-associative cache level.
+ *
+ * All addresses passed in are byte addresses; the cache masks them to
+ * line granularity internally.
+ */
+class Cache : public stats::Group
+{
+  public:
+    /**
+     * @param parent stats parent group
+     * @param name cache name, e.g. "l2"
+     * @param size_bytes total capacity
+     * @param assoc ways per set (must divide size/lineSize)
+     * @param line_bytes cache line size (64 for the modeled Xeons)
+     */
+    Cache(stats::Group *parent, const std::string &name,
+          std::uint64_t size_bytes, unsigned assoc,
+          unsigned line_bytes = 64);
+
+    /**
+     * Look up a line; updates LRU on hit.
+     * @return state found (Invalid means miss).
+     */
+    LineState lookup(sim::Addr addr);
+
+    /** @return state without touching LRU (for snoops / tests). */
+    LineState probe(sim::Addr addr) const;
+
+    /** Result of inserting a line: what got evicted, if anything. */
+    struct Victim
+    {
+        bool valid = false;      ///< an existing line was displaced
+        sim::Addr lineAddr = 0;  ///< address of the displaced line
+        bool dirty = false;      ///< displaced line was Modified
+    };
+
+    /**
+     * Insert (fill) a line in @p state, evicting the LRU way if the set
+     * is full. If the line is already present its state is upgraded.
+     * @return the displaced victim, if any.
+     */
+    Victim insert(sim::Addr addr, LineState state);
+
+    /**
+     * Invalidate a line (snoop or back-invalidate).
+     * @return previous state (Invalid if it was not present).
+     */
+    LineState invalidate(sim::Addr addr);
+
+    /**
+     * Downgrade Modified -> Shared (remote read snoop hit).
+     * @return true if the line was present.
+     */
+    bool downgrade(sim::Addr addr);
+
+    /** Mark an already-present line Modified (write hit). */
+    void setModified(sim::Addr addr);
+
+    /** Drop every line (e.g. between experiment phases). */
+    void flushAll();
+
+    /** @return number of valid lines currently cached. */
+    std::uint64_t validLines() const;
+
+    unsigned lineBytes() const { return lineSize; }
+    std::uint64_t sizeBytes() const { return numSets * assoc * lineSize; }
+    unsigned associativity() const { return assoc; }
+    unsigned sets() const { return numSets; }
+
+    /** @name Statistics @{ */
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar evictions;
+    stats::Scalar writebacks;
+    stats::Scalar snoopInvalidations;
+    /** @} */
+
+  private:
+    struct Line
+    {
+        sim::Addr tag = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t lru = 0; ///< larger == more recently used
+    };
+
+    unsigned lineSize;
+    unsigned assoc;
+    unsigned numSets;
+    unsigned lineShift;
+    std::uint64_t lruCounter = 0;
+    std::vector<Line> lines; ///< numSets * assoc, set-major
+
+    sim::Addr lineAddr(sim::Addr addr) const
+    {
+        return addr >> lineShift << lineShift;
+    }
+
+    unsigned setIndex(sim::Addr addr) const
+    {
+        return (addr >> lineShift) % numSets;
+    }
+
+    Line *findLine(sim::Addr addr);
+    const Line *findLine(sim::Addr addr) const;
+};
+
+} // namespace na::mem
+
+#endif // NETAFFINITY_MEM_CACHE_HH

@@ -1,0 +1,299 @@
+#include "src/mem/hierarchy.hh"
+
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace na::mem {
+
+CacheHierarchy::CacheHierarchy(stats::Group *parent,
+                               const std::string &name, sim::CpuId cpu_id,
+                               const CacheGeometry &geom,
+                               SnoopDomain &snoop_domain)
+    : stats::Group(parent, name),
+      l1(this, "l1d", geom.l1Size, geom.l1Assoc, geom.lineBytes),
+      l2(this, "l2", geom.l2Size, geom.l2Assoc, geom.lineBytes),
+      l3(this, "l3", geom.l3Size, geom.l3Assoc, geom.lineBytes),
+      accesses(this, "accesses", "CPU accesses"),
+      stallCycleTotal(this, "stall_cycles", "memory stall cycles"),
+      linesStolenByRemote(this, "lines_stolen",
+                          "lines invalidated by remote writers/DMA"),
+      cpu(cpu_id), domain(snoop_domain), timing(snoop_domain.memTiming())
+{
+    domain.addHierarchy(this);
+}
+
+void
+CacheHierarchy::fillLine(sim::Addr line_addr, LineState state)
+{
+    // Inclusive fill: install at every level; L3 victims back-invalidate
+    // the inner levels to preserve inclusion.
+    Cache::Victim v3 = l3.insert(line_addr, state);
+    if (v3.valid) {
+        l2.invalidate(v3.lineAddr);
+        l1.invalidate(v3.lineAddr);
+    }
+    Cache::Victim v2 = l2.insert(line_addr, state);
+    if (v2.valid)
+        l1.invalidate(v2.lineAddr);
+    l1.insert(line_addr, state);
+}
+
+void
+CacheHierarchy::upgradeLine(sim::Addr line_addr)
+{
+    if (l1.probe(line_addr) != LineState::Invalid)
+        l1.setModified(line_addr);
+    if (l2.probe(line_addr) != LineState::Invalid)
+        l2.setModified(line_addr);
+    if (l3.probe(line_addr) != LineState::Invalid)
+        l3.setModified(line_addr);
+}
+
+AccessResult
+CacheHierarchy::access(sim::Addr addr, std::uint32_t bytes, bool write,
+                       double overlap)
+{
+    AccessResult res;
+    if (bytes == 0)
+        return res;
+    if (overlap <= 0.0 || overlap > 1.0)
+        sim::panic("access overlap factor %f out of (0,1]", overlap);
+
+    const unsigned line = lineBytes();
+    const sim::Addr first = addr / line * line;
+    const sim::Addr last = (addr + bytes - 1) / line * line;
+
+    if (AddressAllocator::isUncacheable(addr)) {
+        // Device registers: every access goes to the bus, serialized.
+        const std::uint32_t n =
+            static_cast<std::uint32_t>((last - first) / line + 1);
+        res.uncached = n;
+        res.lines = n;
+        res.stallCycles =
+            static_cast<std::uint64_t>(n) *
+            (write ? timing.uncachedWriteCycles : timing.uncachedCycles);
+        ++accesses;
+        stallCycleTotal += static_cast<double>(res.stallCycles);
+        return res;
+    }
+
+    double stall = 0.0;
+    for (sim::Addr la = first; la <= last; la += line) {
+        ++res.lines;
+        const LineState s1 = l1.lookup(la);
+        if (s1 != LineState::Invalid) {
+            ++res.l1Hits;
+            stall += timing.l1HitCycles;
+            if (write && s1 == LineState::Shared) {
+                // Ownership upgrade: invalidate remote copies.
+                domain.snoopWrite(cpu, la, res.stolenFrom);
+                upgradeLine(la);
+                ++res.upgrades;
+                stall += timing.upgradeCycles;
+            } else if (write) {
+                upgradeLine(la);
+            }
+            continue;
+        }
+
+        const LineState s2 = l2.lookup(la);
+        if (s2 != LineState::Invalid) {
+            ++res.l2Hits;
+            stall += timing.l2HitCycles * overlap;
+            if (write && s2 == LineState::Shared) {
+                domain.snoopWrite(cpu, la, res.stolenFrom);
+                ++res.upgrades;
+                stall += timing.upgradeCycles;
+            }
+            fillLine(la, write ? LineState::Modified : s2);
+            continue;
+        }
+
+        const LineState s3 = l3.lookup(la);
+        if (s3 != LineState::Invalid) {
+            ++res.l3Hits;
+            ++res.l2Misses;
+            stall += timing.l3HitCycles * overlap;
+            if (write && s3 == LineState::Shared) {
+                domain.snoopWrite(cpu, la, res.stolenFrom);
+                ++res.upgrades;
+                stall += timing.upgradeCycles;
+            }
+            fillLine(la, write ? LineState::Modified : s3);
+            continue;
+        }
+
+        // Full local miss: snoop the other CPUs, then memory.
+        ++res.l2Misses;
+        ++res.llcMisses;
+        LineState remote;
+        if (write) {
+            remote = domain.snoopWrite(cpu, la, res.stolenFrom);
+        } else {
+            remote = domain.snoopRead(cpu, la);
+        }
+        if (remote != LineState::Invalid) {
+            ++res.remoteHits;
+            stall += timing.c2cCycles * overlap;
+        } else {
+            stall += timing.memCycles * overlap;
+        }
+        // Read fill is Shared (MSI; no E state — see DESIGN.md).
+        fillLine(la, write ? LineState::Modified : LineState::Shared);
+    }
+
+    res.stallCycles = static_cast<std::uint64_t>(std::llround(stall));
+    ++accesses;
+    stallCycleTotal += static_cast<double>(res.stallCycles);
+    return res;
+}
+
+LineState
+CacheHierarchy::probeLine(sim::Addr addr) const
+{
+    return l3.probe(addr);
+}
+
+bool
+CacheHierarchy::present(sim::Addr addr) const
+{
+    return l3.probe(addr) != LineState::Invalid ||
+           l2.probe(addr) != LineState::Invalid ||
+           l1.probe(addr) != LineState::Invalid;
+}
+
+LineState
+CacheHierarchy::snoopInvalidate(sim::Addr addr)
+{
+    LineState worst = LineState::Invalid;
+    const LineState p1 = l1.invalidate(addr);
+    const LineState p2 = l2.invalidate(addr);
+    const LineState p3 = l3.invalidate(addr);
+    if (p1 == LineState::Modified || p2 == LineState::Modified ||
+        p3 == LineState::Modified) {
+        worst = LineState::Modified;
+    } else if (p1 != LineState::Invalid || p2 != LineState::Invalid ||
+               p3 != LineState::Invalid) {
+        worst = LineState::Shared;
+    }
+    if (worst != LineState::Invalid)
+        ++linesStolenByRemote;
+    return worst;
+}
+
+bool
+CacheHierarchy::snoopDowngrade(sim::Addr addr)
+{
+    bool any = false;
+    any |= l1.downgrade(addr);
+    any |= l2.downgrade(addr);
+    any |= l3.downgrade(addr);
+    return any;
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    l1.flushAll();
+    l2.flushAll();
+    l3.flushAll();
+}
+
+SnoopDomain::SnoopDomain(const MemTiming &timing_params)
+    : timing(timing_params)
+{
+}
+
+void
+SnoopDomain::addHierarchy(CacheHierarchy *h)
+{
+    if (h->cpuId() != static_cast<sim::CpuId>(all.size()))
+        sim::fatal("hierarchies must be added in CPU-id order");
+    if (all.size() >= maxSmpCpus)
+        sim::fatal("too many CPUs in snoop domain");
+    lineSize = h->lineBytes();
+    all.push_back(h);
+}
+
+LineState
+SnoopDomain::snoopWrite(sim::CpuId requester, sim::Addr line_addr,
+                        std::array<std::uint32_t, maxSmpCpus> &stolen_from)
+{
+    LineState found = LineState::Invalid;
+    for (CacheHierarchy *h : all) {
+        if (h->cpuId() == requester)
+            continue;
+        const LineState prev = h->snoopInvalidate(line_addr);
+        if (prev != LineState::Invalid) {
+            stolen_from[static_cast<std::size_t>(h->cpuId())] += 1;
+            if (prev == LineState::Modified ||
+                found == LineState::Invalid) {
+                found = prev;
+            }
+        }
+    }
+    return found;
+}
+
+LineState
+SnoopDomain::snoopRead(sim::CpuId requester, sim::Addr line_addr)
+{
+    LineState found = LineState::Invalid;
+    for (CacheHierarchy *h : all) {
+        if (h->cpuId() == requester)
+            continue;
+        const LineState state = h->probeLine(line_addr);
+        if (state == LineState::Modified) {
+            h->snoopDowngrade(line_addr);
+            return LineState::Modified;
+        }
+        if (state != LineState::Invalid)
+            found = LineState::Shared;
+    }
+    return found;
+}
+
+DmaResult
+SnoopDomain::dmaWrite(sim::Addr addr, std::uint32_t bytes)
+{
+    DmaResult res;
+    if (bytes == 0)
+        return res;
+    const sim::Addr first = addr / lineSize * lineSize;
+    const sim::Addr last = (addr + bytes - 1) / lineSize * lineSize;
+    for (sim::Addr la = first; la <= last; la += lineSize) {
+        ++res.lines;
+        for (CacheHierarchy *h : all) {
+            if (h->snoopInvalidate(la) != LineState::Invalid)
+                res.stolenFrom[static_cast<std::size_t>(h->cpuId())] += 1;
+        }
+    }
+    return res;
+}
+
+DmaResult
+SnoopDomain::dmaRead(sim::Addr addr, std::uint32_t bytes)
+{
+    DmaResult res;
+    if (bytes == 0)
+        return res;
+    const sim::Addr first = addr / lineSize * lineSize;
+    const sim::Addr last = (addr + bytes - 1) / lineSize * lineSize;
+    for (sim::Addr la = first; la <= last; la += lineSize) {
+        ++res.lines;
+        for (CacheHierarchy *h : all) {
+            if (timing.dmaReadInvalidates) {
+                if (h->snoopInvalidate(la) != LineState::Invalid) {
+                    res.stolenFrom[static_cast<std::size_t>(
+                        h->cpuId())] += 1;
+                }
+            } else {
+                h->snoopDowngrade(la);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace na::mem

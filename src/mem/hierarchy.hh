@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Per-CPU three-level cache hierarchy plus the SMP snoop domain.
+ *
+ * This is where processor affinity physically matters: lines written by
+ * one CPU (softirq half of the stack) and read by another (process half)
+ * ping-pong across the bus as cache-to-cache transfers, and every remote
+ * write *steals* lines from the victim CPU — the event the cpu model may
+ * turn into a P4-style memory-ordering machine clear.
+ */
+
+#ifndef NETAFFINITY_MEM_HIERARCHY_HH
+#define NETAFFINITY_MEM_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/addr_alloc.hh"
+#include "src/mem/cache.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::mem {
+
+/** Maximum CPUs in one snoop domain (the paper uses 2, we allow 8). */
+constexpr int maxSmpCpus = 8;
+
+/** Latency parameters (cycles) for the memory system. */
+struct MemTiming
+{
+    unsigned l1HitCycles = 0;    ///< folded into base CPI
+    unsigned l2HitCycles = 18;   ///< L1 miss, L2 hit
+    unsigned l3HitCycles = 45;   ///< L2 miss, on-die L3 hit
+    unsigned memCycles = 300;    ///< full miss to DRAM
+    unsigned c2cCycles = 350;    ///< cache-to-cache transfer (FSB snoop)
+    unsigned upgradeCycles = 30; ///< Shared->Modified ownership upgrade
+    unsigned uncachedCycles = 600;      ///< MMIO register read (stalls)
+    unsigned uncachedWriteCycles = 150; ///< MMIO posted write
+    /**
+     * ServerWorks-era chipsets invalidate cached lines on DMA *reads*
+     * as well as writes (simpler snoop filters) — so transmitted
+     * payload buffers come back cold when the slab recycles them, on
+     * every CPU alike.
+     */
+    bool dmaReadInvalidates = true;
+};
+
+/** Geometry of one CPU's caches (Xeon MP defaults). */
+struct CacheGeometry
+{
+    std::uint64_t l1Size = 8 * 1024;
+    unsigned l1Assoc = 4;
+    std::uint64_t l2Size = 512 * 1024;
+    unsigned l2Assoc = 8;
+    std::uint64_t l3Size = 2 * 1024 * 1024;
+    unsigned l3Assoc = 8;
+    unsigned lineBytes = 64;
+};
+
+/** Outcome of one CPU access (possibly spanning many lines). */
+struct AccessResult
+{
+    std::uint32_t lines = 0;       ///< cache lines touched
+    std::uint32_t l1Hits = 0;
+    std::uint32_t l2Hits = 0;      ///< L1 miss, L2 hit
+    std::uint32_t l3Hits = 0;      ///< L2 miss, local L3 hit
+    std::uint32_t l2Misses = 0;    ///< missed L2 (paper's "L2 miss")
+    std::uint32_t llcMisses = 0;   ///< missed local L3 entirely
+    std::uint32_t remoteHits = 0;  ///< LLC misses served cache-to-cache
+    std::uint32_t upgrades = 0;    ///< Shared->Modified transitions
+    std::uint32_t uncached = 0;    ///< uncacheable (MMIO) accesses
+    std::uint64_t stallCycles = 0; ///< timing penalty, overlap applied
+    /** Per-CPU count of lines this access stole (invalidated). */
+    std::array<std::uint32_t, maxSmpCpus> stolenFrom{};
+
+    /** @return true if any remote CPU lost a line to this access. */
+    bool
+    stoleAny() const
+    {
+        for (auto v : stolenFrom)
+            if (v)
+                return true;
+        return false;
+    }
+};
+
+/** Outcome of a DMA transaction (device-side memory access). */
+struct DmaResult
+{
+    std::uint32_t lines = 0;
+    /** Lines invalidated out of each CPU's caches (RX DMA writes). */
+    std::array<std::uint32_t, maxSmpCpus> stolenFrom{};
+};
+
+class SnoopDomain;
+
+/**
+ * One CPU's private L1D/L2/L3 stack.
+ *
+ * All timing/counting flows through access(); coherence actions reach
+ * other hierarchies through the owning SnoopDomain.
+ */
+class CacheHierarchy : public stats::Group
+{
+  public:
+    CacheHierarchy(stats::Group *parent, const std::string &name,
+                   sim::CpuId cpu, const CacheGeometry &geom,
+                   SnoopDomain &domain);
+
+    /**
+     * Perform a CPU access of @p bytes at @p addr.
+     *
+     * @param write true for stores
+     * @param overlap miss-penalty scale factor in (0,1]; streaming
+     *        copies use < 1 to model prefetch/MLP overlap
+     */
+    AccessResult access(sim::Addr addr, std::uint32_t bytes, bool write,
+                        double overlap = 1.0);
+
+    /** @return coherence state of a line in this hierarchy (probe L3). */
+    LineState probeLine(sim::Addr addr) const;
+
+    /** @return true if the line is present anywhere in this hierarchy. */
+    bool present(sim::Addr addr) const;
+
+    /** Invalidate a line at every level (remote write / DMA write). */
+    LineState snoopInvalidate(sim::Addr addr);
+
+    /** Downgrade a line to Shared at every level (remote read). */
+    bool snoopDowngrade(sim::Addr addr);
+
+    /** Drop all cached lines. */
+    void flushAll();
+
+    sim::CpuId cpuId() const { return cpu; }
+    unsigned lineBytes() const { return l1.lineBytes(); }
+
+    Cache l1;
+    Cache l2;
+    Cache l3;
+
+    /** @name Statistics @{ */
+    stats::Scalar accesses;
+    stats::Scalar stallCycleTotal;
+    stats::Scalar linesStolenByRemote; ///< lines lost to remote writers
+    /** @} */
+
+  private:
+    sim::CpuId cpu;
+    SnoopDomain &domain;
+    MemTiming timing; ///< copied from domain at construction
+
+    /** Fill a line into every level, maintaining inclusion. */
+    void fillLine(sim::Addr line_addr, LineState state);
+
+    /** Upgrade a locally-present line to Modified at every level. */
+    void upgradeLine(sim::Addr line_addr);
+};
+
+/**
+ * The coherence fabric connecting all CPU hierarchies. Also the home of
+ * DMA transactions, which are coherent on the modeled platform (FSB
+ * snooping chipset).
+ */
+class SnoopDomain
+{
+  public:
+    explicit SnoopDomain(const MemTiming &timing = MemTiming{});
+
+    /** Register a hierarchy (called by CacheHierarchy's constructor). */
+    void addHierarchy(CacheHierarchy *h);
+
+    /**
+     * Remote-write snoop: invalidate @p line_addr in every hierarchy
+     * except @p requester.
+     * @param[out] stolen_from incremented per victim CPU
+     * @return Modified if some remote cache owned the line dirty,
+     *         Shared if remote copies existed clean, else Invalid.
+     */
+    LineState snoopWrite(sim::CpuId requester, sim::Addr line_addr,
+                         std::array<std::uint32_t, maxSmpCpus>
+                             &stolen_from);
+
+    /**
+     * Remote-read snoop: downgrade remote Modified copies.
+     * @return state the line was found in remotely (Invalid if nowhere).
+     */
+    LineState snoopRead(sim::CpuId requester, sim::Addr line_addr);
+
+    /**
+     * Device writes memory (RX DMA): invalidates every cached copy.
+     */
+    DmaResult dmaWrite(sim::Addr addr, std::uint32_t bytes);
+
+    /**
+     * Device reads memory (TX DMA): forces writeback/downgrade of dirty
+     * copies but leaves lines cached.
+     */
+    DmaResult dmaRead(sim::Addr addr, std::uint32_t bytes);
+
+    const MemTiming &memTiming() const { return timing; }
+    unsigned lineBytes() const { return lineSize; }
+
+    const std::vector<CacheHierarchy *> &hierarchies() const
+    {
+        return all;
+    }
+
+  private:
+    MemTiming timing;
+    unsigned lineSize = 64;
+    std::vector<CacheHierarchy *> all;
+};
+
+} // namespace na::mem
+
+#endif // NETAFFINITY_MEM_HIERARCHY_HH

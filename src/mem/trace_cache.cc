@@ -1,0 +1,66 @@
+#include "src/mem/trace_cache.hh"
+
+#include "src/sim/logging.hh"
+
+namespace na::mem {
+
+TraceCache::TraceCache(stats::Group *parent, const std::string &name,
+                       std::uint64_t capacity_bytes)
+    : stats::Group(parent, name),
+      hits(this, "hits", "trace cache hits"),
+      misses(this, "misses", "trace lines rebuilt"),
+      capacity(capacity_bytes)
+{
+}
+
+unsigned
+TraceCache::access(std::uint16_t func_id, std::uint32_t footprint_bytes)
+{
+    auto it = map.find(func_id);
+    if (it != map.end()) {
+        ++hits;
+        lru.splice(lru.begin(), lru, it->second);
+        return 0;
+    }
+
+    if (footprint_bytes > capacity) {
+        // A single function larger than the whole cache: permanent
+        // streaming misses, never resident.
+        const unsigned lines =
+            static_cast<unsigned>((footprint_bytes + 63) / 64);
+        misses += lines;
+        return lines;
+    }
+
+    while (used + footprint_bytes > capacity && !lru.empty()) {
+        const Entry &victim = lru.back();
+        used -= victim.bytes;
+        map.erase(victim.func);
+        lru.pop_back();
+    }
+
+    lru.push_front(Entry{func_id, footprint_bytes});
+    map[func_id] = lru.begin();
+    used += footprint_bytes;
+
+    const unsigned lines =
+        static_cast<unsigned>((footprint_bytes + 63) / 64);
+    misses += lines;
+    return lines;
+}
+
+bool
+TraceCache::resident(std::uint16_t func_id) const
+{
+    return map.count(func_id) != 0;
+}
+
+void
+TraceCache::flushAll()
+{
+    lru.clear();
+    map.clear();
+    used = 0;
+}
+
+} // namespace na::mem

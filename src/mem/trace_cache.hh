@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A function-granularity trace cache (decoded-uop cache) model.
+ *
+ * The Pentium 4 caches decoded uop traces rather than raw instruction
+ * bytes. We approximate it as an LRU cache of *function footprints*:
+ * executing a function whose footprint is resident is a hit; otherwise
+ * the footprint is (re)built, evicting least-recently-executed functions
+ * until it fits. This captures the first-order behaviour the paper's TC
+ * miss event measures: code working-set churn from migrations and
+ * interrupt intrusions.
+ */
+
+#ifndef NETAFFINITY_MEM_TRACE_CACHE_HH
+#define NETAFFINITY_MEM_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/stats/stats.hh"
+
+namespace na::mem {
+
+/** LRU footprint cache for decoded code traces. */
+class TraceCache : public stats::Group
+{
+  public:
+    /**
+     * @param capacity_bytes total uop storage expressed as equivalent
+     *        x86 code bytes (12k uops ~= 48-96 KiB of code; see
+     *        cpu::PlatformConfig).
+     */
+    TraceCache(stats::Group *parent, const std::string &name,
+               std::uint64_t capacity_bytes);
+
+    /**
+     * Execute function @p func_id whose decoded footprint is
+     * @p footprint_bytes.
+     * @return number of *misses* incurred: 0 on a resident hit, else the
+     *         number of trace-line (64B) builds needed.
+     */
+    unsigned access(std::uint16_t func_id, std::uint32_t footprint_bytes);
+
+    /** @return true if the function's trace is resident. */
+    bool resident(std::uint16_t func_id) const;
+
+    /** Drop all traces. */
+    void flushAll();
+
+    std::uint64_t usedBytes() const { return used; }
+    std::uint64_t capacityBytes() const { return capacity; }
+
+    stats::Scalar hits;
+    stats::Scalar misses; ///< trace-line builds
+
+  private:
+    struct Entry
+    {
+        std::uint16_t func;
+        std::uint32_t bytes;
+    };
+
+    std::uint64_t capacity;
+    std::uint64_t used = 0;
+    std::list<Entry> lru; ///< front == most recent
+    std::unordered_map<std::uint16_t, std::list<Entry>::iterator> map;
+};
+
+} // namespace na::mem
+
+#endif // NETAFFINITY_MEM_TRACE_CACHE_HH

@@ -1,0 +1,135 @@
+#include "src/net/driver.hh"
+
+#include "src/net/socket.hh"
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+Driver::Driver(stats::Group *parent, os::Kernel &kernel_ref,
+               SkbPool &pool_ref)
+    : stats::Group(parent, "driver"),
+      softirqRuns(this, "softirq_runs", "NET_RX softirq invocations"),
+      framesDelivered(this, "frames_delivered",
+                      "frames delivered to sockets"),
+      kernel(kernel_ref), pool(pool_ref)
+{
+    pollList.resize(static_cast<std::size_t>(kernel.numCpus()));
+    for (int c = 0; c < kernel.numCpus(); ++c) {
+        kernel.processor(c).setSoftirqHandler(
+            os::Softirq::NetRx,
+            [this](os::ExecContext &ctx) { netRxAction(ctx); });
+    }
+}
+
+void
+Driver::attachNic(Nic &nic)
+{
+    nic.setIsrHook([this](os::ExecContext &ctx, Nic &n) {
+        onIsr(ctx, n);
+    });
+    nic.setRxDeliver([this](os::ExecContext &ctx, const Packet &pkt,
+                            const SkBuff &skb) {
+        deliver(ctx, pkt, skb);
+    });
+    nic.setTxComplete([this](os::ExecContext &ctx, const Packet &pkt) {
+        onTxComplete(ctx, pkt);
+    });
+}
+
+void
+Driver::bindSocket(Socket &socket, Nic &nic)
+{
+    Binding b;
+    b.socket = &socket;
+    b.nic = &nic;
+    b.hashBucket =
+        kernel.addressSpace().alloc(mem::Region::KernelData, 64);
+    bindings[socket.connId()] = b;
+}
+
+Socket *
+Driver::socketFor(int conn_id) const
+{
+    auto it = bindings.find(conn_id);
+    return it == bindings.end() ? nullptr : it->second.socket;
+}
+
+void
+Driver::transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
+                 sim::Addr data_addr)
+{
+    auto it = bindings.find(conn_id);
+    if (it == bindings.end())
+        sim::panic("driver: transmit on unbound connection %d", conn_id);
+    // dev_queue_xmit: each device's own queue lock serializes TX
+    // submitters (taken inside xmitFrame).
+    it->second.nic->xmitFrame(ctx, pkt, data_addr);
+}
+
+void
+Driver::onIsr(os::ExecContext &ctx, Nic &nic)
+{
+    const auto cpu = static_cast<std::size_t>(ctx.cpuId());
+    if (queued.insert(&nic).second)
+        pollList[cpu].push_back(&nic);
+    ctx.proc.raiseSoftirq(os::Softirq::NetRx);
+}
+
+void
+Driver::netRxAction(os::ExecContext &ctx)
+{
+    ++softirqRuns;
+    ctx.charge(prof::FuncId::NetRxAction, 80, {});
+
+    auto &list = pollList[static_cast<std::size_t>(ctx.cpuId())];
+    const std::size_t rounds = list.size();
+    bool more_work = false;
+    for (std::size_t i = 0; i < rounds && !list.empty(); ++i) {
+        Nic *nic = list.front();
+        list.pop_front();
+        const bool more = nic->clean(ctx, pollBudget);
+        if (more) {
+            list.push_back(nic); // stay in the poll rotation
+            more_work = true;
+        } else {
+            queued.erase(nic);
+        }
+    }
+    if (more_work)
+        ctx.proc.raiseSoftirq(os::Softirq::NetRx);
+}
+
+void
+Driver::deliver(os::ExecContext &ctx, const Packet &pkt,
+                const SkBuff &skb)
+{
+    auto it = bindings.find(pkt.connId);
+    if (it == bindings.end()) {
+        // Unknown flow: count and drop (no listening sockets here).
+        pool.free(ctx, skb);
+        return;
+    }
+    ++framesDelivered;
+    // ip_rcv + established-hash lookup touch the header (cold: DMA) and
+    // the connection's hash chain.
+    ctx.charge(prof::FuncId::IpRcv, 220,
+               {cpu::MemTouch{skb.dataAddr, 34, false}});
+    ctx.charge(prof::FuncId::TcpV4Rcv, 100,
+               {cpu::MemTouch{it->second.hashBucket, 32, false}});
+    it->second.socket->onSegmentSoftirq(ctx, pkt, skb);
+}
+
+void
+Driver::onTxComplete(os::ExecContext &ctx, const Packet &pkt)
+{
+    if (pkt.freeSlotOnTxComplete < 0)
+        return;
+    if (Socket *s = socketFor(pkt.connId))
+        s->onTxComplete(ctx, pkt);
+    else
+        pool.free(ctx, pool.slotRef(pkt.freeSlotOnTxComplete));
+}
+
+} // namespace na::net

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The network driver layer: softirq dispatch, demux, and TX routing.
+ *
+ * Owns the per-CPU NET_RX poll lists. ISRs (top halves) queue their NIC
+ * on the servicing CPU's list and raise the NET_RX softirq; the bottom
+ * half runs *on that same CPU* — the kernel behaviour the paper's
+ * interrupt-affinity mode exploits.
+ */
+
+#ifndef NETAFFINITY_NET_DRIVER_HH
+#define NETAFFINITY_NET_DRIVER_HH
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/net/nic.hh"
+#include "src/net/segment.hh"
+#include "src/net/skb.hh"
+#include "src/os/spinlock.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+class ExecContext;
+class Kernel;
+} // namespace na::os
+
+namespace na::net {
+
+class Socket;
+
+/** Softirq glue + demux table for the whole stack. */
+class Driver : public stats::Group
+{
+  public:
+    /** RX softirq packet budget per NIC per poll pass. */
+    static constexpr int pollBudget = 16;
+
+    Driver(stats::Group *parent, os::Kernel &kernel, SkbPool &pool);
+
+    /** Wire a NIC into the softirq machinery. */
+    void attachNic(Nic &nic);
+
+    /** Bind a socket (connection) to the NIC that carries it. */
+    void bindSocket(Socket &socket, Nic &nic);
+
+    /** TX entry used by sockets: route the packet out its NIC. */
+    void transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
+                  sim::Addr data_addr);
+
+    /** @return socket bound to @p conn_id (nullptr if none). */
+    Socket *socketFor(int conn_id) const;
+
+    stats::Scalar softirqRuns;
+    stats::Scalar framesDelivered;
+
+  private:
+    os::Kernel &kernel;
+    SkbPool &pool;
+
+    struct Binding
+    {
+        Socket *socket = nullptr;
+        Nic *nic = nullptr;
+        sim::Addr hashBucket = 0; ///< ehash chain head line
+    };
+
+    std::unordered_map<int, Binding> bindings;
+    std::vector<std::deque<Nic *>> pollList; ///< per CPU
+    std::unordered_set<Nic *> queued;
+
+    void onIsr(os::ExecContext &ctx, Nic &nic);
+    void netRxAction(os::ExecContext &ctx);
+    void deliver(os::ExecContext &ctx, const Packet &pkt,
+                 const SkBuff &skb);
+    void onTxComplete(os::ExecContext &ctx, const Packet &pkt);
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_DRIVER_HH

@@ -1,0 +1,234 @@
+#include "src/net/nic.hh"
+
+#include <cmath>
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+Nic::Nic(stats::Group *parent, const std::string &name, int index,
+         os::Kernel &kernel_ref, SkbPool &pool_ref, Wire &wire_ref,
+         const NicConfig &config)
+    : stats::Group(parent, name),
+      rxFrames(this, "rx_frames", "frames received"),
+      txFrames(this, "tx_frames", "frames transmitted"),
+      rxDropsRingFull(this, "rx_drops_ring_full",
+                      "frames dropped, RX ring full"),
+      txDropsRingFull(this, "tx_drops_ring_full",
+                      "frames dropped, TX ring full"),
+      irqsRaised(this, "irqs_raised", "interrupts raised"),
+      rxReplenishFailures(this, "rx_replenish_failures",
+                          "skb pool empty at RX replenish"),
+      idx(index), kernel(kernel_ref), pool(pool_ref), wire(wire_ref),
+      cfg(config),
+      txLock(this, "tx_lock", prof::FuncId::LockDevQueue,
+             kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64))
+{
+    auto &aspace = kernel.addressSpace();
+    mmio = aspace.alloc(mem::Region::Mmio, 4096);
+    rxDescBase = aspace.alloc(mem::Region::NicRings,
+                              static_cast<std::uint64_t>(cfg.rxRingSize) *
+                                  16);
+    txDescBase = aspace.alloc(mem::Region::NicRings,
+                              static_cast<std::uint64_t>(cfg.txRingSize) *
+                                  16);
+
+    rxRingSkbs.reserve(static_cast<std::size_t>(cfg.rxRingSize));
+    for (int i = 0; i < cfg.rxRingSize; ++i) {
+        SkBuff skb = pool.allocRaw();
+        if (!skb.valid())
+            sim::fatal("skb pool too small to prime NIC %d RX ring",
+                       index);
+        rxRingSkbs.push_back(skb);
+    }
+
+    vector = kernel.irqController().registerVector(
+        name, [this](os::ExecContext &ctx) { isr(ctx); },
+        prof::nicIrqFunc(index));
+
+    wire.attachA([this](const Packet &pkt) { onWirePacket(pkt); });
+}
+
+Nic::~Nic() = default;
+
+bool
+Nic::xmitFrame(os::ExecContext &ctx, const Packet &pkt,
+               sim::Addr data_addr)
+{
+    if (txInFlight >= cfg.txRingSize) {
+        ++txDropsRingFull;
+        return false;
+    }
+    // dev_queue_xmit grabs this device's queue lock around the
+    // descriptor post.
+    ctx.lockAcquire(txLock);
+    const int desc = txNextDesc;
+    txNextDesc = (txNextDesc + 1) % cfg.txRingSize;
+    ++txInFlight;
+    ++txFrames;
+
+    // Descriptor write plus the TDT doorbell (posted uncached write).
+    ctx.charge(prof::FuncId::E1000Xmit, 200,
+               {cpu::MemTouch{txDescBase + static_cast<sim::Addr>(desc) *
+                                  16,
+                              16, true},
+                cpu::MemTouch{mmio + 0x3818, 4, true}});
+    ctx.lockRelease(txLock);
+
+    // DMA pulls the payload and hands the frame to the wire; the
+    // completion descriptor writes back after serialization.
+    const double bits = static_cast<double>(pkt.wireBytes()) * 8.0;
+    const auto ser_ticks = static_cast<sim::Tick>(std::ceil(
+        bits / wire.bitsPerSec() * kernel.config().freqHz));
+    const sim::Tick start = kernel.now() + cfg.dmaDelayTicks;
+
+    const std::uint32_t dma_len = pkt.seg.len;
+    kernel.eventQueue().scheduleLambda(
+        start, groupName() + ".txdma",
+        [this, pkt, data_addr, dma_len] {
+            if (data_addr && dma_len)
+                kernel.snoopDomain().dmaRead(data_addr, dma_len);
+            wire.sendFromA(pkt);
+        });
+    kernel.eventQueue().scheduleLambda(
+        start + ser_ticks, groupName() + ".txdone",
+        [this, pkt, desc] {
+            kernel.snoopDomain().dmaWrite(
+                txDescBase + static_cast<sim::Addr>(desc) * 16, 16);
+            pendingTxDone.push_back(PendingTxDone{pkt, desc});
+            requestIrq();
+        });
+    return true;
+}
+
+void
+Nic::onWirePacket(const Packet &pkt)
+{
+    if (static_cast<int>(pendingRx.size()) >= cfg.rxRingSize) {
+        ++rxDropsRingFull;
+        return;
+    }
+    const int desc = rxNextDesc;
+    rxNextDesc = (rxNextDesc + 1) % cfg.rxRingSize;
+    const SkBuff &skb = rxRingSkbs[static_cast<std::size_t>(desc)];
+
+    // DMA the frame into the posted buffer and write the descriptor
+    // back: every cached copy of those lines dies here, which is why
+    // RX payload is always cold to the CPU.
+    const std::uint32_t frame_bytes =
+        std::min<std::uint32_t>(pkt.seg.len + 66, SkbPool::dataBytes);
+    mem::DmaResult dma =
+        kernel.snoopDomain().dmaWrite(skb.dataAddr, frame_bytes);
+    const mem::DmaResult dma2 = kernel.snoopDomain().dmaWrite(
+        rxDescBase + static_cast<sim::Addr>(desc) * 16, 16);
+    for (int c = 0; c < kernel.numCpus(); ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        dma.stolenFrom[ci] += dma2.stolenFrom[ci];
+        if (dma.stolenFrom[ci])
+            kernel.core(c).notifyLinesStolen(dma.stolenFrom[ci]);
+    }
+
+    ++rxFrames;
+    pendingRx.push_back(PendingRx{pkt, skb, desc});
+    requestIrq();
+}
+
+void
+Nic::requestIrq()
+{
+    if (masked)
+        return; // the pending softirq will notice the new work
+    const sim::Tick now = kernel.now();
+    if (now >= nextIrqAllowed) {
+        raiseNow();
+    } else if (!pendingRaise) {
+        pendingRaise = kernel.eventQueue().scheduleLambda(
+            nextIrqAllowed, groupName() + ".moderation", [this] {
+                pendingRaise = nullptr;
+                if (!masked &&
+                    (!pendingRx.empty() || !pendingTxDone.empty())) {
+                    raiseNow();
+                }
+            });
+    }
+}
+
+void
+Nic::raiseNow()
+{
+    masked = true;
+    nextIrqAllowed = kernel.now() + cfg.irqGapTicks;
+    ++irqsRaised;
+    kernel.irqController().raise(vector);
+}
+
+void
+Nic::isr(os::ExecContext &ctx)
+{
+    // Read ICR (uncached), ack, leave the device masked; the clear for
+    // the hardware interrupt is booked to this ISR symbol.
+    ctx.charge(prof::nicIrqFunc(idx), 150,
+               {cpu::MemTouch{mmio + 0xc0, 4, false}},
+               /*overlap=*/1.0, /*async_clears=*/1);
+    if (isrHook)
+        isrHook(ctx, *this);
+}
+
+bool
+Nic::clean(os::ExecContext &ctx, int budget)
+{
+    // TX completions: descriptor write-backs arrived by DMA.
+    while (!pendingTxDone.empty()) {
+        const PendingTxDone done = pendingTxDone.front();
+        pendingTxDone.pop_front();
+        ctx.charge(prof::FuncId::E1000CleanTx, 100,
+                   {cpu::MemTouch{txDescBase +
+                                      static_cast<sim::Addr>(
+                                          done.descIdx) *
+                                          16,
+                                  16, false}});
+        --txInFlight;
+        if (txComplete)
+            txComplete(ctx, done.pkt);
+    }
+
+    int processed = 0;
+    while (processed < budget && !pendingRx.empty()) {
+        const PendingRx rx = pendingRx.front();
+        pendingRx.pop_front();
+
+        ctx.charge(prof::FuncId::E1000CleanRx, 260,
+                   {cpu::MemTouch{rxDescBase +
+                                      static_cast<sim::Addr>(rx.descIdx) *
+                                          16,
+                                  16, true},
+                    cpu::MemTouch{rx.skb.structAddr, 96, true}});
+
+        // Replenish the descriptor with a fresh buffer.
+        SkBuff fresh = pool.alloc(ctx);
+        if (!fresh.valid()) {
+            // No buffer: recycle the old one and drop the frame.
+            ++rxReplenishFailures;
+            continue;
+        }
+        rxRingSkbs[static_cast<std::size_t>(rx.descIdx)] = fresh;
+
+        ctx.charge(prof::FuncId::NetifRx, 60, {});
+        if (rxDeliver)
+            rxDeliver(ctx, rx.pkt, rx.skb);
+        ++processed;
+    }
+
+    const bool more = !pendingRx.empty();
+    if (!more) {
+        masked = false;
+        // Work may have arrived between the last pop and the unmask.
+        if (!pendingRx.empty() || !pendingTxDone.empty())
+            requestIrq();
+    }
+    return more;
+}
+
+} // namespace na::net

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Gigabit NIC model (e1000-flavoured).
+ *
+ * RX: arriving frames are DMA-written into pre-posted ring buffers —
+ * invalidating any cached copies, which is why receive-side payload is
+ * always cache-cold — and an interrupt is raised subject to moderation
+ * (min gap between interrupts; the line stays masked until the softirq
+ * drains the ring, NAPI-style).
+ *
+ * TX: the driver posts descriptors; the NIC DMA-reads payloads (snoop
+ * downgrade, no CPU cost) and serializes onto the wire; completions are
+ * written back by DMA and signaled through the same moderated vector.
+ */
+
+#ifndef NETAFFINITY_NET_NIC_HH
+#define NETAFFINITY_NET_NIC_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/net/segment.hh"
+#include "src/net/skb.hh"
+#include "src/net/wire.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+class ExecContext;
+class Kernel;
+} // namespace na::os
+
+namespace na::net {
+
+/** NIC tunables. */
+struct NicConfig
+{
+    int rxRingSize = 256;
+    int txRingSize = 256;
+    /** Minimum ticks between interrupts (moderation / ITR). */
+    sim::Tick irqGapTicks = 32'000; ///< 16 us at 2 GHz
+    /** DMA engine latency from doorbell to wire handoff. */
+    sim::Tick dmaDelayTicks = 6'000; ///< 3 us
+};
+
+/** One NIC port wired to one remote peer. */
+class Nic : public stats::Group
+{
+  public:
+    /** Upstack delivery: called per received frame from softirq. */
+    using RxDeliver = std::function<void(os::ExecContext &,
+                                         const Packet &, const SkBuff &)>;
+    /** TX-completion hook (frees control skbs). */
+    using TxComplete = std::function<void(os::ExecContext &,
+                                          const Packet &)>;
+
+    Nic(stats::Group *parent, const std::string &name, int index,
+        os::Kernel &kernel, SkbPool &pool, Wire &wire,
+        const NicConfig &config = NicConfig{});
+    ~Nic();
+
+    int index() const { return idx; }
+    int irqVector() const { return vector; }
+    sim::Addr mmioAddr() const { return mmio; }
+
+    /** ISR tail hook: the Driver queues this NIC for NET_RX polling. */
+    using IsrHook = std::function<void(os::ExecContext &, Nic &)>;
+
+    /** Install the softirq-side handlers (done by the Driver). */
+    void setRxDeliver(RxDeliver cb) { rxDeliver = std::move(cb); }
+    void setTxComplete(TxComplete cb) { txComplete = std::move(cb); }
+    void setIsrHook(IsrHook cb) { isrHook = std::move(cb); }
+
+    /**
+     * Driver TX entry (e1000_xmit_frame context, already charged by the
+     * caller except the descriptor/doorbell work done here).
+     * @param data_addr payload source for the DMA read (0 for none)
+     * @return false if the TX ring was full (frame dropped)
+     */
+    bool xmitFrame(os::ExecContext &ctx, const Packet &pkt,
+                   sim::Addr data_addr);
+
+    /** ISR top half: ack/mask the device, schedule the bottom half. */
+    void isr(os::ExecContext &ctx);
+
+    /**
+     * Softirq bottom half: clean TX completions and deliver up to
+     * @p budget received frames upstack, replenishing the ring.
+     * @return true if work remains (caller should re-poll).
+     */
+    bool clean(os::ExecContext &ctx, int budget);
+
+    /** @return frames waiting in the RX ring. */
+    int rxPending() const { return static_cast<int>(pendingRx.size()); }
+
+    /** @return true if the device currently has its interrupt masked. */
+    bool irqMasked() const { return masked; }
+
+    stats::Scalar rxFrames;
+    stats::Scalar txFrames;
+    stats::Scalar rxDropsRingFull;
+    stats::Scalar txDropsRingFull;
+    stats::Scalar irqsRaised;
+    stats::Scalar rxReplenishFailures;
+
+  private:
+    struct PendingRx
+    {
+        Packet pkt;
+        SkBuff skb;
+        int descIdx;
+    };
+
+    struct PendingTxDone
+    {
+        Packet pkt;
+        int descIdx;
+    };
+
+    int idx;
+    os::Kernel &kernel;
+    SkbPool &pool;
+    Wire &wire;
+    NicConfig cfg;
+    int vector = -1;
+    /** Per-device TX queue lock (dev->queue_lock). */
+    os::SpinLock txLock;
+
+    sim::Addr mmio = 0;
+    sim::Addr rxDescBase = 0;
+    sim::Addr txDescBase = 0;
+
+    std::vector<SkBuff> rxRingSkbs; ///< pre-posted buffers per desc
+    std::deque<PendingRx> pendingRx;
+    std::deque<PendingTxDone> pendingTxDone;
+    int rxNextDesc = 0;
+    int txNextDesc = 0;
+    int txInFlight = 0;
+
+    bool masked = false;       ///< ISR taken, softirq not yet done
+    sim::Tick nextIrqAllowed = 0;
+    sim::Event *pendingRaise = nullptr; ///< moderation-delay event
+
+    RxDeliver rxDeliver;
+    TxComplete txComplete;
+    IsrHook isrHook;
+
+    void onWirePacket(const Packet &pkt);
+    void requestIrq();
+    void raiseNow();
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_NIC_HH

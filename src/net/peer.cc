@@ -1,0 +1,145 @@
+#include "src/net/peer.hh"
+
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+namespace {
+/** Client-side delayed-ACK latency (fast client boxes, 1 ms). */
+constexpr sim::Tick peerDelackTicks = 2'000'000;
+} // namespace
+
+RemotePeer::RemotePeer(stats::Group *parent, const std::string &name,
+                       sim::EventQueue &eq_ref, Wire &wire_ref,
+                       int conn_id, PeerRole role,
+                       const TcpConfig &tcp_config,
+                       const PeerRpcConfig &rpc_config)
+    : stats::Group(parent, name),
+      segsIn(this, "segs_in", "segments received"),
+      segsOut(this, "segs_out", "segments sent"),
+      eq(eq_ref), wire(wire_ref), connId(conn_id), peerRole(role),
+      conn(tcp_config), rpc(rpc_config),
+      rtoEvent(name + ".rto", [this] {
+          conn.onRtoTimer(eq.now());
+          pump();
+      }),
+      delackEvent(name + ".delack", [this] {
+          std::vector<Segment> replies;
+          conn.onDelackTimer(eq.now(), replies);
+          sendSegments(replies);
+          updateTimers();
+      })
+{
+}
+
+RemotePeer::~RemotePeer()
+{
+    eq.deschedule(&rtoEvent);
+    eq.deschedule(&delackEvent);
+}
+
+void
+RemotePeer::start()
+{
+    conn.openPassive();
+    wire.attachB([this](const Packet &pkt) { onPacket(pkt); });
+}
+
+void
+RemotePeer::sendSegments(const std::vector<Segment> &segs)
+{
+    for (const Segment &seg : segs) {
+        Packet pkt;
+        pkt.connId = connId;
+        pkt.seg = seg;
+        ++segsOut;
+        wire.sendFromB(pkt);
+    }
+}
+
+void
+RemotePeer::updateTimers()
+{
+    // Retransmission timer follows the connection's deadline.
+    const sim::Tick rto = conn.rtoDeadline();
+    if (rto == sim::maxTick) {
+        eq.deschedule(&rtoEvent);
+    } else {
+        const sim::Tick when = rto > eq.now() ? rto : eq.now() + 1;
+        if (!rtoEvent.scheduled() || rtoEvent.when() != when)
+            eq.reschedule(&rtoEvent, when);
+    }
+
+    if (conn.delackPending()) {
+        if (!delackEvent.scheduled())
+            eq.schedule(&delackEvent, eq.now() + peerDelackTicks);
+    } else if (delackEvent.scheduled()) {
+        eq.deschedule(&delackEvent);
+    }
+}
+
+void
+RemotePeer::pump()
+{
+    const bool established = conn.state() == TcpState::Established;
+    if (peerRole == PeerRole::Source && sending && established) {
+        // ttcp transmitter: keep the send buffer brim-full. Bytes are
+        // virtual, so just top it up.
+        const std::uint32_t space = conn.sndBufSpace();
+        if (space)
+            conn.appendSendData(space);
+    }
+    if (peerRole == PeerRole::Requester && sending && established) {
+        // Issue requests up to the pipeline depth.
+        while (rpcInFlight < rpc.pipelineDepth &&
+               conn.sndBufSpace() >= rpc.reqBytes) {
+            conn.appendSendData(rpc.reqBytes);
+            ++rpcInFlight;
+        }
+    }
+    sendSegments(conn.pullSegments(eq.now()));
+    updateTimers();
+}
+
+void
+RemotePeer::onPacket(const Packet &pkt)
+{
+    ++segsIn;
+    std::vector<Segment> replies;
+    conn.onSegment(pkt.seg, eq.now(), replies);
+    sendSegments(replies);
+
+    switch (peerRole) {
+      case PeerRole::Sink:
+        // Consume instantly: the client's read loop is never the
+        // bottleneck.
+        conn.consume(conn.readableBytes());
+        break;
+      case PeerRole::Responder: {
+        // Count whole requests and queue their responses.
+        rpcConsumed += conn.consume(conn.readableBytes());
+        const std::uint64_t total_reqs = rpcConsumed / rpc.reqBytes;
+        while (rpcCompleted < total_reqs) {
+            conn.appendSendData(rpc.respBytes);
+            ++rpcCompleted;
+        }
+        break;
+      }
+      case PeerRole::Requester: {
+        // Count whole responses; pump() issues replacements.
+        rpcConsumed += conn.consume(conn.readableBytes());
+        const std::uint64_t done = rpcConsumed / rpc.respBytes;
+        while (rpcCompleted < done) {
+            ++rpcCompleted;
+            if (rpcInFlight > 0)
+                --rpcInFlight;
+        }
+        break;
+      }
+      case PeerRole::Source:
+        break;
+    }
+    pump();
+}
+
+} // namespace na::net

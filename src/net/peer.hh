@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The remote client machine: protocol-faithful, CPU-cost-free.
+ *
+ * Runs the same TcpConnection engine as the SUT, driven purely by wire
+ * events — the paper's client boxes were provisioned so the SUT was
+ * always the bottleneck, which zero processing cost reproduces exactly.
+ * A Sink consumes everything immediately (ttcp receiver); a Source
+ * keeps its send buffer full forever (ttcp transmitter).
+ */
+
+#ifndef NETAFFINITY_NET_PEER_HH
+#define NETAFFINITY_NET_PEER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/net/tcp_connection.hh"
+#include "src/net/wire.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::net {
+
+/** What the remote end does with the connection. */
+enum class PeerRole
+{
+    Sink,      ///< consume all incoming data (SUT transmits)
+    Source,    ///< send forever (SUT receives)
+    Responder, ///< reply to fixed-size requests (SUT is initiator)
+    Requester, ///< issue fixed-size requests (SUT is server)
+};
+
+/** Request/response geometry for the RPC-style roles. */
+struct PeerRpcConfig
+{
+    /** Bytes per request (Responder: inbound; Requester: outbound). */
+    std::uint32_t reqBytes = 48;
+    /** Bytes per response (Responder: outbound; Requester: inbound). */
+    std::uint32_t respBytes = 48;
+    /** Requester: requests allowed in flight. */
+    int pipelineDepth = 1;
+};
+
+/** One remote ttcp endpoint. */
+class RemotePeer : public stats::Group
+{
+  public:
+    RemotePeer(stats::Group *parent, const std::string &name,
+               sim::EventQueue &eq, Wire &wire, int conn_id,
+               PeerRole role, const TcpConfig &tcp_config = TcpConfig{},
+               const PeerRpcConfig &rpc_config = PeerRpcConfig{});
+    ~RemotePeer();
+
+    /** Passive-open and start serving (call before the SUT connects). */
+    void start();
+
+    /** Stop generating new data (Source role). */
+    void stopSending() { sending = false; }
+
+    PeerRole role() const { return peerRole; }
+    TcpConnection &tcp() { return conn; }
+    const TcpConnection &tcp() const { return conn; }
+
+    /** @return app-level bytes this peer has received (Sink). */
+    std::uint64_t bytesReceived() const { return conn.deliveredBytes(); }
+
+    /** @return app-level bytes the peer has had acked (Source). */
+    std::uint64_t bytesAckedAsSource() const { return conn.ackedBytes(); }
+
+    /** @return requests completed (Responder: answered;
+     *          Requester: responses fully received). */
+    std::uint64_t requestsCompleted() const { return rpcCompleted; }
+
+    stats::Scalar segsIn;
+    stats::Scalar segsOut;
+
+  private:
+    sim::EventQueue &eq;
+    Wire &wire;
+    int connId;
+    PeerRole peerRole;
+    TcpConnection conn;
+    bool sending = true;
+    PeerRpcConfig rpc;
+    std::uint64_t rpcConsumed = 0;  ///< inbound bytes consumed
+    std::uint64_t rpcCompleted = 0; ///< full exchanges finished
+    int rpcInFlight = 0;            ///< Requester: outstanding requests
+
+    sim::LambdaEvent rtoEvent;
+    sim::LambdaEvent delackEvent;
+
+    void onPacket(const Packet &pkt);
+    void pump();
+    void sendSegments(const std::vector<Segment> &segs);
+    void updateTimers();
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_PEER_HH

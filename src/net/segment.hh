@@ -1,0 +1,74 @@
+/**
+ * @file
+ * TCP segments and wire packets.
+ *
+ * Payload bytes are *virtual*: the simulator transports byte counts and
+ * sequence numbers, not data. Sequence numbers are 64-bit monotonic
+ * (no 32-bit wrap modeling) — the protocol logic under study does not
+ * depend on wrap behaviour.
+ */
+
+#ifndef NETAFFINITY_NET_SEGMENT_HH
+#define NETAFFINITY_NET_SEGMENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace na::net {
+
+/** TCP header flags. */
+enum SegFlags : std::uint8_t
+{
+    flagSyn = 1 << 0,
+    flagAck = 1 << 1,
+    flagFin = 1 << 2,
+    flagRst = 1 << 3,
+};
+
+/** One TCP segment (header fields the model uses). */
+struct Segment
+{
+    std::uint64_t seq = 0;  ///< first payload byte's sequence number
+    std::uint64_t ack = 0;  ///< next expected byte (valid if flagAck)
+    std::uint32_t len = 0;  ///< payload bytes
+    std::uint32_t wnd = 0;  ///< advertised receive window (bytes)
+    std::uint8_t flags = 0;
+
+    bool syn() const { return flags & flagSyn; }
+    bool hasAck() const { return flags & flagAck; }
+    bool fin() const { return flags & flagFin; }
+    bool rst() const { return flags & flagRst; }
+
+    /** @return sequence space consumed (payload + SYN/FIN). */
+    std::uint64_t
+    seqSpace() const
+    {
+        return len + (syn() ? 1 : 0) + (fin() ? 1 : 0);
+    }
+
+    std::string describe() const;
+};
+
+/** A segment in flight on a wire, tagged for demux and completion. */
+struct Packet
+{
+    int connId = -1;    ///< flow identifier (stands in for the 5-tuple)
+    Segment seg;
+    /**
+     * Sender-side skb slot to free at TX completion (pure ACKs and
+     * control segments); -1 when the skb lives until acked.
+     */
+    int freeSlotOnTxComplete = -1;
+
+    /** @return on-wire frame bytes incl. Ethernet/IP/TCP overhead. */
+    std::uint32_t
+    wireBytes() const
+    {
+        // 14 MAC + 20 IP + 32 TCP(w/ timestamps) + 4 FCS + preamble/IFG
+        return seg.len + 90;
+    }
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_SEGMENT_HH

@@ -1,0 +1,145 @@
+#include "src/net/skb.hh"
+
+#include <algorithm>
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+SkbPool::SkbPool(stats::Group *parent, os::Kernel &kernel_ref,
+                 int slot_count)
+    : stats::Group(parent, "skb_pool"),
+      allocs(this, "allocs", "skbs allocated"),
+      frees(this, "frees", "skbs freed"),
+      exhausted(this, "exhausted", "allocations that failed"),
+      refills(this, "refills", "front-cache refills"),
+      flushes(this, "flushes", "front-cache flushes"),
+      kernel(kernel_ref),
+      numSlots(slot_count),
+      freeListHeadAddr(
+          kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64)),
+      lock(this, "lock", prof::FuncId::LockSkbPool,
+           kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64))
+{
+    slots.reserve(static_cast<std::size_t>(numSlots));
+    freeList.reserve(static_cast<std::size_t>(numSlots));
+    for (int i = 0; i < numSlots; ++i) {
+        SkBuff s;
+        s.slot = i;
+        s.structAddr =
+            kernel.addressSpace().alloc(mem::Region::SkbSlab, structBytes);
+        s.dataAddr =
+            kernel.addressSpace().alloc(mem::Region::SkbSlab, dataBytes);
+        slots.push_back(s);
+    }
+    for (int i = numSlots - 1; i >= 0; --i)
+        freeList.push_back(i);
+
+    cpuFront.resize(static_cast<std::size_t>(kernel.numCpus()));
+    for (int c = 0; c < kernel.numCpus(); ++c) {
+        frontHeadAddr.push_back(
+            kernel.addressSpace().alloc(mem::Region::KernelData, 64));
+    }
+}
+
+SkBuff
+SkbPool::allocRaw()
+{
+    if (freeList.empty()) {
+        ++exhausted;
+        return SkBuff{};
+    }
+    const int idx = freeList.back();
+    freeList.pop_back();
+    return slots[static_cast<std::size_t>(idx)];
+}
+
+int
+SkbPool::freeCount() const
+{
+    int n = static_cast<int>(freeList.size());
+    for (const auto &front : cpuFront)
+        n += static_cast<int>(front.size());
+    return n;
+}
+
+SkBuff
+SkbPool::alloc(os::ExecContext &ctx)
+{
+    auto &front = cpuFront[static_cast<std::size_t>(ctx.cpuId())];
+
+    if (front.empty()) {
+        // Refill a batch from the shared list under the slab lock.
+        ctx.lockAcquire(lock);
+        const int take = std::min<int>(batchSize,
+                                       static_cast<int>(freeList.size()));
+        for (int i = 0; i < take; ++i) {
+            front.push_back(freeList.back());
+            freeList.pop_back();
+        }
+        ctx.charge(prof::FuncId::AllocSkb,
+                   30 + 4 * static_cast<std::uint64_t>(take),
+                   {cpu::MemTouch{freeListHeadAddr, 16, true}});
+        ctx.lockRelease(lock);
+        if (take > 0)
+            ++refills;
+    }
+
+    if (front.empty()) {
+        ++exhausted;
+        ctx.charge(prof::FuncId::AllocSkb, 20,
+                   {cpu::MemTouch{
+                       frontHeadAddr[static_cast<std::size_t>(
+                           ctx.cpuId())],
+                       16, false}});
+        return SkBuff{};
+    }
+
+    const int idx = front.back();
+    front.pop_back();
+    const SkBuff &skb = slots[static_cast<std::size_t>(idx)];
+    ++allocs;
+    // alloc_skb: pop the front cache, initialize the sk_buff header.
+    ctx.charge(prof::FuncId::AllocSkb, 260,
+               {cpu::MemTouch{frontHeadAddr[static_cast<std::size_t>(
+                                  ctx.cpuId())],
+                              16, true},
+                cpu::MemTouch{skb.structAddr, 160, true}});
+    return skb;
+}
+
+void
+SkbPool::free(os::ExecContext &ctx, const SkBuff &skb)
+{
+    if (!skb.valid())
+        sim::panic("freeing invalid skb");
+
+    auto &front = cpuFront[static_cast<std::size_t>(ctx.cpuId())];
+
+    // kfree_skb: refcount/destructor work plus the front-cache push.
+    ctx.charge(prof::FuncId::KfreeSkb, 220,
+               {cpu::MemTouch{skb.structAddr, 96, true},
+                cpu::MemTouch{frontHeadAddr[static_cast<std::size_t>(
+                                  ctx.cpuId())],
+                              16, true}});
+    front.push_back(skb.slot);
+    ++frees;
+
+    if (static_cast<int>(front.size()) > 2 * batchSize) {
+        // Flush the older half back to the shared list.
+        ctx.lockAcquire(lock);
+        for (int i = 0; i < batchSize; ++i) {
+            freeList.push_back(front.front());
+            front.erase(front.begin());
+        }
+        ctx.charge(prof::FuncId::KfreeSkb,
+                   20 + 4 * batchSize,
+                   {cpu::MemTouch{freeListHeadAddr, 16, true}});
+        ctx.lockRelease(lock);
+        ++flushes;
+    }
+}
+
+} // namespace na::net

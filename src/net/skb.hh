@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Socket buffers and their slab allocator.
+ *
+ * Each slot pairs a 256-byte sk_buff struct with a 2 KiB data buffer at
+ * fixed simulated addresses. Like the Linux 2.4 slab (its per-CPU
+ * "cpucache" arrays), every CPU owns a LIFO front cache refilled from /
+ * flushed to the shared freelist in batches under the slab lock. A
+ * buffer freed hot on a CPU is therefore reused hot *on that CPU* —
+ * unless the stack's halves run on different CPUs, which is precisely
+ * the buffer-management locality the paper's full-affinity mode wins
+ * back (Table 3's Buf Mgmt row).
+ */
+
+#ifndef NETAFFINITY_NET_SKB_HH
+#define NETAFFINITY_NET_SKB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/addr_alloc.hh"
+#include "src/os/spinlock.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+class ExecContext;
+class Kernel;
+} // namespace na::os
+
+namespace na::net {
+
+/** Handle to one allocated skb slot. */
+struct SkBuff
+{
+    int slot = -1;
+    sim::Addr structAddr = 0;
+    sim::Addr dataAddr = 0;
+
+    bool valid() const { return slot >= 0; }
+};
+
+/** Slab-style sk_buff allocator shared by the whole stack. */
+class SkbPool : public stats::Group
+{
+  public:
+    static constexpr std::uint32_t structBytes = 256;
+    static constexpr std::uint32_t dataBytes = 2048;
+    /** Batch size moved between a CPU front and the shared list. */
+    static constexpr int batchSize = 32;
+
+    /**
+     * @param slots pool capacity; sized for sndbufs + RX rings
+     */
+    SkbPool(stats::Group *parent, os::Kernel &kernel, int slots);
+
+    /**
+     * Allocate a slot from the executing CPU's front cache (refilling
+     * from the shared list when empty), charging alloc_skb work.
+     */
+    SkBuff alloc(os::ExecContext &ctx);
+
+    /** Free a slot to the CPU's front cache, charging kfree_skb work. */
+    void free(os::ExecContext &ctx, const SkBuff &skb);
+
+    /** Uncharged allocation for pre-run setup (RX ring priming). */
+    SkBuff allocRaw();
+
+    /** @return the (static) SkBuff handle of @p slot. */
+    const SkBuff &slotRef(int slot) const { return slots.at(slot); }
+
+    /** @return free slots across the shared list and all fronts. */
+    int freeCount() const;
+
+    int capacity() const { return numSlots; }
+
+    stats::Scalar allocs;
+    stats::Scalar frees;
+    stats::Scalar exhausted;   ///< failed allocations
+    stats::Scalar refills;     ///< front refills from the shared list
+    stats::Scalar flushes;     ///< front flushes to the shared list
+
+  private:
+    os::Kernel &kernel;
+    int numSlots;
+    std::vector<SkBuff> slots;
+    std::vector<int> freeList; ///< shared LIFO
+    std::vector<std::vector<int>> cpuFront; ///< per-CPU LIFO fronts
+    std::vector<sim::Addr> frontHeadAddr;   ///< per-CPU metadata lines
+    sim::Addr freeListHeadAddr; ///< the shared slab's metadata line
+    os::SpinLock lock;
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_SKB_HH

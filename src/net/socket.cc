@@ -1,0 +1,541 @@
+#include "src/net/socket.hh"
+
+#include <algorithm>
+
+#include "src/net/driver.hh"
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+namespace {
+/** Payload offset within an RX frame buffer (MAC+IP+TCP headers). */
+constexpr std::uint32_t rxHeaderBytes = 64;
+/** Delayed-ACK timeout (Linux 2.4 minimum, 40 ms at 2 GHz). */
+constexpr sim::Tick delackTicks = 80'000'000;
+} // namespace
+
+Socket::Socket(stats::Group *parent, const std::string &name,
+               os::Kernel &kernel_ref, Driver &driver_ref,
+               SkbPool &pool_ref, int conn_id,
+               const TcpConfig &tcp_config)
+    : stats::Group(parent, name),
+      appBytesSent(this, "app_bytes_sent", "bytes accepted from app"),
+      appBytesRead(this, "app_bytes_read", "bytes returned to app"),
+      segsIn(this, "segs_in", "segments received"),
+      segsOut(this, "segs_out", "segments transmitted"),
+      kernel(kernel_ref), driver(driver_ref), pool(pool_ref),
+      id(conn_id), conn(tcp_config),
+      sk(kernel_ref.addressSpace().alloc(mem::Region::KernelData, 1536)),
+      routeLine(
+          kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64)),
+      lock(this, "lock", prof::FuncId::LockSock,
+           kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64))
+{
+}
+
+void
+Socket::chargeCopyFromUser(os::ExecContext &ctx, sim::Addr src,
+                           sim::Addr dst, std::uint32_t bytes)
+{
+    // Rolled-out aligned copy loop: ~0.5 instructions per byte, reads
+    // the (usually warm) user buffer, writes the skb data area.
+    cpu::MemTouch touches[2] = {
+        {src, bytes, false},
+        {dst, bytes, true},
+    };
+    cpu::ChargeSpec spec;
+    spec.func = prof::FuncId::CopyFromUser;
+    spec.instructions = 40 + bytes * 5 / 8;
+    if (!conn.config().checksumOffload) {
+        // csum_partial_copy_from_user: fold the checksum into the copy
+        // loop (one extra add-with-carry per word).
+        spec.instructions += bytes / 4;
+    }
+    spec.touches = std::span<const cpu::MemTouch>(touches, 2);
+    spec.overlap = 0.3; // store-buffer drains overlap deeply on streaming writes
+    ctx.chargeSpec(spec);
+}
+
+void
+Socket::chargeCopyToUser(os::ExecContext &ctx, sim::Addr src,
+                         sim::Addr dst, std::uint32_t bytes)
+{
+    // rep movl-style microcoded copy: very few retired instructions,
+    // every source line cold (DMA invalidated it).
+    cpu::MemTouch touches[2] = {
+        {src, bytes, false},
+        {dst, bytes, true},
+    };
+    cpu::ChargeSpec spec;
+    spec.func = prof::FuncId::CopyToUser;
+    spec.instructions = 60 + bytes / 8;
+    if (!conn.config().checksumOffload) {
+        // csum_partial + copy on receive when the NIC cannot verify.
+        spec.instructions += bytes / 4;
+    }
+    // P4 rep-movl on arbitrary alignment crawls ~1 byte/cycle beyond
+    // the miss stalls (the paper's CPI-66 copy).
+    spec.extraCycles = static_cast<std::uint64_t>(bytes) * 2;
+    spec.touches = std::span<const cpu::MemTouch>(touches, 2);
+    spec.overlap = 1.0; // hardware overlaps nothing: unaligned rep
+    ctx.chargeSpec(spec);
+}
+
+void
+Socket::sockLockWindow(os::ExecContext &ctx)
+{
+    // lock_sock / release_sock: the socket spinlock itself is held only
+    // for a flag flip; mutual exclusion of the halves comes from the
+    // owner flag + backlog in the real kernel and from dispatch
+    // atomicity here. The lock word still bounces between CPUs.
+    ctx.lockAcquire(lock);
+    ctx.lockRelease(lock);
+}
+
+void
+Socket::connect(os::ExecContext &ctx)
+{
+    if (!ctx.task)
+        sim::panic("socket connect outside task context");
+    ctx.charge(prof::FuncId::SockSendmsg, 200,
+               {cpu::MemTouch{sk, 256, true}});
+    sockLockWindow(ctx);
+    conn.openActive();
+    tcpPush(ctx);
+    writers.sleepOn(ctx.task);
+}
+
+std::uint32_t
+Socket::send(os::ExecContext &ctx, sim::Addr user_buf, std::uint32_t len)
+{
+    ctx.charge(prof::FuncId::SockSendmsg, 350,
+               {cpu::MemTouch{sk, 128, false}});
+    sockLockWindow(ctx);
+
+    // tcp_sendmsg: per-call protocol bookkeeping.
+    ctx.charge(prof::FuncId::TcpSendmsg, 260,
+               {cpu::MemTouch{sk, 320, true}});
+
+    const std::uint32_t mss = conn.config().mss;
+    std::uint32_t accepted = 0;
+    bool out_of_space = false;
+
+    // Bound the work per entry so interrupts and the other CPU's
+    // softirq interleave at a few-segment granularity, as they would
+    // on real concurrent hardware.
+    int skbs_this_call = 0;
+    constexpr int maxSkbsPerCall = 4;
+
+    while (accepted < len && skbs_this_call < maxSkbsPerCall) {
+        const std::uint32_t space = conn.sndBufSpace();
+        if (space == 0) {
+            out_of_space = true;
+            break;
+        }
+
+        // Coalesce into the last skb when it still has unsent tailroom
+        // (Linux appends to the write-queue tail past tcp_send_head).
+        bool coalesced = false;
+        if (!txQueue.empty()) {
+            TxSkb &last = txQueue.back();
+            const std::uint64_t last_end = last.seqStart + last.len;
+            if (last_end == conn.sndPushedAbs() &&
+                last_end > conn.sndNxtAbs() && last.len < mss) {
+                const std::uint32_t room = mss - last.len;
+                const std::uint32_t n = std::min(
+                    {room, len - accepted, space});
+                ctx.charge(prof::FuncId::TcpSendmsg, 60,
+                           {cpu::MemTouch{last.skb.structAddr, 48,
+                                          true}});
+                chargeCopyFromUser(ctx, user_buf + accepted,
+                                   last.skb.dataAddr + last.len, n);
+                conn.appendSendData(n);
+                last.len += n;
+                accepted += n;
+                coalesced = true;
+            }
+        }
+        if (coalesced)
+            continue;
+
+        SkBuff skb = pool.alloc(ctx);
+        if (!skb.valid())
+            break; // slab exhausted: behave like a full sndbuf
+
+        const std::uint32_t n =
+            std::min({mss, len - accepted, space});
+        ctx.charge(prof::FuncId::TcpMemSchedule, 100,
+                   {cpu::MemTouch{sk, 64, true}});
+        ctx.charge(prof::FuncId::SkbQueueOps, 100,
+                   {cpu::MemTouch{skb.structAddr, 48, true},
+                    cpu::MemTouch{sk + 640, 64, true}});
+        const std::uint64_t seq_start = conn.sndPushedAbs();
+        chargeCopyFromUser(ctx, user_buf + accepted, skb.dataAddr, n);
+        conn.appendSendData(n);
+        txQueue.push_back(TxSkb{skb, seq_start, n});
+        accepted += n;
+        ++skbs_this_call;
+    }
+
+    tcpPush(ctx);
+    sockLockWindow(ctx);
+
+    if (out_of_space && accepted < len) {
+        // Blocking write: the syscall sleeps until sk_stream_write_space
+        // opens enough room (it does NOT return a short count).
+        if (!ctx.task)
+            sim::panic("blocking send outside task context");
+        writers.sleepOn(ctx.task);
+    }
+    appBytesSent += accepted;
+    return accepted;
+}
+
+int
+Socket::recv(os::ExecContext &ctx, sim::Addr user_buf, std::uint32_t len)
+{
+    ctx.charge(prof::FuncId::SockRecvmsg, 350,
+               {cpu::MemTouch{sk, 128, false}});
+    sockLockWindow(ctx);
+    ctx.charge(prof::FuncId::TcpRecvmsg, 350,
+               {cpu::MemTouch{sk, 128, true}});
+
+    if (rxQueue.empty()) {
+        const bool eof = conn.finReceived();
+        if (eof)
+            return -1;
+        if (!ctx.task)
+            sim::panic("blocking recv outside task context");
+        readers.sleepOn(ctx.task);
+        return 0;
+    }
+
+    std::uint32_t copied = 0;
+    int chunks_this_call = 0;
+    constexpr int maxChunksPerCall = 16;
+    while (copied < len && !rxQueue.empty() &&
+           chunks_this_call < maxChunksPerCall) {
+        RxChunk &chunk = rxQueue.front();
+        const std::uint32_t avail = chunk.len - chunk.consumed;
+        const std::uint32_t take =
+            std::min(avail, len - copied);
+        chargeCopyToUser(ctx,
+                         chunk.skb.dataAddr + chunk.headerOffset +
+                             chunk.consumed,
+                         user_buf + copied, take);
+        chunk.consumed += take;
+        copied += take;
+        ++chunks_this_call;
+        if (chunk.consumed == chunk.len) {
+            ctx.charge(prof::FuncId::SkbQueueOps, 100,
+                       {cpu::MemTouch{chunk.skb.structAddr, 32, true},
+                        cpu::MemTouch{sk + 704, 64, true}});
+            pool.free(ctx, chunk.skb);
+            rxQueue.pop_front();
+        }
+    }
+
+    conn.consume(copied);
+    // Consuming may re-open the advertised window enough to require an
+    // update ACK (tcp_select_window decides inside pullSegments).
+    tcpPush(ctx);
+    sockLockWindow(ctx);
+
+    appBytesRead += copied;
+    return static_cast<int>(copied);
+}
+
+void
+Socket::close(os::ExecContext &ctx)
+{
+    sockLockWindow(ctx);
+    conn.close();
+    tcpPush(ctx);
+}
+
+void
+Socket::tcpPush(os::ExecContext &ctx)
+{
+    std::vector<Segment> segs =
+        conn.pullSegments(ctx.proc.dispatchStart());
+    bool sent_data = false;
+    for (const Segment &seg : segs) {
+        transmitSegment(ctx, seg);
+        if (seg.len > 0)
+            sent_data = true;
+    }
+    (void)sent_data;
+    armRetransmitTimer(ctx);
+    armDelackTimer(ctx);
+}
+
+void
+Socket::transmitSegment(os::ExecContext &ctx, const Segment &seg)
+{
+    ++segsOut;
+    Packet pkt;
+    pkt.connId = id;
+    pkt.seg = seg;
+
+    sim::Addr data_addr = 0;
+    if (seg.len > 0) {
+        // Locate the skb providing this payload range.
+        const TxSkb *owner = nullptr;
+        for (const TxSkb &t : txQueue) {
+            if (seg.seq >= t.seqStart && seg.seq < t.seqStart + t.len) {
+                owner = &t;
+                break;
+            }
+        }
+        if (!owner)
+            sim::panic("socket %d: no skb for seq %llu", id,
+                       (unsigned long long)seg.seq);
+        data_addr =
+            owner->skb.dataAddr + (seg.seq - owner->seqStart);
+
+        // tcp_transmit_skb re-arms the retransmission timer per
+        // transmitted data segment (mod_timer).
+        ctx.charge(prof::FuncId::TcpResetXmitTimer, 60,
+                   {cpu::MemTouch{sk + 512, 32, true}});
+
+        ctx.charge(prof::FuncId::TcpTransmitSkb, 500,
+                   {cpu::MemTouch{owner->skb.structAddr, 64, true},
+                    cpu::MemTouch{sk + 768, 320, true},
+                    cpu::MemTouch{owner->skb.dataAddr, 40, true}});
+    } else {
+        // Pure ACK / SYN / FIN: a fresh control skb carries it.
+        SkBuff ack_skb = pool.alloc(ctx);
+        if (ack_skb.valid()) {
+            pkt.freeSlotOnTxComplete = ack_skb.slot;
+            data_addr = ack_skb.dataAddr;
+            ctx.charge(prof::FuncId::TcpSelectWindow, 100,
+                       {cpu::MemTouch{sk, 64, false}});
+            ctx.charge(prof::FuncId::TcpTransmitSkb, 400,
+                       {cpu::MemTouch{ack_skb.structAddr, 64, true},
+                        cpu::MemTouch{ack_skb.dataAddr, 40, true}});
+        }
+    }
+
+    ctx.charge(prof::FuncId::IpQueueXmit, 200,
+               {cpu::MemTouch{routeLine, 32, false}});
+    driver.transmit(ctx, id, pkt, data_addr);
+}
+
+std::uint64_t
+Socket::reapAckedSkbs(os::ExecContext &ctx)
+{
+    std::uint64_t freed = 0;
+    const std::uint64_t una = conn.sndUnaAbs();
+    while (!txQueue.empty()) {
+        const TxSkb &front = txQueue.front();
+        if (front.seqStart + front.len > una)
+            break;
+        ctx.charge(prof::FuncId::SockWfree, 130,
+                   {cpu::MemTouch{sk, 64, true}});
+        pool.free(ctx, front.skb);
+        freed += front.len;
+        txQueue.pop_front();
+    }
+    return freed;
+}
+
+void
+Socket::promoteInOrder(os::ExecContext &ctx)
+{
+    while (!oooStash.empty()) {
+        auto it = oooStash.begin();
+        const std::uint64_t seq = it->first;
+        if (promotedEnd == 0) {
+            // The floor is the peer's first payload sequence number;
+            // unknown until the handshake finishes.
+            if (conn.firstDataSeq() == 0)
+                break;
+            promotedEnd = conn.firstDataSeq();
+        }
+        if (seq > promotedEnd)
+            break; // gap: wait for the retransmission
+        RxChunk chunk = it->second;
+        oooStash.erase(it);
+        const std::uint64_t end = seq + chunk.len;
+        if (end <= promotedEnd) {
+            pool.free(ctx, chunk.skb); // fully covered duplicate
+            continue;
+        }
+        const auto skip = static_cast<std::uint32_t>(promotedEnd - seq);
+        chunk.headerOffset += skip;
+        chunk.len -= skip;
+        rxQueue.push_back(chunk);
+        promotedEnd += chunk.len;
+    }
+}
+
+void
+Socket::onSegmentSoftirq(os::ExecContext &ctx, const Packet &pkt,
+                         const SkBuff &skb)
+{
+    ++segsIn;
+    const bool was_established = established();
+
+    sockLockWindow(ctx);
+    ctx.charge(prof::FuncId::TcpV4Rcv, 350,
+               {cpu::MemTouch{skb.dataAddr, 40, false},
+                cpu::MemTouch{sk, 352, true}});
+    // The 2.4 receive bottom half timestamps every arriving *data*
+    // packet (the paper notes no corresponding use on the TX path).
+    if (pkt.seg.len > 0) {
+        ctx.charge(prof::FuncId::DoGettimeofday, 350,
+                   {cpu::MemTouch{kernel.xtimeAddr(), 8, false}});
+    }
+
+    std::vector<Segment> replies;
+    conn.onSegment(pkt.seg, ctx.proc.dispatchStart(), replies);
+
+    bool keep_skb = false;
+
+    if (pkt.seg.hasAck()) {
+        ctx.charge(prof::FuncId::TcpAck, 320,
+                   {cpu::MemTouch{sk + 256, 320, true}});
+        const std::uint64_t freed = reapAckedSkbs(ctx);
+        // sk_stream_write_space: wake the writer only once a third of
+        // the send buffer is free — the hysteresis that produces real
+        // block/wake cycles instead of a byte-trickle poll loop.
+        if (freed > 0 && !writers.empty() &&
+            conn.sndBufSpace() >= conn.config().sndBufBytes / 3) {
+            kernel.wakeUpOne(ctx, writers);
+        }
+    }
+
+    if (pkt.seg.len > 0) {
+        ctx.charge(prof::FuncId::TcpRcvEst, 560,
+                   {cpu::MemTouch{skb.dataAddr, 40, false},
+                    cpu::MemTouch{sk + 384, 256, true}});
+        ctx.charge(prof::FuncId::TcpDataQueue, 280,
+                   {cpu::MemTouch{skb.structAddr, 48, true},
+                    cpu::MemTouch{sk, 64, true}});
+
+        std::uint64_t seq = pkt.seg.seq;
+        RxChunk chunk{skb, pkt.seg.len, 0, rxHeaderBytes};
+
+        // Trim the prefix already promoted to the receive queue
+        // (retransmissions that partially overlap delivered data).
+        if (promotedEnd != 0 && seq < promotedEnd) {
+            const std::uint64_t dup = promotedEnd - seq;
+            if (dup >= chunk.len) {
+                pool.free(ctx, skb); // entirely duplicate
+                keep_skb = true;     // already freed
+                chunk.len = 0;
+            } else {
+                const auto skip = static_cast<std::uint32_t>(dup);
+                chunk.headerOffset += skip;
+                chunk.len -= skip;
+                seq += dup;
+            }
+        }
+
+        if (chunk.len > 0) {
+            auto [it, inserted] = oooStash.emplace(seq, chunk);
+            if (!inserted) {
+                // Same start: keep whichever covers more.
+                if (chunk.len > it->second.len) {
+                    pool.free(ctx, it->second.skb);
+                    it->second = chunk;
+                } else {
+                    pool.free(ctx, skb);
+                }
+            }
+            keep_skb = true;
+        }
+
+        const std::size_t before = rxQueue.size();
+        promoteInOrder(ctx);
+        if (rxQueue.size() > before && !readers.empty())
+            kernel.wakeUpOne(ctx, readers);
+    }
+
+    if (!keep_skb) {
+        // Control frame (ACK/SYN/FIN with no payload): consumed here.
+        pool.free(ctx, skb);
+    }
+
+    if (!was_established && established() && !writers.empty()) {
+        // connect() completed.
+        kernel.wakeUpAll(ctx, writers);
+    }
+    if (conn.finReceived() && !readers.empty())
+        kernel.wakeUpAll(ctx, readers);
+
+    for (const Segment &r : replies) {
+        if (r.hasAck() && r.len == 0) {
+            ctx.charge(prof::FuncId::TcpSelectWindow, 100,
+                       {cpu::MemTouch{sk, 64, false}});
+        }
+        transmitSegment(ctx, r);
+    }
+
+    // ACKs may have opened the window for queued data.
+    tcpPush(ctx);
+    sockLockWindow(ctx);
+}
+
+void
+Socket::onTxComplete(os::ExecContext &ctx, const Packet &pkt)
+{
+    if (pkt.freeSlotOnTxComplete >= 0)
+        pool.free(ctx, pool.slotRef(pkt.freeSlotOnTxComplete));
+}
+
+void
+Socket::armRetransmitTimer(os::ExecContext &ctx)
+{
+    const sim::Tick deadline = conn.rtoDeadline();
+    if (deadline == sim::maxTick || rtxTimer != os::invalidTimer)
+        return;
+    const sim::Tick now = ctx.proc.dispatchStart();
+    rtxTimer = kernel.timers().arm(
+        ctx.cpuId(), deadline > now ? deadline : now + 1,
+        [this](os::ExecContext &tctx) { onRetransmitTimer(tctx); });
+}
+
+void
+Socket::onRetransmitTimer(os::ExecContext &ctx)
+{
+    rtxTimer = os::invalidTimer;
+    ctx.lockAcquire(lock);
+    const sim::Tick now = ctx.proc.dispatchStart();
+    const sim::Tick deadline = conn.rtoDeadline();
+    if (deadline != sim::maxTick && deadline <= now) {
+        conn.onRtoTimer(now);
+        tcpPush(ctx);
+    }
+    ctx.lockRelease(lock);
+    // Lazy re-arm at the (possibly pushed-out) new deadline.
+    armRetransmitTimer(ctx);
+}
+
+void
+Socket::armDelackTimer(os::ExecContext &ctx)
+{
+    if (!conn.delackPending() || delackTimer != os::invalidTimer)
+        return;
+    delackTimer = kernel.timers().arm(
+        ctx.cpuId(), ctx.proc.dispatchStart() + delackTicks,
+        [this](os::ExecContext &tctx) { onDelackTimerFired(tctx); });
+}
+
+void
+Socket::onDelackTimerFired(os::ExecContext &ctx)
+{
+    delackTimer = os::invalidTimer;
+    ctx.lockAcquire(lock);
+    ctx.charge(prof::FuncId::TcpDelackTimer, 60,
+               {cpu::MemTouch{sk, 64, true}});
+    std::vector<Segment> replies;
+    conn.onDelackTimer(ctx.proc.dispatchStart(), replies);
+    for (const Segment &r : replies)
+        transmitSegment(ctx, r);
+    ctx.lockRelease(lock);
+}
+
+} // namespace na::net

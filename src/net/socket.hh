@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The SUT-side BSD socket: the charged wrapper around TcpConnection.
+ *
+ * Everything the paper's functional bins measure happens here and in the
+ * Driver: interface work at the syscall boundary, TCP engine work per
+ * segment, buffer management against the skb slab, payload copies that
+ * touch the simulated caches, lock acquisitions on the socket lock, and
+ * timer arming. The process half (send/recv, task context) and the
+ * softirq half (onSegmentSoftirq, interrupt CPU) contend for the same
+ * socket lock and cache lines — which is the whole affinity story.
+ */
+
+#ifndef NETAFFINITY_NET_SOCKET_HH
+#define NETAFFINITY_NET_SOCKET_HH
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/skb.hh"
+#include "src/net/tcp_connection.hh"
+#include "src/os/spinlock.hh"
+#include "src/os/task.hh"
+#include "src/os/timer_list.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+class ExecContext;
+class Kernel;
+} // namespace na::os
+
+namespace na::net {
+
+class Driver;
+
+/** One established TCP socket on the system under test. */
+class Socket : public stats::Group
+{
+  public:
+    Socket(stats::Group *parent, const std::string &name,
+           os::Kernel &kernel, Driver &driver, SkbPool &pool,
+           int conn_id, const TcpConfig &tcp_config = TcpConfig{});
+
+    int connId() const { return id; }
+    TcpConnection &tcp() { return conn; }
+    const TcpConnection &tcp() const { return conn; }
+    sim::Addr skAddr() const { return sk; }
+
+    /** @name Task-context API (blocking BSD semantics) @{ */
+    /** Active open; the caller's task sleeps until established. */
+    void connect(os::ExecContext &ctx);
+
+    bool established() const
+    {
+        return conn.state() == TcpState::Established;
+    }
+
+    /**
+     * sendmsg: copy as much of [user_buf, user_buf+len) into the socket
+     * as fits, transmit what the windows allow.
+     * @return bytes accepted; 0 means the task went to sleep.
+     */
+    std::uint32_t send(os::ExecContext &ctx, sim::Addr user_buf,
+                       std::uint32_t len);
+
+    /**
+     * recvmsg: copy available in-order data to the user buffer.
+     * @return bytes read; 0 means the task went to sleep; -1 means EOF.
+     */
+    int recv(os::ExecContext &ctx, sim::Addr user_buf, std::uint32_t len);
+
+    /** Application close (FIN). */
+    void close(os::ExecContext &ctx);
+    /** @} */
+
+    /** @name Softirq-context API (called by the Driver) @{ */
+    /** Full receive path for one demuxed frame. */
+    void onSegmentSoftirq(os::ExecContext &ctx, const Packet &pkt,
+                          const SkBuff &skb);
+
+    /** TX-completion: free control skbs. */
+    void onTxComplete(os::ExecContext &ctx, const Packet &pkt);
+    /** @} */
+
+    /** @name Statistics @{ */
+    stats::Scalar appBytesSent;    ///< accepted from the application
+    stats::Scalar appBytesRead;    ///< returned to the application
+    stats::Scalar segsIn;
+    stats::Scalar segsOut;
+    /** @} */
+
+  private:
+    /** Send-queue entry: one skb covering a payload seq range. */
+    struct TxSkb
+    {
+        SkBuff skb;
+        std::uint64_t seqStart;
+        std::uint32_t len;
+    };
+
+    /** Receive-queue entry: delivered in-order data awaiting read(). */
+    struct RxChunk
+    {
+        SkBuff skb;
+        std::uint32_t len;
+        std::uint32_t consumed;
+        std::uint32_t headerOffset;
+    };
+
+    os::Kernel &kernel;
+    Driver &driver;
+    SkbPool &pool;
+    int id;
+    TcpConnection conn;
+    sim::Addr sk;        ///< struct sock (1.5 KiB)
+    sim::Addr routeLine; ///< dst cache entry
+    os::SpinLock lock;
+    os::WaitQueue readers;
+    os::WaitQueue writers;
+
+    std::deque<TxSkb> txQueue;
+    std::deque<RxChunk> rxQueue;
+    /** Out-of-order skbs stashed until the gap fills: seq -> entry. */
+    std::map<std::uint64_t, RxChunk> oooStash;
+    /** Sequence number one past the last byte promoted to rxQueue. */
+    std::uint64_t promotedEnd = 0;
+
+    os::TimerId rtxTimer = os::invalidTimer;
+    os::TimerId delackTimer = os::invalidTimer;
+
+    /** Brief lock_sock/release_sock spinlock window. */
+    void sockLockWindow(os::ExecContext &ctx);
+
+    /** Pull transmittable segments and hand them to the driver. */
+    void tcpPush(os::ExecContext &ctx);
+
+    /** Charge + transmit one segment. */
+    void transmitSegment(os::ExecContext &ctx, const Segment &seg);
+
+    /** Free fully-acked skbs; @return bytes worth of skbs freed. */
+    std::uint64_t reapAckedSkbs(os::ExecContext &ctx);
+
+    /** Move stashed/new chunks that became in-order onto rxQueue. */
+    void promoteInOrder(os::ExecContext &ctx);
+
+    void armRetransmitTimer(os::ExecContext &ctx);
+    void armDelackTimer(os::ExecContext &ctx);
+    void onRetransmitTimer(os::ExecContext &ctx);
+    void onDelackTimerFired(os::ExecContext &ctx);
+
+    /** Charge a TX-side payload copy (user -> skb). */
+    void chargeCopyFromUser(os::ExecContext &ctx, sim::Addr src,
+                            sim::Addr dst, std::uint32_t bytes);
+
+    /** Charge an RX-side payload copy (skb -> user, always cold). */
+    void chargeCopyToUser(os::ExecContext &ctx, sim::Addr src,
+                          sim::Addr dst, std::uint32_t bytes);
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_SOCKET_HH

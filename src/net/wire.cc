@@ -1,0 +1,70 @@
+#include "src/net/wire.hh"
+
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+Wire::Wire(stats::Group *parent, const std::string &name,
+           sim::EventQueue &eq_ref, double freq_hz, double bits_per_sec,
+           sim::Tick latency_ticks, double loss_prob, std::uint64_t seed)
+    : stats::Group(parent, name),
+      pktsAtoB(this, "pkts_a_to_b", "packets SUT -> peer"),
+      pktsBtoA(this, "pkts_b_to_a", "packets peer -> SUT"),
+      bytesAtoB(this, "bytes_a_to_b", "payload bytes SUT -> peer"),
+      bytesBtoA(this, "bytes_b_to_a", "payload bytes peer -> SUT"),
+      losses(this, "losses", "packets dropped by injected loss"),
+      eq(eq_ref), freqHz(freq_hz), rate(bits_per_sec),
+      latency(latency_ticks), lossProb(loss_prob), rng(seed)
+{
+}
+
+void
+Wire::send(const Packet &pkt, bool from_a)
+{
+    if (lossProb > 0.0 && rng.chance(lossProb)) {
+        ++losses;
+        return;
+    }
+
+    const double bits = static_cast<double>(pkt.wireBytes()) * 8.0;
+    const auto ser_ticks =
+        static_cast<sim::Tick>(std::ceil(bits / rate * freqHz));
+
+    sim::Tick &busy = from_a ? busyUntilAB : busyUntilBA;
+    const sim::Tick start = busy > eq.now() ? busy : eq.now();
+    const sim::Tick done = start + ser_ticks;
+    busy = done;
+
+    if (from_a) {
+        ++pktsAtoB;
+        bytesAtoB += pkt.seg.len;
+    } else {
+        ++pktsBtoA;
+        bytesBtoA += pkt.seg.len;
+    }
+
+    Deliver &cb = from_a ? deliverB : deliverA;
+    if (!cb)
+        sim::panic("wire %s: no receiver attached", groupName().c_str());
+
+    eq.scheduleLambda(done + latency, groupName() + ".deliver",
+                      [this, pkt, from_a] {
+                          (from_a ? deliverB : deliverA)(pkt);
+                      });
+}
+
+void
+Wire::sendFromA(const Packet &pkt)
+{
+    send(pkt, true);
+}
+
+void
+Wire::sendFromB(const Packet &pkt)
+{
+    send(pkt, false);
+}
+
+} // namespace na::net

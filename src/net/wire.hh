@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A full-duplex point-to-point gigabit link.
+ *
+ * Models per-direction serialization at the configured line rate plus
+ * propagation latency. Optional random loss supports the property tests
+ * that exercise TCP retransmission.
+ */
+
+#ifndef NETAFFINITY_NET_WIRE_HH
+#define NETAFFINITY_NET_WIRE_HH
+
+#include <functional>
+#include <string>
+
+#include "src/net/segment.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/random.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::net {
+
+/** One gigabit Ethernet link between the SUT NIC (side A) and a peer. */
+class Wire : public stats::Group
+{
+  public:
+    using Deliver = std::function<void(const Packet &)>;
+
+    /**
+     * @param bits_per_sec line rate (default 1 GbE)
+     * @param latency_ticks propagation + switch latency
+     * @param freq_hz tick frequency (to convert byte times to ticks)
+     */
+    Wire(stats::Group *parent, const std::string &name,
+         sim::EventQueue &eq, double freq_hz,
+         double bits_per_sec = 1.0e9, sim::Tick latency_ticks = 10000,
+         double loss_prob = 0.0, std::uint64_t seed = 7);
+
+    /** Attach side A's (SUT's) receive callback. */
+    void attachA(Deliver cb) { deliverA = std::move(cb); }
+
+    /** Attach side B's (peer's) receive callback. */
+    void attachB(Deliver cb) { deliverB = std::move(cb); }
+
+    /** Transmit from the SUT toward the peer. */
+    void sendFromA(const Packet &pkt);
+
+    /** Transmit from the peer toward the SUT. */
+    void sendFromB(const Packet &pkt);
+
+    /** Set random loss probability (tests). */
+    void setLossProb(double p) { lossProb = p; }
+
+    double bitsPerSec() const { return rate; }
+
+    stats::Scalar pktsAtoB;
+    stats::Scalar pktsBtoA;
+    stats::Scalar bytesAtoB;
+    stats::Scalar bytesBtoA;
+    stats::Scalar losses;
+
+  private:
+    sim::EventQueue &eq;
+    double freqHz;
+    double rate;
+    sim::Tick latency;
+    double lossProb;
+    sim::Random rng;
+    Deliver deliverA;
+    Deliver deliverB;
+    sim::Tick busyUntilAB = 0;
+    sim::Tick busyUntilBA = 0;
+
+    void send(const Packet &pkt, bool from_a);
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_WIRE_HH

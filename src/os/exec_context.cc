@@ -1,0 +1,64 @@
+#include "src/os/exec_context.hh"
+
+#include <vector>
+
+#include "src/os/kernel.hh"
+#include "src/os/processor.hh"
+#include "src/os/spinlock.hh"
+
+namespace na::os {
+
+sim::CpuId
+ExecContext::cpuId() const
+{
+    return proc.cpuId();
+}
+
+cpu::Core &
+ExecContext::core() const
+{
+    return proc.core();
+}
+
+sim::Tick
+ExecContext::charge(prof::FuncId func, std::uint64_t instructions,
+                    std::initializer_list<cpu::MemTouch> touches,
+                    double overlap, std::uint32_t async_clears,
+                    std::uint64_t extra_cycles)
+{
+    cpu::ChargeSpec spec;
+    spec.func = func;
+    spec.instructions = instructions;
+    spec.touches =
+        std::span<const cpu::MemTouch>(touches.begin(), touches.size());
+    spec.overlap = overlap;
+    spec.asyncClears = async_clears;
+    spec.extraCycles = extra_cycles;
+    return core().charge(spec).cycles;
+}
+
+cpu::ChargeResult
+ExecContext::chargeSpec(const cpu::ChargeSpec &spec)
+{
+    return core().charge(spec);
+}
+
+sim::Tick
+ExecContext::estimatedNow() const
+{
+    return proc.estimatedNow();
+}
+
+void
+ExecContext::lockAcquire(SpinLock &lock)
+{
+    lock.acquire(*this, estimatedNow());
+}
+
+void
+ExecContext::lockRelease(SpinLock &lock)
+{
+    lock.release(*this, estimatedNow());
+}
+
+} // namespace na::os

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The execution context stack code charges work through.
+ *
+ * Every piece of simulated kernel/stack code receives an ExecContext
+ * naming the kernel, the processor it is executing on, and the task it
+ * is executing for (nullptr in interrupt/softirq context). All cycle and
+ * event accounting flows through charge(); spinlock operations through
+ * lockAcquire()/lockRelease().
+ */
+
+#ifndef NETAFFINITY_OS_EXEC_CONTEXT_HH
+#define NETAFFINITY_OS_EXEC_CONTEXT_HH
+
+#include <initializer_list>
+#include <span>
+
+#include "src/cpu/core.hh"
+#include "src/prof/func_registry.hh"
+#include "src/sim/types.hh"
+
+namespace na::os {
+
+class Kernel;
+class Processor;
+class Task;
+class SpinLock;
+
+/** Execution context for one dispatch on one CPU. */
+class ExecContext
+{
+  public:
+    ExecContext(Kernel &kernel, Processor &proc, Task *task)
+        : kernel(kernel), proc(proc), task(task)
+    {
+    }
+
+    Kernel &kernel;
+    Processor &proc;
+    /** Task being executed, or nullptr in irq/softirq context. */
+    Task *task;
+
+    /** @return the CPU id this context executes on. */
+    sim::CpuId cpuId() const;
+
+    /** @return the underlying core (counters, caches). */
+    cpu::Core &core() const;
+
+    /**
+     * Charge one function invocation.
+     * @return cycles it cost.
+     */
+    sim::Tick charge(prof::FuncId func, std::uint64_t instructions,
+                     std::initializer_list<cpu::MemTouch> touches = {},
+                     double overlap = 1.0, std::uint32_t async_clears = 0,
+                     std::uint64_t extra_cycles = 0);
+
+    /** Charge with a fully-populated spec (copies use this). */
+    cpu::ChargeResult chargeSpec(const cpu::ChargeSpec &spec);
+
+    /**
+     * Estimated absolute time within the current dispatch (dispatch
+     * start + cycles charged so far) — the clock spinlocks use.
+     */
+    sim::Tick estimatedNow() const;
+
+    /** Acquire a spinlock, charging any contention spin. */
+    void lockAcquire(SpinLock &lock);
+
+    /** Release a spinlock. */
+    void lockRelease(SpinLock &lock);
+};
+
+} // namespace na::os
+
+#endif // NETAFFINITY_OS_EXEC_CONTEXT_HH

@@ -1,0 +1,109 @@
+#include "src/os/interrupts.hh"
+
+#include "src/os/processor.hh"
+#include "src/sim/logging.hh"
+#include "src/sim/trace.hh"
+
+namespace na::os {
+
+InterruptController::InterruptController(stats::Group *parent)
+    : stats::Group(parent, "irq"),
+      raises(this, "raises", "device interrupts raised")
+{
+}
+
+void
+InterruptController::setProcessors(std::vector<Processor *> procs,
+                                   sim::EventQueue *eq_ptr)
+{
+    processors = std::move(procs);
+    eq = eq_ptr;
+}
+
+void
+InterruptController::setRotation(sim::Tick interval_ticks)
+{
+    if (interval_ticks > 0 && !eq)
+        sim::fatal("IRQ rotation needs an event queue for time");
+    rotationInterval = interval_ticks;
+}
+
+int
+InterruptController::registerVector(std::string name, IrqHandler handler,
+                                    prof::FuncId isr_func)
+{
+    vectors.push_back(
+        VectorInfo{std::move(name), std::move(handler), isr_func, 0x1});
+    return static_cast<int>(vectors.size()) - 1;
+}
+
+void
+InterruptController::setSmpAffinity(int vector, std::uint32_t mask)
+{
+    if (mask == 0)
+        sim::fatal("smp_affinity mask for vector %d is empty", vector);
+    vectors.at(static_cast<std::size_t>(vector)).affinity = mask;
+}
+
+std::uint32_t
+InterruptController::smpAffinity(int vector) const
+{
+    return vectors.at(static_cast<std::size_t>(vector)).affinity;
+}
+
+sim::CpuId
+InterruptController::routeOf(int vector) const
+{
+    if (rotationInterval > 0) {
+        // Linux-2.6-style delayed rotation: park on one CPU for a
+        // while, then hop (staggered per vector so vectors do not move
+        // in lockstep).
+        const auto epoch = eq->now() / rotationInterval;
+        const auto n = static_cast<std::uint64_t>(processors.size());
+        return static_cast<sim::CpuId>(
+            (epoch * 2654435761ULL + static_cast<std::uint64_t>(vector)) %
+            n);
+    }
+
+    // Static routing: the lowest allowed CPU gets the interrupt, like
+    // a fixed-delivery IO-APIC entry. Mask bits beyond the installed
+    // CPUs are ignored.
+    const std::uint32_t mask =
+        vectors.at(static_cast<std::size_t>(vector)).affinity;
+    for (std::size_t c = 0; c < processors.size(); ++c) {
+        if ((mask >> c) & 1u)
+            return static_cast<sim::CpuId>(c);
+    }
+    sim::fatal("vector %d smp_affinity 0x%x matches no CPU", vector,
+               mask);
+}
+
+void
+InterruptController::raise(int vector)
+{
+    ++raises;
+    const sim::CpuId target = routeOf(vector);
+    if (eq) {
+        NA_TRACE_LOG(Irq, *eq, "raise vector %d (%s) -> cpu%d", vector,
+                     vectors[static_cast<std::size_t>(vector)]
+                         .name.c_str(),
+                     target);
+    }
+    processors[static_cast<std::size_t>(target)]->pendIrq(vector);
+}
+
+void
+InterruptController::runHandler(int vector, ExecContext &ctx)
+{
+    VectorInfo &info = vectors.at(static_cast<std::size_t>(vector));
+    if (info.handler)
+        info.handler(ctx);
+}
+
+prof::FuncId
+InterruptController::isrFunc(int vector) const
+{
+    return vectors.at(static_cast<std::size_t>(vector)).func;
+}
+
+} // namespace na::os

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * IO-APIC-style interrupt routing and softirq definitions.
+ *
+ * Devices register an interrupt vector with a handler (the ISR top half)
+ * and the controller routes each raise to one CPU according to the
+ * vector's smp_affinity mask — by default CPU0 only, matching the Linux
+ * 2.4 SMP default the paper's "no affinity" mode measures. Experiments
+ * change masks exactly like writing /proc/irq/N/smp_affinity.
+ */
+
+#ifndef NETAFFINITY_OS_INTERRUPTS_HH
+#define NETAFFINITY_OS_INTERRUPTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/prof/func_registry.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+
+class ExecContext;
+class Processor;
+
+/** Softirq (bottom half) classes, highest priority first. */
+enum class Softirq : std::uint8_t
+{
+    Timer,
+    NetTx,
+    NetRx,
+    NumSoftirqs
+};
+
+constexpr std::size_t numSoftirqs =
+    static_cast<std::size_t>(Softirq::NumSoftirqs);
+
+/** Top-half handler invoked on the CPU that takes the interrupt. */
+using IrqHandler = std::function<void(ExecContext &)>;
+
+/** Routes device interrupt vectors to processors. */
+class InterruptController : public stats::Group
+{
+  public:
+    explicit InterruptController(stats::Group *parent);
+
+    /** Attach processors (in CPU-id order) before any raise. */
+    void setProcessors(std::vector<Processor *> procs,
+                       sim::EventQueue *eq = nullptr);
+
+    /**
+     * Register a device vector.
+     * @param isr_func the Driver-bin function ISR work is charged to
+     * @return the vector number
+     */
+    int registerVector(std::string name, IrqHandler handler,
+                       prof::FuncId isr_func);
+
+    /** Write the vector's smp_affinity CPU mask (default 0x1). */
+    void setSmpAffinity(int vector, std::uint32_t mask);
+
+    /**
+     * Enable Linux-2.6-style rotating delivery: every @p interval_ticks
+     * the vector's target moves to the next CPU (pseudo-randomized by
+     * vector), trading cache locality for balance. 0 disables.
+     */
+    void setRotation(sim::Tick interval_ticks);
+
+    /** @return current smp_affinity mask of @p vector. */
+    std::uint32_t smpAffinity(int vector) const;
+
+    /** Device asserts the interrupt line. */
+    void raise(int vector);
+
+    /** @return the CPU a vector currently routes to. */
+    sim::CpuId routeOf(int vector) const;
+
+    /** Dispatch the ISR body of @p vector (called by Processor). */
+    void runHandler(int vector, ExecContext &ctx);
+
+    /** @return ISR function of @p vector (for charging). */
+    prof::FuncId isrFunc(int vector) const;
+
+    stats::Scalar raises;
+
+  private:
+    struct VectorInfo
+    {
+        std::string name;
+        IrqHandler handler;
+        prof::FuncId func;
+        std::uint32_t affinity = 0x1; ///< Linux 2.4 default: CPU0
+    };
+
+    std::vector<VectorInfo> vectors;
+    std::vector<Processor *> processors;
+    sim::EventQueue *eq = nullptr;
+    sim::Tick rotationInterval = 0;
+};
+
+} // namespace na::os
+
+#endif // NETAFFINITY_OS_INTERRUPTS_HH

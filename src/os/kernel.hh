@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The kernel: composition root of the simulated SMP operating system.
+ *
+ * Owns the CPUs (cores + processors), scheduler, interrupt controller,
+ * timer list, address space, and the profiling matrix. Network devices
+ * and sockets (src/net) plug into it through interrupt vectors, softirq
+ * handlers, and wait queues.
+ */
+
+#ifndef NETAFFINITY_OS_KERNEL_HH
+#define NETAFFINITY_OS_KERNEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cpu/core.hh"
+#include "src/cpu/platform_config.hh"
+#include "src/mem/addr_alloc.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/os/exec_context.hh"
+#include "src/os/interrupts.hh"
+#include "src/os/processor.hh"
+#include "src/os/scheduler.hh"
+#include "src/os/task.hh"
+#include "src/os/timer_list.hh"
+#include "src/prof/accounting.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/random.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+
+/** The simulated operating system instance. */
+class Kernel : public stats::Group
+{
+  public:
+    /**
+     * Build the kernel and its CPUs.
+     * @param parent stats parent (the system root group)
+     * @param eq global event queue
+     * @param config platform parameters (copied)
+     */
+    Kernel(stats::Group *parent, sim::EventQueue &eq,
+           const cpu::PlatformConfig &config);
+    ~Kernel();
+
+    /** Arm periodic timer ticks; call once before running. */
+    void start();
+
+    /** @name Topology access @{ */
+    int numCpus() const { return static_cast<int>(procs.size()); }
+    Processor &processor(sim::CpuId cpu) { return *procs[cpu]; }
+    cpu::Core &core(sim::CpuId cpu) { return *cores[cpu]; }
+    const cpu::PlatformConfig &config() const { return cfg; }
+    sim::EventQueue &eventQueue() { return eq; }
+    /** @} */
+
+    /** @name Subsystems @{ */
+    Scheduler &scheduler() { return sched; }
+    InterruptController &irqController() { return irqCtrl; }
+    TimerList &timers() { return timerList; }
+    prof::BinAccounting &accounting() { return acct; }
+    mem::AddressAllocator &addressSpace() { return addrAlloc; }
+    mem::SnoopDomain &snoopDomain() { return snoop; }
+    sim::Random &random() { return rng; }
+    /** @} */
+
+    /** @name Tasks @{ */
+    /**
+     * Create a task. The task becomes runnable immediately and is
+     * placed round-robin among its allowed CPUs.
+     */
+    Task *createTask(const std::string &name, TaskLogic *logic,
+                     std::uint32_t affinity_mask = 0xffffffffu);
+
+    /**
+     * sys_sched_setaffinity(): restrict @p task to @p mask. If the task
+     * currently sits on a forbidden CPU it is migrated.
+     */
+    void schedSetaffinity(Task *task, std::uint32_t mask);
+
+    const std::vector<std::unique_ptr<Task>> &tasks() const
+    {
+        return taskList;
+    }
+    /** @} */
+
+    /** @name Wait queues / wakeups @{ */
+    /** Wake the oldest sleeper of @p wq from @p ctx, if any. */
+    void wakeUpOne(ExecContext &ctx, WaitQueue &wq);
+
+    /** Wake every sleeper of @p wq from @p ctx. */
+    void wakeUpAll(ExecContext &ctx, WaitQueue &wq);
+    /** @} */
+
+    /** @name Time @{ */
+    sim::Tick now() const { return eq.now(); }
+    double seconds(sim::Tick t) const
+    {
+        return sim::ticksToSeconds(t, cfg.freqHz);
+    }
+    /** @return simulated address of the kernel's xtime (shared line). */
+    sim::Addr xtimeAddr() const { return xtime; }
+    /** @} */
+
+    /**
+     * Account trailing idle time on every CPU up to @p end; call at the
+     * end of a measurement window so utilization is exact.
+     */
+    void finalizeIdle(sim::Tick end);
+
+    /** Reset all statistics and the accounting matrix (end of warmup). */
+    void resetMeasurement();
+
+  private:
+    friend class Processor;
+
+    sim::EventQueue &eq;
+    cpu::PlatformConfig cfg;
+    mem::AddressAllocator addrAlloc;
+    mem::SnoopDomain snoop;
+    prof::BinAccounting acct;
+    sim::Random rng;
+
+    std::vector<std::unique_ptr<cpu::Core>> cores;
+    std::vector<std::unique_ptr<Processor>> procs;
+
+    Scheduler sched;
+    InterruptController irqCtrl;
+    TimerList timerList;
+
+    sim::Addr xtime = 0;
+    int nextTaskId = 1;
+    std::vector<std::unique_ptr<Task>> taskList;
+};
+
+} // namespace na::os
+
+#endif // NETAFFINITY_OS_KERNEL_HH

@@ -1,0 +1,293 @@
+#include "src/os/processor.hh"
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+#include "src/sim/logging.hh"
+
+namespace na::os {
+
+Processor::Processor(Kernel &kernel_ref, sim::CpuId cpu_id,
+                     cpu::Core &core_ref)
+    : kernel(kernel_ref), cpu(cpu_id), coreRef(core_ref),
+      advanceEvent(sim::format("cpu%d.advance", cpu_id),
+                   [this] { advance(); }),
+      tickEvent(sim::format("cpu%d.tick", cpu_id), [this] { timerTick(); }),
+      idleSince(0)
+{
+}
+
+void
+Processor::setSoftirqHandler(Softirq sirq, SoftirqHandler handler)
+{
+    softirqHandlers[static_cast<std::size_t>(sirq)] = std::move(handler);
+}
+
+void
+Processor::pendIrq(int vector)
+{
+    pendingIrqs.push_back(vector);
+    kick();
+}
+
+void
+Processor::pendRescheduleIpi()
+{
+    ++pendingIpis;
+    coreRef.countIpi();
+    // The clear is attributed to whatever is running right now (the
+    // paper's skid discussion); nothing happens if we are idle.
+    coreRef.postIpiClear();
+    kick();
+}
+
+void
+Processor::raiseSoftirq(Softirq sirq)
+{
+    softirqs[static_cast<std::size_t>(sirq)] = true;
+    kick();
+}
+
+bool
+Processor::softirqPending(Softirq sirq) const
+{
+    return softirqs[static_cast<std::size_t>(sirq)];
+}
+
+void
+Processor::timerTick()
+{
+    timerPending = true;
+    kick();
+    kernel.eventQueue().schedule(
+        &tickEvent,
+        kernel.now() + kernel.config().timerTickCycles);
+}
+
+void
+Processor::kick()
+{
+    sim::EventQueue &eq = kernel.eventQueue();
+    const sim::Tick when =
+        busyUntil > eq.now() ? busyUntil : eq.now();
+    if (!advanceEvent.scheduled()) {
+        eq.schedule(&advanceEvent, when);
+    } else if (advanceEvent.when() > when) {
+        eq.reschedule(&advanceEvent, when);
+    }
+}
+
+void
+Processor::scheduleAdvance(sim::Tick when)
+{
+    sim::EventQueue &eq = kernel.eventQueue();
+    if (!advanceEvent.scheduled()) {
+        eq.schedule(&advanceEvent, when);
+    } else if (advanceEvent.when() > when) {
+        eq.reschedule(&advanceEvent, when);
+    }
+}
+
+sim::Tick
+Processor::estimatedNow() const
+{
+    return dispatchStartTick + coreRef.dispatchCycles();
+}
+
+void
+Processor::finalizeIdle(sim::Tick end)
+{
+    if (idleSince != sim::maxTick && end > idleSince) {
+        coreRef.addIdleCycles(end - idleSince);
+        idleSince = end;
+    }
+}
+
+void
+Processor::goIdle(sim::Tick at)
+{
+    coreRef.setBusy(false);
+    idleSince = at;
+}
+
+void
+Processor::advance()
+{
+    const sim::Tick start = kernel.now();
+    if (busyUntil > start) {
+        // A kick raced with an in-flight dispatch; try again when the
+        // current work completes.
+        scheduleAdvance(busyUntil);
+        return;
+    }
+
+    if (idleSince != sim::maxTick) {
+        if (start > idleSince)
+            coreRef.addIdleCycles(start - idleSince);
+        idleSince = sim::maxTick;
+    }
+
+    dispatchStartTick = start;
+    coreRef.beginDispatch();
+    coreRef.setBusy(true);
+
+    ExecContext ctx(kernel, *this, nullptr);
+    bool did = serviceInterrupts(ctx);
+    if (!did) {
+        // ksoftirqd fairness: softirq work beyond one pass competes
+        // with tasks at normal priority instead of monopolizing the
+        // CPU, so alternate softirq passes with task steps.
+        const bool sirq_pending = anySoftirqPending();
+        if (sirq_pending && !softirqRanLast) {
+            did = runSoftirqs(ctx);
+            softirqRanLast = true;
+        } else {
+            did = runTaskStep();
+            softirqRanLast = false;
+            if (!did && sirq_pending) {
+                did = runSoftirqs(ctx);
+                softirqRanLast = true;
+            }
+        }
+    }
+
+    sim::Tick cycles = coreRef.dispatchCycles();
+    if (!did && cycles == 0) {
+        goIdle(start);
+        return;
+    }
+    if (cycles == 0)
+        cycles = 1; // forward-progress guarantee
+    busyUntil = start + cycles;
+    scheduleAdvance(busyUntil);
+}
+
+bool
+Processor::serviceInterrupts(ExecContext &ctx)
+{
+    bool any = false;
+
+    if (timerPending) {
+        timerPending = false;
+        any = true;
+        handleTimerWork(ctx);
+    }
+
+    while (!pendingIrqs.empty()) {
+        const int vector = pendingIrqs.front();
+        pendingIrqs.pop_front();
+        any = true;
+        coreRef.countIrq();
+        // The device interrupt flushes the pipeline; the clear is
+        // booked to the ISR symbol (paper Table 4 shows exactly that).
+        kernel.irqController().runHandler(vector, ctx);
+    }
+
+    while (pendingIpis > 0) {
+        --pendingIpis;
+        any = true;
+        // The reschedule handler body is nearly empty; the expensive
+        // part (the clear) was posted at delivery.
+        ctx.charge(prof::FuncId::RescheduleIpi, 80, {});
+    }
+
+    return any;
+}
+
+void
+Processor::handleTimerWork(ExecContext &ctx)
+{
+    // Local APIC timer interrupt: tick bookkeeping + expired timers +
+    // periodic load balancing.
+    ctx.charge(prof::FuncId::TimerTick, 300,
+               {cpu::MemTouch{kernel.xtimeAddr(), 8, true}},
+               /*overlap=*/1.0, /*async_clears=*/1);
+    ctx.charge(prof::FuncId::RunTimerList, 90, {});
+    kernel.timers().runExpired(ctx);
+
+    if (dispatchStartTick >= nextBalanceAt) {
+        nextBalanceAt =
+            dispatchStartTick + kernel.config().balanceIntervalCycles;
+        kernel.scheduler().balance(ctx);
+    }
+}
+
+bool
+Processor::runSoftirqs(ExecContext &ctx)
+{
+    bool any = false;
+    for (std::size_t s = 0; s < numSoftirqs; ++s) {
+        if (!softirqs[s])
+            continue;
+        softirqs[s] = false;
+        if (softirqHandlers[s]) {
+            softirqHandlers[s](ctx);
+            any = true;
+        }
+    }
+    return any;
+}
+
+bool
+Processor::runTaskStep()
+{
+    if (!current) {
+        Task *next = kernel.scheduler().pickNext(cpu);
+        if (!next)
+            return false;
+
+        ExecContext sctx(kernel, *this, nullptr);
+        sctx.charge(prof::FuncId::Schedule, 300,
+                    {cpu::MemTouch{next->structAddr, 192, true},
+                     cpu::MemTouch{kernel.scheduler()
+                                       .runQueue(cpu)
+                                       .structAddr(),
+                                   64, true}});
+        coreRef.noteContextSwitch();
+        if (next->lastRanCpu != cpu &&
+            next->lastRanCpu != sim::invalidCpu) {
+            coreRef.noteMigrationIn();
+        }
+        next->state = TaskState::Running;
+        next->lastRanCpu = cpu;
+        next->sliceExpiry =
+            dispatchStartTick + kernel.config().timesliceCycles;
+        current = next;
+    }
+
+    ExecContext ctx(kernel, *this, current);
+    const StepStatus st = current->logic->step(ctx);
+    current->lastRanAt = estimatedNow();
+
+    switch (st) {
+      case StepStatus::Blocked:
+        if (current->state != TaskState::Blocked)
+            sim::panic("task %s returned Blocked without sleeping",
+                       current->name.c_str());
+        current = nullptr;
+        break;
+      case StepStatus::Exited:
+        current->state = TaskState::Exited;
+        current = nullptr;
+        break;
+      case StepStatus::Continue:
+        if (estimatedNow() >= current->sliceExpiry) {
+            current->state = TaskState::Runnable;
+            kernel.scheduler().requeue(current, cpu);
+            current = nullptr;
+        }
+        break;
+    }
+    return true;
+}
+
+void
+Processor::requeueCurrent()
+{
+    if (!current)
+        return;
+    current->state = TaskState::Runnable;
+    kernel.scheduler().requeue(current, cpu);
+    current = nullptr;
+}
+
+} // namespace na::os

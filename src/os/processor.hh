@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The per-CPU execution driver.
+ *
+ * A Processor owns one cpu::Core and turns posted work — hard IRQs,
+ * reschedule IPIs, timer ticks, softirqs, runnable tasks — into timed
+ * dispatches on the event queue. Each dispatch services one category of
+ * work (interrupts, then softirqs, then one task step), computes its
+ * cycle cost through the Core, and schedules the next dispatch when
+ * those cycles have elapsed. When nothing is pending the Processor sits
+ * in a poll-idle loop (idle cycles accounted, like the paper's polling
+ * idle configuration) until kicked by an interrupt or wakeup.
+ */
+
+#ifndef NETAFFINITY_OS_PROCESSOR_HH
+#define NETAFFINITY_OS_PROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/cpu/core.hh"
+#include "src/os/interrupts.hh"
+#include "src/os/task.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+
+namespace na::os {
+
+class Kernel;
+
+/** Softirq bottom-half handler, executed in softirq context. */
+using SoftirqHandler = std::function<void(ExecContext &)>;
+
+/** One CPU: core + interrupt/softirq/task dispatch state. */
+class Processor
+{
+  public:
+    Processor(Kernel &kernel, sim::CpuId cpu, cpu::Core &core);
+
+    sim::CpuId cpuId() const { return cpu; }
+    cpu::Core &core() { return coreRef; }
+    const cpu::Core &core() const { return coreRef; }
+
+    /** Register the bottom half for a softirq class. */
+    void setSoftirqHandler(Softirq sirq, SoftirqHandler handler);
+
+    /** Queue a device interrupt vector for service. */
+    void pendIrq(int vector);
+
+    /** Queue a reschedule IPI (pipeline-clear side effects included). */
+    void pendRescheduleIpi();
+
+    /** Mark a softirq class pending on this CPU. */
+    void raiseSoftirq(Softirq sirq);
+
+    /** @return true if @p sirq is pending. */
+    bool softirqPending(Softirq sirq) const;
+
+    /** Periodic local timer interrupt (armed by Kernel::start). */
+    void timerTick();
+
+    /** Ensure a dispatch is scheduled no later than now/busyUntil. */
+    void kick();
+
+    /** @return the task currently bound to this CPU, if any. */
+    Task *currentTask() const { return current; }
+
+    /** @return number of runnable tasks incl. the running one. */
+    int load() const;
+
+    /** @return true if the CPU has no work at all right now. */
+    bool isIdle() const { return idleSince != sim::maxTick; }
+
+    /** @return absolute start tick of the in-flight dispatch. */
+    sim::Tick dispatchStart() const { return dispatchStartTick; }
+
+    /**
+     * Estimated absolute time inside the current dispatch: dispatch
+     * start plus cycles charged so far.
+     */
+    sim::Tick estimatedNow() const;
+
+    /** Account any open idle interval up to @p end (run teardown). */
+    void finalizeIdle(sim::Tick end);
+
+    /**
+     * Force the current task (if any) back to the run queue, e.g. when
+     * affinity changes forbid this CPU. Used by sched_setaffinity.
+     */
+    void requeueCurrent();
+
+  private:
+    friend class Kernel;
+
+    Kernel &kernel;
+    sim::CpuId cpu;
+    cpu::Core &coreRef;
+
+    sim::LambdaEvent advanceEvent;
+    sim::LambdaEvent tickEvent;
+
+    sim::Tick busyUntil = 0;
+    sim::Tick dispatchStartTick = 0;
+    sim::Tick idleSince = 0; ///< maxTick when not idle
+    sim::Tick nextBalanceAt = 0;
+
+    std::deque<int> pendingIrqs;
+    std::uint32_t pendingIpis = 0;
+    bool timerPending = false;
+    bool softirqRanLast = false;
+    std::array<bool, numSoftirqs> softirqs{};
+    std::array<SoftirqHandler, numSoftirqs> softirqHandlers{};
+
+    /** @return true if any softirq class is pending. */
+    bool
+    anySoftirqPending() const
+    {
+        for (bool b : softirqs)
+            if (b)
+                return true;
+        return false;
+    }
+
+    Task *current = nullptr;
+
+    void advance();
+    bool serviceInterrupts(ExecContext &ctx);
+    bool runSoftirqs(ExecContext &ctx);
+    bool runTaskStep();
+    void goIdle(sim::Tick at);
+    void scheduleAdvance(sim::Tick when);
+    void handleTimerWork(ExecContext &ctx);
+};
+
+} // namespace na::os
+
+#endif // NETAFFINITY_OS_PROCESSOR_HH

@@ -1,0 +1,264 @@
+#include "src/os/scheduler.hh"
+
+#include <limits>
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+#include "src/os/processor.hh"
+#include "src/sim/logging.hh"
+#include "src/sim/trace.hh"
+
+namespace na::os {
+
+RunQueue::RunQueue(stats::Group *parent, const std::string &name,
+                   sim::Addr struct_addr, sim::Addr lock_addr)
+    : lock(parent, name + ".lock", prof::FuncId::LockRq, lock_addr),
+      addr(struct_addr)
+{
+}
+
+Task *
+RunQueue::pop()
+{
+    if (queue.empty())
+        return nullptr;
+    Task *t = queue.front();
+    queue.pop_front();
+    return t;
+}
+
+bool
+RunQueue::remove(Task *task)
+{
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (*it == task) {
+            queue.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+Task *
+RunQueue::stealCandidate(sim::CpuId dest, sim::Tick now,
+                         sim::Tick cache_hot_cycles) const
+{
+    // Prefer a cache-cold task; fall back to any allowed task so a
+    // large imbalance still drains (matching the 2.4/O(1) balancers).
+    Task *any_allowed = nullptr;
+    for (Task *t : queue) {
+        if (!t->allowedOn(dest))
+            continue;
+        if (!any_allowed)
+            any_allowed = t;
+        const bool hot = now - t->lastRanAt < cache_hot_cycles;
+        if (!hot)
+            return t;
+    }
+    return any_allowed;
+}
+
+Scheduler::Scheduler(stats::Group *parent, Kernel &kernel_ref)
+    : stats::Group(parent, "sched"),
+      wakeups(this, "wakeups", "tasks woken"),
+      wakeupsCrossCpu(this, "wakeups_cross_cpu",
+                      "wakeups that sent a reschedule IPI"),
+      wakeAffinePulls(this, "wake_affine_pulls",
+                      "wakeups migrated to the waking CPU"),
+      migrations(this, "migrations", "balancer task migrations"),
+      kernel(kernel_ref)
+{
+}
+
+void
+Scheduler::init(int num_cpus)
+{
+    for (int c = 0; c < num_cpus; ++c) {
+        const sim::Addr rq_addr = kernel.addressSpace().alloc(
+            mem::Region::KernelData, 512);
+        const sim::Addr lock_addr = kernel.addressSpace().alloc(
+            mem::Region::KernelData, 64);
+        queues.push_back(std::make_unique<RunQueue>(
+            this, sim::format("rq%d", c), rq_addr, lock_addr));
+    }
+}
+
+int
+Scheduler::load(sim::CpuId cpu) const
+{
+    const auto &rq = *queues[static_cast<std::size_t>(cpu)];
+    const Processor &proc =
+        const_cast<Kernel &>(kernel).processor(cpu);
+    return static_cast<int>(rq.size()) +
+           (proc.currentTask() ? 1 : 0);
+}
+
+void
+Scheduler::enqueueNew(Task *task)
+{
+    // Round-robin placement among allowed CPUs, like fork balancing.
+    const int n = static_cast<int>(queues.size());
+    for (int probe = 0; probe < n; ++probe) {
+        const int c = (rrNext + probe) % n;
+        if (task->allowedOn(c)) {
+            rrNext = c + 1;
+            task->state = TaskState::Runnable;
+            queues[static_cast<std::size_t>(c)]->push(task);
+            kernel.processor(c).kick();
+            return;
+        }
+    }
+    sim::fatal("task %s has empty effective affinity",
+               task->name.c_str());
+}
+
+void
+Scheduler::requeue(Task *task, sim::CpuId cpu)
+{
+    task->state = TaskState::Runnable;
+    queues[static_cast<std::size_t>(cpu)]->push(task);
+}
+
+Task *
+Scheduler::pickNext(sim::CpuId cpu)
+{
+    auto &rq = *queues[static_cast<std::size_t>(cpu)];
+    while (Task *t = rq.pop()) {
+        if (t->state == TaskState::Exited)
+            continue;
+        return t;
+    }
+    return nullptr;
+}
+
+sim::CpuId
+Scheduler::chooseWakeCpu(const ExecContext &ctx, const Task *task) const
+{
+    const int n = static_cast<int>(queues.size());
+    const sim::CpuId waker = ctx.cpuId();
+    sim::CpuId prev = task->lastRanCpu;
+    if (prev != sim::invalidCpu && !task->allowedOn(prev))
+        prev = sim::invalidCpu;
+
+    // 1. Wake-affine: pull the task to the waking CPU when that queue
+    //    is no longer than the previous CPU's (ties pull — the wakeup
+    //    data is in the waker's cache). This is how interrupt affinity
+    //    indirectly creates process affinity: a flow's wakeups always
+    //    come from its NIC's softirq CPU.
+    if (kernel.config().wakeAffine && task->allowedOn(waker) &&
+        waker != prev) {
+        if (prev == sim::invalidCpu || load(waker) <= load(prev))
+            return waker;
+    }
+
+    // 2. Otherwise an idle previous CPU is best: warm caches, no IPI
+    //    cost beyond the kick.
+    if (prev != sim::invalidCpu)
+        return prev;
+
+    // 3. Fall back to the least-loaded allowed CPU.
+    sim::CpuId best = sim::invalidCpu;
+    int best_load = std::numeric_limits<int>::max();
+    for (int c = 0; c < n; ++c) {
+        if (!task->allowedOn(c))
+            continue;
+        const int l = load(c);
+        if (l < best_load) {
+            best_load = l;
+            best = c;
+        }
+    }
+    if (best == sim::invalidCpu)
+        sim::fatal("task %s has empty effective affinity",
+                   task->name.c_str());
+    return best;
+}
+
+void
+Scheduler::wakeUp(ExecContext &ctx, Task *task)
+{
+    if (task->state != TaskState::Blocked)
+        return; // already runnable/running: nothing to do
+
+    ++wakeups;
+    const sim::CpuId waker = ctx.cpuId();
+    const sim::CpuId target = chooseWakeCpu(ctx, task);
+
+    auto &rq = *queues[static_cast<std::size_t>(target)];
+
+    // try_to_wake_up: task-struct state transition plus remote
+    // run-queue manipulation under its lock.
+    ctx.lockAcquire(rq.lock);
+    ctx.charge(prof::FuncId::TryToWakeUp, 200,
+               {cpu::MemTouch{task->structAddr, 128, true},
+                cpu::MemTouch{rq.structAddr(), 64, true}});
+    task->state = TaskState::Runnable;
+    if (target != task->lastRanCpu && task->lastRanCpu != sim::invalidCpu &&
+        target == waker) {
+        ++wakeAffinePulls;
+    }
+    rq.push(task);
+    ctx.lockRelease(rq.lock);
+
+    NA_TRACE_LOG(Sched, const_cast<Kernel &>(kernel).eventQueue(),
+                 "wake %s: waker cpu%d -> cpu%d (prev cpu%d)",
+                 task->name.c_str(), waker, target, task->lastRanCpu);
+    Processor &proc = kernel.processor(target);
+    if (target != waker) {
+        ++wakeupsCrossCpu;
+        proc.pendRescheduleIpi();
+    }
+    proc.kick();
+}
+
+void
+Scheduler::balance(ExecContext &ctx)
+{
+    const sim::CpuId self = ctx.cpuId();
+    const int n = static_cast<int>(queues.size());
+
+    // Find the busiest other CPU.
+    sim::CpuId busiest = sim::invalidCpu;
+    int busiest_load = load(self);
+    for (int c = 0; c < n; ++c) {
+        if (c == self)
+            continue;
+        const int l = load(c);
+        if (l > busiest_load) {
+            busiest_load = l;
+            busiest = c;
+        }
+    }
+
+    const int self_load = load(self);
+    ctx.charge(prof::FuncId::LoadBalance, 250,
+               {cpu::MemTouch{queues[static_cast<std::size_t>(self)]
+                                  ->structAddr(),
+                              64, false}});
+    if (busiest == sim::invalidCpu)
+        return;
+
+    const double ratio = kernel.config().balanceImbalanceRatio;
+    if (static_cast<double>(busiest_load) <
+            ratio * static_cast<double>(self_load) ||
+        busiest_load - self_load < 2) {
+        return;
+    }
+
+    auto &src = *queues[static_cast<std::size_t>(busiest)];
+    ctx.lockAcquire(src.lock);
+    Task *victim = src.stealCandidate(
+        self, ctx.proc.dispatchStart(), kernel.config().cacheHotCycles);
+    if (victim) {
+        src.remove(victim);
+        ++migrations;
+        ctx.charge(prof::FuncId::LoadBalance, 200,
+                   {cpu::MemTouch{victim->structAddr, 128, true},
+                    cpu::MemTouch{src.structAddr(), 64, true}});
+        queues[static_cast<std::size_t>(self)]->push(victim);
+        kernel.processor(self).kick();
+    }
+    ctx.lockRelease(src.lock);
+}
+
+} // namespace na::os

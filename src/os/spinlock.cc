@@ -1,0 +1,95 @@
+#include "src/os/spinlock.hh"
+
+#include "src/os/exec_context.hh"
+#include "src/sim/logging.hh"
+
+namespace na::os {
+
+SpinLock::SpinLock(stats::Group *parent, const std::string &name,
+                   prof::FuncId func_id, sim::Addr line_addr)
+    : stats::Group(parent, name),
+      acquisitions(this, "acquisitions", "times acquired"),
+      contentions(this, "contentions", "acquisitions that spun"),
+      spinCycles(this, "spin_cycles", "cycles spent spinning"),
+      func(func_id), line(line_addr)
+{
+}
+
+void
+SpinLock::acquire(ExecContext &ctx, sim::Tick now_est)
+{
+    if (held && ownerCpu == ctx.cpuId())
+        sim::panic("spinlock %s re-acquired on cpu %d (deadlock)",
+                   groupName().c_str(), ctx.cpuId());
+
+    ++acquisitions;
+
+    // Contended only if our estimated time falls inside the last
+    // holder's actual hold window. A hold that starts *after* our
+    // estimated now belongs to a dispatch that merely overlaps ours on
+    // the wall clock — causally we got the lock first, so no spin
+    // (dispatch atomicity makes the interleave safe either way).
+    const bool contended =
+        now_est >= acquiredAt && now_est < freeAt &&
+        ownerCpu != sim::invalidCpu && ownerCpu != ctx.cpuId();
+
+    cpu::MemTouch touch{line, 4, /*write=*/true};
+    cpu::ChargeSpec spec;
+    spec.func = func;
+    spec.touches = std::span<const cpu::MemTouch>(&touch, 1);
+
+    if (contended) {
+        const sim::Tick spin = freeAt - now_est;
+        const std::uint64_t iters = spin / pauseCycles + 1;
+        ++contentions;
+        spinCycles += static_cast<double>(spin);
+        // Spin loop: cmpb + repz nop + jle per iteration, then the
+        // initial fast-path attempt and the final retry.
+        spec.instructions = 12 + 3 * iters;
+        spec.branchesOverride =
+            static_cast<std::int64_t>(2 + 2 * iters);
+        // The loop-exit branch mispredicts once when the lock frees.
+        spec.mispredictsOverride = 1;
+        spec.extraCycles = spin;
+        // Observing the release is a cross-CPU memory-ordering event:
+        // P4 pipelines flush on it.
+        spec.asyncClears = 1;
+        ctx.chargeSpec(spec);
+        acquiredAt = freeAt;
+    } else {
+        // lock decb; js not taken.
+        spec.instructions = 12;
+        spec.branchesOverride = 2;
+        spec.mispredictsOverride = 0;
+        ctx.chargeSpec(spec);
+        acquiredAt = now_est > freeAt ? now_est : freeAt;
+    }
+
+    held = true;
+    ownerCpu = ctx.cpuId();
+}
+
+void
+SpinLock::release(ExecContext &ctx, sim::Tick now_est)
+{
+    if (!held)
+        sim::panic("spinlock %s released while free",
+                   groupName().c_str());
+    if (ownerCpu != ctx.cpuId())
+        sim::panic("spinlock %s released by cpu %d, held by cpu %d",
+                   groupName().c_str(), ctx.cpuId(), ownerCpu);
+
+    cpu::MemTouch touch{line, 4, /*write=*/true};
+    cpu::ChargeSpec spec;
+    spec.func = func;
+    spec.instructions = 3;
+    spec.branchesOverride = 0;
+    spec.mispredictsOverride = 0;
+    spec.touches = std::span<const cpu::MemTouch>(&touch, 1);
+    ctx.chargeSpec(spec);
+
+    held = false;
+    freeAt = now_est > acquiredAt ? now_est : acquiredAt + 1;
+}
+
+} // namespace na::os

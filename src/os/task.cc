@@ -1,0 +1,38 @@
+#include "src/os/task.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace na::os {
+
+void
+WaitQueue::sleepOn(Task *task)
+{
+    if (task->state == TaskState::Blocked)
+        sim::panic("task %s sleeping twice", task->name.c_str());
+    task->state = TaskState::Blocked;
+    sleepers.push_back(task);
+}
+
+Task *
+WaitQueue::popOne()
+{
+    if (sleepers.empty())
+        return nullptr;
+    Task *t = sleepers.front();
+    sleepers.pop_front();
+    return t;
+}
+
+bool
+WaitQueue::remove(Task *task)
+{
+    auto it = std::find(sleepers.begin(), sleepers.end(), task);
+    if (it == sleepers.end())
+        return false;
+    sleepers.erase(it);
+    return true;
+}
+
+} // namespace na::os

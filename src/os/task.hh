@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tasks (processes/threads), task logic, and wait queues.
+ *
+ * A Task is the schedulable entity. Its behaviour lives in a TaskLogic
+ * implementation (the "application"), which the OS runs one step — one
+ * syscall-ish unit of work — at a time. Affinity is a plain CPU bitmask,
+ * settable through Kernel::schedSetaffinity() exactly like the
+ * sys_sched_setaffinity() the paper's modified ttcp uses.
+ */
+
+#ifndef NETAFFINITY_OS_TASK_HH
+#define NETAFFINITY_OS_TASK_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/sim/types.hh"
+
+namespace na::os {
+
+class ExecContext;
+class Task;
+
+/** What one application step did. */
+enum class StepStatus
+{
+    Continue, ///< made progress; wants to run again
+    Blocked,  ///< went to sleep on a wait queue during the step
+    Exited,   ///< finished; remove from the system
+};
+
+/** The application behaviour bound to a task. */
+class TaskLogic
+{
+  public:
+    virtual ~TaskLogic() = default;
+
+    /**
+     * Run one unit of work (typically one syscall) charging its cost
+     * through @p ctx.
+     */
+    virtual StepStatus step(ExecContext &ctx) = 0;
+};
+
+/** Scheduling state of a task. */
+enum class TaskState : std::uint8_t
+{
+    Runnable, ///< on some run queue
+    Running,  ///< currently on a CPU
+    Blocked,  ///< asleep on a wait queue
+    Exited,
+};
+
+/** One schedulable process/thread. */
+class Task
+{
+  public:
+    Task(int id, std::string name, TaskLogic *logic,
+         sim::Addr task_struct_addr)
+        : id(id), name(std::move(name)), logic(logic),
+          structAddr(task_struct_addr)
+    {
+    }
+
+    const int id;
+    const std::string name;
+    TaskLogic *const logic;
+    /** Simulated address of the task_struct (migration cost realism). */
+    const sim::Addr structAddr;
+
+    TaskState state = TaskState::Runnable;
+    /** Allowed CPUs; bit i == CPU i (cpus_allowed). */
+    std::uint32_t affinityMask = 0xffffffffu;
+    sim::CpuId lastRanCpu = sim::invalidCpu;
+    sim::Tick lastRanAt = 0;
+    /** Absolute tick the current timeslice expires. */
+    sim::Tick sliceExpiry = 0;
+
+    bool
+    allowedOn(sim::CpuId cpu) const
+    {
+        return (affinityMask >> cpu) & 1u;
+    }
+};
+
+/**
+ * A kernel wait queue. Blocking is cooperative: stack code calls
+ * sleepOn() during a task step (the step then returns Blocked), and a
+ * later waker calls Kernel::wakeUpOne/All.
+ */
+class WaitQueue
+{
+  public:
+    /** Append @p task; marks it Blocked. @pre task is Running. */
+    void sleepOn(Task *task);
+
+    /** @return oldest sleeper removed from the queue, or nullptr. */
+    Task *popOne();
+
+    bool empty() const { return sleepers.empty(); }
+    std::size_t size() const { return sleepers.size(); }
+
+    /** Remove a specific task (e.g. on exit). @return true if found. */
+    bool remove(Task *task);
+
+  private:
+    std::deque<Task *> sleepers;
+};
+
+} // namespace na::os
+
+#endif // NETAFFINITY_OS_TASK_HH

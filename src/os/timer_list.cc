@@ -1,0 +1,100 @@
+#include "src/os/timer_list.hh"
+
+#include <vector>
+
+#include "src/os/exec_context.hh"
+#include "src/os/processor.hh"
+#include "src/sim/logging.hh"
+
+namespace na::os {
+
+TimerList::TimerList(stats::Group *parent)
+    : stats::Group(parent, "timers"),
+      armedTotal(this, "armed", "timers armed"),
+      firedTotal(this, "fired", "timers fired"),
+      cancelledTotal(this, "cancelled", "timers cancelled before firing")
+{
+}
+
+TimerId
+TimerList::arm(sim::CpuId cpu, sim::Tick expiry, Callback cb)
+{
+    const TimerId id = nextId++;
+    byId.emplace(id, Entry{cpu, expiry, std::move(cb)});
+    byExpiry.emplace(expiry, id);
+    ++armedTotal;
+    return id;
+}
+
+bool
+TimerList::cancel(TimerId id)
+{
+    auto it = byId.find(id);
+    if (it == byId.end())
+        return false;
+    auto range = byExpiry.equal_range(it->second.expiry);
+    for (auto e = range.first; e != range.second; ++e) {
+        if (e->second == id) {
+            byExpiry.erase(e);
+            break;
+        }
+    }
+    byId.erase(it);
+    ++cancelledTotal;
+    return true;
+}
+
+bool
+TimerList::armed(TimerId id) const
+{
+    return byId.count(id) != 0;
+}
+
+int
+TimerList::runExpired(ExecContext &ctx)
+{
+    const sim::CpuId cpu = ctx.cpuId();
+    const sim::Tick now = ctx.proc.dispatchStart();
+
+    // Collect expired ids for this CPU first; callbacks may arm new
+    // timers, which must not run in this pass.
+    std::vector<TimerId> due;
+    for (auto it = byExpiry.begin();
+         it != byExpiry.end() && it->first <= now; ++it) {
+        const auto &entry = byId.at(it->second);
+        if (entry.cpu == cpu)
+            due.push_back(it->second);
+    }
+
+    int fired = 0;
+    for (TimerId id : due) {
+        auto it = byId.find(id);
+        if (it == byId.end())
+            continue; // cancelled by an earlier callback this pass
+        Callback cb = std::move(it->second.cb);
+        auto range = byExpiry.equal_range(it->second.expiry);
+        for (auto e = range.first; e != range.second; ++e) {
+            if (e->second == id) {
+                byExpiry.erase(e);
+                break;
+            }
+        }
+        byId.erase(it);
+        ++firedTotal;
+        ++fired;
+        cb(ctx);
+    }
+    return fired;
+}
+
+sim::Tick
+TimerList::nextExpiry(sim::CpuId cpu) const
+{
+    for (const auto &[expiry, id] : byExpiry) {
+        if (byId.at(id).cpu == cpu)
+            return expiry;
+    }
+    return sim::maxTick;
+}
+
+} // namespace na::os

@@ -1,0 +1,93 @@
+#include "src/prof/accounting.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace na::prof {
+
+BinAccounting::BinAccounting(int num_cpus) : nCpus(num_cpus)
+{
+    if (num_cpus <= 0)
+        sim::fatal("BinAccounting: num_cpus must be positive");
+    counts.assign(static_cast<std::size_t>(nCpus) * numFuncs * numEvents,
+                  0);
+}
+
+void
+BinAccounting::add(sim::CpuId cpu, FuncId func, Event ev,
+                   std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (cpu < 0 || cpu >= nCpus)
+        sim::panic("BinAccounting::add: bad cpu %d", cpu);
+    counts[index(cpu, func, ev)] += count;
+    if (listener)
+        listener->onEvents(cpu, func, ev, count);
+}
+
+std::uint64_t
+BinAccounting::get(sim::CpuId cpu, FuncId func, Event ev) const
+{
+    return counts[index(cpu, func, ev)];
+}
+
+std::uint64_t
+BinAccounting::byFunc(FuncId func, Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (int c = 0; c < nCpus; ++c)
+        sum += get(c, func, ev);
+    return sum;
+}
+
+std::uint64_t
+BinAccounting::byBin(Bin bin, Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t f = 0; f < numFuncs; ++f) {
+        const auto id = static_cast<FuncId>(f);
+        if (funcDesc(id).bin == bin)
+            sum += byFunc(id, ev);
+    }
+    return sum;
+}
+
+std::uint64_t
+BinAccounting::byBinCpu(sim::CpuId cpu, Bin bin, Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t f = 0; f < numFuncs; ++f) {
+        const auto id = static_cast<FuncId>(f);
+        if (funcDesc(id).bin == bin)
+            sum += get(cpu, id, ev);
+    }
+    return sum;
+}
+
+std::uint64_t
+BinAccounting::total(Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t f = 0; f < numFuncs; ++f)
+        sum += byFunc(static_cast<FuncId>(f), ev);
+    return sum;
+}
+
+std::uint64_t
+BinAccounting::totalCpu(sim::CpuId cpu, Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t f = 0; f < numFuncs; ++f)
+        sum += get(cpu, static_cast<FuncId>(f), ev);
+    return sum;
+}
+
+void
+BinAccounting::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+}
+
+} // namespace na::prof

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The paper's functional bins and architectural event kinds.
+ *
+ * Section 6.1 of Foong et al. separates ~300 Linux-2.4.20 procedures into
+ * seven basic blocks of TCP functionality; every simulated stack function
+ * belongs to exactly one bin. Events are the hardware-counter quantities
+ * the study monitors.
+ */
+
+#ifndef NETAFFINITY_PROF_BINS_HH
+#define NETAFFINITY_PROF_BINS_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace na::prof {
+
+/** Functional bins of TCP processing (paper Table 1 rows). */
+enum class Bin : std::uint8_t
+{
+    Interface, ///< syscalls, BSD sockets API, schedule-related glue
+    Engine,    ///< TCP/IP protocol state machine
+    BufMgmt,   ///< skbuff/slab and TCP control-structure manipulation
+    Copies,    ///< payload data movement only
+    Driver,    ///< NIC ISR, descriptor work, softirq dispatch
+    Locks,     ///< spinlock acquisition/release incl. contention spins
+    Timers,    ///< TCP timers, do_gettimeofday, tick bookkeeping
+    User,      ///< application code outside the stack (ttcp loop)
+    NumBins
+};
+
+constexpr std::size_t numBins = static_cast<std::size_t>(Bin::NumBins);
+
+/** @return short display name, matching the paper's table rows. */
+constexpr std::string_view
+binName(Bin b)
+{
+    switch (b) {
+      case Bin::Interface: return "Interface";
+      case Bin::Engine:    return "Engine";
+      case Bin::BufMgmt:   return "Buf Mgmt";
+      case Bin::Copies:    return "Copies";
+      case Bin::Driver:    return "Driver";
+      case Bin::Locks:     return "Locks";
+      case Bin::Timers:    return "Timers";
+      case Bin::User:      return "User";
+      default:             return "?";
+    }
+}
+
+/** Architectural events monitored by the study (paper Fig. 5 rows). */
+enum class Event : std::uint8_t
+{
+    Cycles,
+    Instructions,
+    Branches,
+    BrMispredicts,
+    LlcMisses,    ///< last-level (L3) cache misses
+    L2Misses,
+    TcMisses,     ///< trace cache misses
+    ItlbMisses,   ///< page walks from instruction fetch
+    DtlbMisses,   ///< page walks from data access
+    MachineClears,///< pipeline flushes: interrupts, IPIs, mem ordering
+    NumEvents
+};
+
+constexpr std::size_t numEvents =
+    static_cast<std::size_t>(Event::NumEvents);
+
+/** @return display name for an event. */
+constexpr std::string_view
+eventName(Event e)
+{
+    switch (e) {
+      case Event::Cycles:        return "cycles";
+      case Event::Instructions:  return "instructions";
+      case Event::Branches:      return "branches";
+      case Event::BrMispredicts: return "br_mispredicts";
+      case Event::LlcMisses:     return "llc_misses";
+      case Event::L2Misses:      return "l2_misses";
+      case Event::TcMisses:      return "tc_misses";
+      case Event::ItlbMisses:    return "itlb_misses";
+      case Event::DtlbMisses:    return "dtlb_misses";
+      case Event::MachineClears: return "machine_clears";
+      default:                   return "?";
+    }
+}
+
+/** Iterable list of all bins (excluding the NumBins sentinel). */
+constexpr std::array<Bin, numBins> allBins = {
+    Bin::Interface, Bin::Engine, Bin::BufMgmt, Bin::Copies,
+    Bin::Driver, Bin::Locks, Bin::Timers, Bin::User,
+};
+
+/** Iterable list of all events. */
+constexpr std::array<Event, numEvents> allEvents = {
+    Event::Cycles, Event::Instructions, Event::Branches,
+    Event::BrMispredicts, Event::LlcMisses, Event::L2Misses,
+    Event::TcMisses, Event::ItlbMisses, Event::DtlbMisses,
+    Event::MachineClears,
+};
+
+} // namespace na::prof
+
+#endif // NETAFFINITY_PROF_BINS_HH

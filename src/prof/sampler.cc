@@ -1,0 +1,110 @@
+#include "src/prof/sampler.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace na::prof {
+
+SampleProfiler::SampleProfiler(int num_cpus, std::uint64_t seed)
+    : nCpus(num_cpus), rng(seed)
+{
+    if (num_cpus <= 0)
+        sim::fatal("SampleProfiler: num_cpus must be positive");
+    residual.assign(static_cast<std::size_t>(nCpus) * numEvents, 0);
+    pendingSkid.assign(static_cast<std::size_t>(nCpus) * numEvents, 0);
+    sampleCounts.assign(
+        static_cast<std::size_t>(nCpus) * numFuncs * numEvents, 0);
+}
+
+void
+SampleProfiler::setSamplingInterval(Event ev, std::uint64_t interval_n)
+{
+    interval[static_cast<std::size_t>(ev)] = interval_n;
+}
+
+void
+SampleProfiler::onEvents(sim::CpuId cpu, FuncId func, Event ev,
+                         std::uint64_t count)
+{
+    const std::uint64_t n = interval[static_cast<std::size_t>(ev)];
+    if (n == 0)
+        return;
+
+    // Deliver any skidded samples from the previous overflow to this
+    // (the next-executing) function.
+    const std::size_t ce = cpuEventIndex(cpu, ev);
+    if (pendingSkid[ce]) {
+        sampleCounts[cellIndex(cpu, func, ev)] += pendingSkid[ce];
+        pendingSkid[ce] = 0;
+    }
+
+    // Jittered sampling: the gap to the next sample is uniform in
+    // [0.5n, 1.5n) (mean n). A fixed gap aliases badly against the
+    // periodic event patterns simulations produce.
+    std::uint64_t remaining = residual[ce];
+    std::uint64_t left = count;
+    while (left >= remaining) {
+        left -= remaining;
+        remaining = std::max<std::uint64_t>(
+            1, n / 2 + rng.next() % (n | 1));
+        if (rng.chance(skidProb)) {
+            ++pendingSkid[ce];
+        } else {
+            ++sampleCounts[cellIndex(cpu, func, ev)];
+        }
+    }
+    residual[ce] = remaining - left;
+}
+
+std::uint64_t
+SampleProfiler::samples(sim::CpuId cpu, FuncId func, Event ev) const
+{
+    return sampleCounts[cellIndex(cpu, func, ev)];
+}
+
+std::uint64_t
+SampleProfiler::totalSamples(sim::CpuId cpu, Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t f = 0; f < numFuncs; ++f)
+        sum += samples(cpu, static_cast<FuncId>(f), ev);
+    return sum;
+}
+
+std::vector<SampleRow>
+SampleProfiler::topFunctions(sim::CpuId cpu, Event ev,
+                             std::size_t n) const
+{
+    std::vector<SampleRow> rows;
+    const double total =
+        static_cast<double>(totalSamples(cpu, ev));
+    for (std::size_t f = 0; f < numFuncs; ++f) {
+        const auto id = static_cast<FuncId>(f);
+        const std::uint64_t s = samples(cpu, id, ev);
+        if (s == 0)
+            continue;
+        rows.push_back(SampleRow{
+            id, s, total > 0 ? 100.0 * static_cast<double>(s) / total
+                             : 0.0});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const SampleRow &a, const SampleRow &b) {
+                  if (a.samples != b.samples)
+                      return a.samples > b.samples;
+                  return a.func < b.func;
+              });
+    if (rows.size() > n)
+        rows.resize(n);
+    return rows;
+}
+
+void
+SampleProfiler::reset()
+{
+    std::fill(residual.begin(), residual.end(), 0);
+    std::fill(pendingSkid.begin(), pendingSkid.end(), 0);
+    std::fill(sampleCounts.begin(), sampleCounts.end(), 0);
+}
+
+} // namespace na::prof

@@ -1,0 +1,169 @@
+#include "src/sim/event_queue.hh"
+
+#include <unordered_set>
+
+#include "src/sim/logging.hh"
+
+namespace na::sim {
+
+Event::Event(std::string name, int priority)
+    : _name(std::move(name)), _priority(priority)
+{
+}
+
+Event::~Event()
+{
+    // Owners must deschedule before destruction; we cannot reach back
+    // into the queue from here (we do not know which queue), so just
+    // flag the bug.
+    if (_scheduled)
+        panic("event '%s' destroyed while scheduled", _name.c_str());
+}
+
+LambdaEvent::LambdaEvent(std::string name, std::function<void()> fn,
+                         int priority)
+    : Event(std::move(name), priority), fn(std::move(fn))
+{
+}
+
+void
+LambdaEvent::process()
+{
+    fn();
+}
+
+namespace {
+
+/**
+ * Owned (queue-allocated) one-shot events. Deleted after firing or on
+ * deschedule. Kept as a wrapper so EventQueue can recognize them.
+ */
+class OwnedLambdaEvent : public LambdaEvent
+{
+  public:
+    using LambdaEvent::LambdaEvent;
+};
+
+} // namespace
+
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue()
+{
+    // Free any owned events still pending.
+    while (!queue.empty()) {
+        Entry e = queue.top();
+        queue.pop();
+        if (e.ev->_scheduled && e.ev->_seq == e.seq) {
+            e.ev->_scheduled = false;
+            if (dynamic_cast<OwnedLambdaEvent *>(e.ev))
+                delete e.ev;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled)
+        panic("event '%s' scheduled twice", ev->name().c_str());
+    if (when < curTick)
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              ev->name().c_str(), (unsigned long long)when,
+              (unsigned long long)curTick);
+    ev->_scheduled = true;
+    ev->_when = when;
+    ev->_seq = nextSeq++;
+    queue.push(Entry{when, ev->priority(), ev->_seq, ev});
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->_scheduled)
+        return;
+    ev->_scheduled = false;
+    ev->_when = maxTick;
+    ++numDescheduled;
+    // The heap entry stays and is skipped lazily on pop (seq mismatch /
+    // unscheduled flag). Owned one-shots are freed when their stale
+    // entry drains, so a descheduled owned event must stay alive until
+    // then — which it does, because only pop deletes it.
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    deschedule(ev);
+    schedule(ev, when);
+}
+
+Event *
+EventQueue::scheduleLambda(Tick when, std::string name,
+                           std::function<void()> fn, int priority)
+{
+    auto *ev = new OwnedLambdaEvent(std::move(name), std::move(fn),
+                                    priority);
+    schedule(ev, when);
+    return ev;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue.empty()) {
+        Entry e = queue.top();
+        queue.pop();
+        Event *ev = e.ev;
+        const bool live = ev->_scheduled && ev->_seq == e.seq;
+        if (!live) {
+            // Stale entry from a deschedule/reschedule.
+            if (numDescheduled > 0)
+                --numDescheduled;
+            // Owned events are freed when their last stale entry drains
+            // and they are no longer scheduled.
+            if (!ev->_scheduled && dynamic_cast<OwnedLambdaEvent *>(ev))
+                delete ev;
+            continue;
+        }
+        if (e.when < curTick)
+            panic("event queue time went backwards");
+        curTick = e.when;
+        ev->_scheduled = false;
+        ev->_when = maxTick;
+        ev->process();
+        ++numProcessed;
+        if (!ev->_scheduled && dynamic_cast<OwnedLambdaEvent *>(ev))
+            delete ev;
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!queue.empty()) {
+        const Entry &top = queue.top();
+        Event *ev = top.ev;
+        const bool live = ev->_scheduled && ev->_seq == top.seq;
+        if (!live) {
+            Entry e = top;
+            queue.pop();
+            if (numDescheduled > 0)
+                --numDescheduled;
+            if (!e.ev->_scheduled &&
+                dynamic_cast<OwnedLambdaEvent *>(e.ev)) {
+                delete e.ev;
+            }
+            continue;
+        }
+        if (top.when > until)
+            break;
+        runOne();
+    }
+    if (curTick < until)
+        curTick = until;
+}
+
+} // namespace na::sim

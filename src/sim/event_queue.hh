@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * Every timed behaviour in the simulator (packet arrivals, CPU work-chunk
+ * completions, timer ticks, scheduler balancing) is an Event scheduled on
+ * one global EventQueue. Events at the same tick are delivered in
+ * (priority, insertion-order) order so runs are deterministic.
+ */
+
+#ifndef NETAFFINITY_SIM_EVENT_QUEUE_HH
+#define NETAFFINITY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace na::sim {
+
+class EventQueue;
+
+/**
+ * A schedulable unit of simulated behaviour.
+ *
+ * Subclass and implement process(), or use LambdaEvent for one-off
+ * callbacks. Events do not own themselves; the creator controls lifetime
+ * and must keep the event alive while scheduled.
+ */
+class Event
+{
+  public:
+    /**
+     * Delivery priorities for events that fire on the same tick.
+     * Lower numeric value is delivered first.
+     */
+    enum Priority
+    {
+        interruptPrio = 0, ///< hardware interrupt delivery
+        defaultPrio = 10,  ///< ordinary simulation events
+        schedulerPrio = 20,///< OS scheduling decisions
+        statsPrio = 30,    ///< sampling / statistics
+    };
+
+    explicit Event(std::string name = "event", int priority = defaultPrio);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called when the event fires. */
+    virtual void process() = 0;
+
+    /** @return true if currently scheduled on a queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** @return tick this event is scheduled for (maxTick if not). */
+    Tick when() const { return _when; }
+
+    /** @return descriptive name for tracing and panics. */
+    const std::string &name() const { return _name; }
+
+    /** @return same-tick delivery priority. */
+    int priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    std::string _name;
+    int _priority;
+    bool _scheduled = false;
+    Tick _when = maxTick;
+    std::uint64_t _seq = 0; ///< insertion order for deterministic ties
+};
+
+/** An Event that invokes a std::function when processed. */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::string name, std::function<void()> fn,
+                int priority = defaultPrio);
+
+    void process() override;
+
+  private:
+    std::function<void()> fn;
+};
+
+/**
+ * The global time-ordered event queue.
+ *
+ * Owns current simulated time. Does not own events, except those
+ * scheduled through scheduleLambda(), which are deleted after firing
+ * or at queue destruction.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule @p ev at absolute time @p when.
+     * @pre when >= now() and ev not already scheduled.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove @p ev from the queue. No-op if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) then schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Schedule a one-shot callback; the queue owns and frees the
+     * underlying event after it fires.
+     * @return the created event (valid until it fires).
+     */
+    Event *scheduleLambda(Tick when, std::string name,
+                          std::function<void()> fn,
+                          int priority = Event::defaultPrio);
+
+    /** @return true if no events are pending. */
+    bool empty() const { return queue.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t size() const { return queue.size(); }
+
+    /** @return number of events processed since construction. */
+    std::uint64_t processedCount() const { return numProcessed; }
+
+    /**
+     * Run until the queue empties or simulated time would exceed
+     * @p until. Events exactly at @p until are processed.
+     * Advances now() to @p until (or the last event time if the queue
+     * drains first and that is later).
+     */
+    void runUntil(Tick until);
+
+    /** Run a single event. @return false if the queue was empty. */
+    bool runOne();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
+    };
+
+    struct EntryCompare
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numProcessed = 0;
+    std::size_t numDescheduled = 0; ///< stale entries still in the heap
+};
+
+} // namespace na::sim
+
+#endif // NETAFFINITY_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal simulator invariant was violated; aborts.
+ * fatal()  - the user configured something impossible; exits cleanly.
+ * warn()   - something is approximated or suspicious but survivable.
+ * inform() - plain status output.
+ */
+
+#ifndef NETAFFINITY_SIM_LOGGING_HH
+#define NETAFFINITY_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace na::sim {
+
+/** Abort the simulation: an internal invariant was violated (a bug). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit the simulation: user error (bad configuration or arguments). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about survivable but suspicious conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (benchmarks use this). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() are currently silenced. */
+bool isQuiet();
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace na::sim
+
+#endif // NETAFFINITY_SIM_LOGGING_HH

@@ -1,0 +1,93 @@
+#include "src/sim/random.hh"
+
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace na::sim {
+
+Random::Random(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+std::uint64_t
+Random::splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Random::rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+void
+Random::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Random::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Random::range(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Random::range: lo (%llu) > hi (%llu)",
+              (unsigned long long)lo, (unsigned long long)hi);
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    return lo + next() % span;
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Random::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+} // namespace na::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef NETAFFINITY_SIM_SIM_OBJECT_HH
+#define NETAFFINITY_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+
+namespace na::sim {
+
+/**
+ * A named component attached to an event queue. Provides uniform access
+ * to simulated time and a stable name for tracing and statistics.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), _eq(eq)
+    {
+    }
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** @return hierarchical object name (e.g. "sut.cpu0.l2"). */
+    const std::string &name() const { return _name; }
+
+    /** @return the event queue this object schedules on. */
+    EventQueue &eventQueue() const { return _eq; }
+
+    /** @return current simulated time. */
+    Tick now() const { return _eq.now(); }
+
+  private:
+    std::string _name;
+    EventQueue &_eq;
+};
+
+} // namespace na::sim
+
+#endif // NETAFFINITY_SIM_SIM_OBJECT_HH

@@ -1,0 +1,101 @@
+#include "src/sim/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/sim/logging.hh"
+
+namespace na::sim {
+
+namespace {
+
+std::uint64_t lineCount = 0;
+
+std::uint32_t
+parseSpec(const char *spec)
+{
+    std::uint32_t mask = 0;
+    std::string s(spec ? spec : "");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string tok = s.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok == "all") {
+            mask = static_cast<std::uint32_t>(TraceFlag::All);
+        } else if (tok == "event") {
+            mask |= static_cast<std::uint32_t>(TraceFlag::Event);
+        } else if (tok == "cache") {
+            mask |= static_cast<std::uint32_t>(TraceFlag::Cache);
+        } else if (tok == "sched") {
+            mask |= static_cast<std::uint32_t>(TraceFlag::Sched);
+        } else if (tok == "irq") {
+            mask |= static_cast<std::uint32_t>(TraceFlag::Irq);
+        } else if (tok == "tcp") {
+            mask |= static_cast<std::uint32_t>(TraceFlag::Tcp);
+        } else if (tok == "nic") {
+            mask |= static_cast<std::uint32_t>(TraceFlag::Nic);
+        } else if (tok == "socket") {
+            mask |= static_cast<std::uint32_t>(TraceFlag::Socket);
+        } else if (!tok.empty()) {
+            warn("NA_TRACE: unknown category '%s'", tok.c_str());
+        }
+    }
+    return mask;
+}
+
+/** Lazily seeded from the NA_TRACE environment variable. */
+std::uint32_t &
+mask()
+{
+    static std::uint32_t m = parseSpec(std::getenv("NA_TRACE"));
+    return m;
+}
+
+} // namespace
+
+bool
+traceEnabled(TraceFlag flag)
+{
+    return (mask() & static_cast<std::uint32_t>(flag)) != 0;
+}
+
+void
+setTraceFlag(TraceFlag flag, bool enabled)
+{
+    if (enabled)
+        mask() |= static_cast<std::uint32_t>(flag);
+    else
+        mask() &= ~static_cast<std::uint32_t>(flag);
+}
+
+void
+setTraceFlagsFromString(const char *spec)
+{
+    mask() = parseSpec(spec);
+}
+
+void
+traceLine(TraceFlag flag, Tick now, const char *fmt, ...)
+{
+    (void)flag;
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%12llu: %s\n", (unsigned long long)now,
+                 msg.c_str());
+    ++lineCount;
+}
+
+std::uint64_t
+traceLineCount()
+{
+    return lineCount;
+}
+
+} // namespace na::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Category-gated debug tracing (gem5's DPRINTF, scaled down).
+ *
+ * Categories are compiled in but disabled by default; enable per
+ * category at runtime (or via the NA_TRACE environment variable, a
+ * comma-separated list, read on first use — "all" enables everything).
+ * Each line is stamped with the current tick of the queue passed in.
+ *
+ * Usage:
+ *   NA_TRACE_LOG(Tcp, eq, "retransmit seq=%llu", (unsigned long long)s);
+ */
+
+#ifndef NETAFFINITY_SIM_TRACE_HH
+#define NETAFFINITY_SIM_TRACE_HH
+
+#include <cstdint>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+
+namespace na::sim {
+
+/** Trace categories, one bit each. */
+enum class TraceFlag : std::uint32_t
+{
+    Event = 1u << 0,   ///< event queue activity
+    Cache = 1u << 1,   ///< coherence traffic
+    Sched = 1u << 2,   ///< scheduler decisions
+    Irq = 1u << 3,     ///< interrupt routing/delivery
+    Tcp = 1u << 4,     ///< protocol state transitions
+    Nic = 1u << 5,     ///< rings, DMA, moderation
+    Socket = 1u << 6,  ///< syscall-side socket activity
+    All = 0xffffffffu,
+};
+
+/** @return true if @p flag is currently enabled. */
+bool traceEnabled(TraceFlag flag);
+
+/** Enable/disable a category (or TraceFlag::All). */
+void setTraceFlag(TraceFlag flag, bool enabled);
+
+/** Parse a comma-separated category list ("tcp,irq" or "all"). */
+void setTraceFlagsFromString(const char *spec);
+
+/** Emit one trace line (already gated by the macro). */
+void traceLine(TraceFlag flag, Tick now, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** @return lines emitted since process start (tests). */
+std::uint64_t traceLineCount();
+
+} // namespace na::sim
+
+/** Gated trace: evaluates arguments only when the category is on. */
+#define NA_TRACE_LOG(flag, eq, ...)                                       \
+    do {                                                                  \
+        if (::na::sim::traceEnabled(::na::sim::TraceFlag::flag)) {        \
+            ::na::sim::traceLine(::na::sim::TraceFlag::flag,              \
+                                 (eq).now(), __VA_ARGS__);                \
+        }                                                                 \
+    } while (0)
+
+#endif // NETAFFINITY_SIM_TRACE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every module.
+ *
+ * The simulator counts time in *ticks*. One tick equals one cycle of the
+ * system-under-test's CPUs (2 GHz Xeon-class cores by default, see
+ * cpu::PlatformConfig), so converting between seconds and ticks always
+ * goes through the platform's core frequency.
+ */
+
+#ifndef NETAFFINITY_SIM_TYPES_HH
+#define NETAFFINITY_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace na::sim {
+
+/** Simulated time in CPU cycles (2 GHz by default). */
+using Tick = std::uint64_t;
+
+/** A tick value meaning "never" / unscheduled. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Simulated physical address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a CPU in the SMP system. */
+using CpuId = int;
+
+/** CpuId value meaning "no CPU". */
+constexpr CpuId invalidCpu = -1;
+
+/** Convert seconds to ticks at a given core frequency (Hz). */
+constexpr Tick
+secondsToTicks(double seconds, double freq_hz)
+{
+    return static_cast<Tick>(seconds * freq_hz);
+}
+
+/** Convert ticks to seconds at a given core frequency (Hz). */
+constexpr double
+ticksToSeconds(Tick ticks, double freq_hz)
+{
+    return static_cast<double>(ticks) / freq_hz;
+}
+
+} // namespace na::sim
+
+#endif // NETAFFINITY_SIM_TYPES_HH

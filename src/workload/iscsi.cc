@@ -1,0 +1,81 @@
+#include "src/workload/iscsi.hh"
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+
+namespace na::workload {
+
+IscsiApp::IscsiApp(stats::Group *parent, const std::string &name,
+                   os::Kernel &kernel_ref, net::Socket &socket_ref,
+                   const IscsiConfig &config)
+    : stats::Group(parent, name),
+      ops(this, "ops", "storage operations completed"),
+      bytesOut(this, "bytes_out", "bytes sent to the target"),
+      bytesIn(this, "bytes_in", "bytes received from the target"),
+      kernel(kernel_ref), socket(socket_ref), cfg(config),
+      cmdBuf(kernel_ref.addressSpace().alloc(mem::Region::UserData,
+                                             config.cdbBytes)),
+      dataBuf(kernel_ref.addressSpace().alloc(
+          mem::Region::UserData, config.blockBytes + config.cdbBytes))
+{
+}
+
+os::StepStatus
+IscsiApp::step(os::ExecContext &ctx)
+{
+    if (phase == Phase::Connect) {
+        if (!socket.established()) {
+            socket.connect(ctx);
+            if (!socket.established())
+                return os::StepStatus::Blocked;
+        }
+        phase = Phase::SendCommand;
+    }
+
+    if (phase == Phase::SendCommand) {
+        const std::uint32_t req = iscsiRequestBytes(cfg);
+        if (!inSyscall) {
+            // Build the CDB and issue the write syscall.
+            ctx.charge(prof::FuncId::UserApp, 120,
+                       {cpu::MemTouch{cmdBuf, cfg.cdbBytes, true}});
+            ctx.charge(prof::FuncId::SysWrite, 350, {});
+            inSyscall = true;
+            sendOffset = 0;
+        }
+        const std::uint32_t n =
+            socket.send(ctx, dataBuf + sendOffset, req - sendOffset);
+        sendOffset += n;
+        bytesOut += n;
+        if (sendOffset < req) {
+            // Blocking write continues when woken.
+            return ctx.task->state == os::TaskState::Blocked
+                       ? os::StepStatus::Blocked
+                       : os::StepStatus::Continue;
+        }
+        inSyscall = false;
+        phase = Phase::AwaitResponse;
+        recvRemaining = iscsiResponseBytes(cfg);
+        return os::StepStatus::Continue;
+    }
+
+    // AwaitResponse
+    if (!inSyscall) {
+        ctx.charge(prof::FuncId::SysRead, 350, {});
+        inSyscall = true;
+    }
+    const int r = socket.recv(ctx, dataBuf, recvRemaining);
+    if (r == 0)
+        return os::StepStatus::Blocked;
+    inSyscall = false;
+    if (r < 0)
+        return os::StepStatus::Exited;
+    bytesIn += r;
+    recvRemaining -= static_cast<std::uint32_t>(r);
+    if (recvRemaining == 0) {
+        ++ops;
+        phase = Phase::SendCommand;
+    }
+    return os::StepStatus::Continue;
+}
+
+} // namespace na::workload

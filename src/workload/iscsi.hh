@@ -1,0 +1,110 @@
+/**
+ * @file
+ * An iSCSI-style storage initiator (the paper's future-work workload:
+ * "file IO benchmark over iSCSI/TCP").
+ *
+ * Each instance owns one connection to a storage target (a
+ * net::RemotePeer in Responder role) and issues fixed-geometry
+ * commands: READ ops send a 48-byte CDB and receive a data-in burst;
+ * WRITE ops send CDB + data-out and receive a 48-byte response. This
+ * exercises the same network fast path as ttcp but with a
+ * request/response pattern and bidirectional traffic.
+ */
+
+#ifndef NETAFFINITY_WORKLOAD_ISCSI_HH
+#define NETAFFINITY_WORKLOAD_ISCSI_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/socket.hh"
+#include "src/os/task.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+class ExecContext;
+class Kernel;
+} // namespace na::os
+
+namespace na::workload {
+
+/** SCSI op direction for one initiator instance. */
+enum class IscsiOp
+{
+    Read,  ///< data-in: small command out, block in
+    Write, ///< data-out: command + block out, small response in
+};
+
+/** iSCSI initiator parameters. */
+struct IscsiConfig
+{
+    IscsiOp op = IscsiOp::Read;
+    std::uint32_t blockBytes = 64 * 1024; ///< data per op
+    std::uint32_t cdbBytes = 48;          ///< command/response header
+};
+
+/** @return bytes the initiator sends per op. */
+constexpr std::uint32_t
+iscsiRequestBytes(const IscsiConfig &c)
+{
+    return c.op == IscsiOp::Write ? c.cdbBytes + c.blockBytes
+                                  : c.cdbBytes;
+}
+
+/** @return bytes the target returns per op. */
+constexpr std::uint32_t
+iscsiResponseBytes(const IscsiConfig &c)
+{
+    return c.op == IscsiOp::Read ? c.cdbBytes + c.blockBytes
+                                 : c.cdbBytes;
+}
+
+/** One iSCSI initiator process. */
+class IscsiApp : public os::TaskLogic, public stats::Group
+{
+  public:
+    IscsiApp(stats::Group *parent, const std::string &name,
+             os::Kernel &kernel, net::Socket &socket,
+             const IscsiConfig &config);
+
+    os::StepStatus step(os::ExecContext &ctx) override;
+
+    std::uint64_t opsCompleted() const
+    {
+        return static_cast<std::uint64_t>(ops.value());
+    }
+
+    /** @return payload bytes moved in the op's data direction. */
+    std::uint64_t
+    dataBytesMoved() const
+    {
+        return opsCompleted() * cfg.blockBytes;
+    }
+
+    stats::Scalar ops;
+    stats::Scalar bytesOut;
+    stats::Scalar bytesIn;
+
+  private:
+    enum class Phase
+    {
+        Connect,
+        SendCommand,
+        AwaitResponse,
+    };
+
+    os::Kernel &kernel;
+    net::Socket &socket;
+    IscsiConfig cfg;
+    sim::Addr cmdBuf;
+    sim::Addr dataBuf;
+    Phase phase = Phase::Connect;
+    bool inSyscall = false;
+    std::uint32_t sendOffset = 0;
+    std::uint32_t recvRemaining = 0;
+};
+
+} // namespace na::workload
+
+#endif // NETAFFINITY_WORKLOAD_ISCSI_HH

@@ -1,0 +1,86 @@
+#include "src/workload/ttcp.hh"
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+
+namespace na::workload {
+
+TtcpApp::TtcpApp(stats::Group *parent, const std::string &name,
+                 os::Kernel &kernel_ref, net::Socket &socket_ref,
+                 const TtcpConfig &config)
+    : stats::Group(parent, name),
+      appBytesWritten(this, "bytes_written", "application bytes written"),
+      appBytesRead(this, "bytes_read", "application bytes read"),
+      syscalls(this, "syscalls", "read/write syscalls issued"),
+      kernel(kernel_ref), socket(socket_ref), cfg(config),
+      userBuf(kernel_ref.addressSpace().alloc(mem::Region::UserData,
+                                              config.msgSize))
+{
+}
+
+os::StepStatus
+TtcpApp::step(os::ExecContext &ctx)
+{
+    if (phase == Phase::Connect) {
+        if (socket.established()) {
+            phase = Phase::Run;
+        } else {
+            socket.connect(ctx);
+            if (!socket.established())
+                return os::StepStatus::Blocked;
+            phase = Phase::Run;
+        }
+    }
+    return cfg.mode == TtcpMode::Transmit ? stepTransmit(ctx)
+                                          : stepReceive(ctx);
+}
+
+os::StepStatus
+TtcpApp::stepTransmit(os::ExecContext &ctx)
+{
+    if (!inSyscall) {
+        // The app's own loop plus syscall entry.
+        ctx.charge(prof::FuncId::TtcpLoop, 50, {});
+        ctx.charge(prof::FuncId::SysWrite, 350, {});
+        ++syscalls;
+        inSyscall = true;
+        writeOffset = 0;
+        writeRemaining = cfg.msgSize;
+    }
+
+    const std::uint32_t n =
+        socket.send(ctx, userBuf + writeOffset, writeRemaining);
+    writeOffset += n;
+    writeRemaining -= n;
+    if (writeRemaining == 0) {
+        inSyscall = false;
+        appBytesWritten += cfg.msgSize;
+    }
+    // A short copy means the syscall went to sleep inside the kernel
+    // (blocking write); it resumes where it left off when woken.
+    if (ctx.task->state == os::TaskState::Blocked)
+        return os::StepStatus::Blocked;
+    return os::StepStatus::Continue;
+}
+
+os::StepStatus
+TtcpApp::stepReceive(os::ExecContext &ctx)
+{
+    if (!inSyscall) {
+        ctx.charge(prof::FuncId::TtcpLoop, 50, {});
+        ctx.charge(prof::FuncId::SysRead, 350, {});
+        ++syscalls;
+        inSyscall = true;
+    }
+
+    const int r = socket.recv(ctx, userBuf, cfg.msgSize);
+    if (r == 0)
+        return os::StepStatus::Blocked;
+    inSyscall = false;
+    if (r < 0)
+        return os::StepStatus::Exited;
+    appBytesRead += r;
+    return os::StepStatus::Continue;
+}
+
+} // namespace na::workload

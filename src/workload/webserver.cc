@@ -1,0 +1,82 @@
+#include "src/workload/webserver.hh"
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+
+namespace na::workload {
+
+WebServerApp::WebServerApp(stats::Group *parent, const std::string &name,
+                           os::Kernel &kernel_ref,
+                           net::Socket &socket_ref,
+                           const WebServerConfig &config)
+    : stats::Group(parent, name),
+      requests(this, "requests", "HTTP requests served"),
+      bytesServed(this, "bytes_served", "response payload bytes"),
+      kernel(kernel_ref), socket(socket_ref), cfg(config),
+      reqBuf(kernel_ref.addressSpace().alloc(mem::Region::UserData,
+                                             config.requestBytes)),
+      templateBuf(kernel_ref.addressSpace().alloc(
+          mem::Region::UserData, config.responseBytes))
+{
+}
+
+os::StepStatus
+WebServerApp::step(os::ExecContext &ctx)
+{
+    if (phase == Phase::Connect) {
+        if (!socket.established()) {
+            socket.connect(ctx);
+            if (!socket.established())
+                return os::StepStatus::Blocked;
+        }
+        phase = Phase::ReadRequest;
+    }
+
+    if (phase == Phase::ReadRequest) {
+        if (!inSyscall) {
+            ctx.charge(prof::FuncId::SysRead, 350, {});
+            inSyscall = true;
+        }
+        const int r = socket.recv(ctx, reqBuf + reqGot,
+                                  cfg.requestBytes - reqGot);
+        if (r == 0)
+            return os::StepStatus::Blocked;
+        inSyscall = false;
+        if (r < 0)
+            return os::StepStatus::Exited;
+        reqGot += static_cast<std::uint32_t>(r);
+        if (reqGot < cfg.requestBytes)
+            return os::StepStatus::Continue;
+
+        // Parse the request and build headers: user-space compute over
+        // the warm template (quasi-static content).
+        ctx.charge(prof::FuncId::UserApp, cfg.appInstrPerRequest,
+                   {cpu::MemTouch{reqBuf, cfg.requestBytes, false},
+                    cpu::MemTouch{templateBuf, 256, false}});
+        phase = Phase::SendResponse;
+        respSent = 0;
+        reqGot = 0;
+        return os::StepStatus::Continue;
+    }
+
+    // SendResponse
+    if (!inSyscall) {
+        ctx.charge(prof::FuncId::SysWrite, 350, {});
+        inSyscall = true;
+    }
+    const std::uint32_t n = socket.send(
+        ctx, templateBuf + respSent, cfg.responseBytes - respSent);
+    respSent += n;
+    bytesServed += n;
+    if (respSent < cfg.responseBytes) {
+        return ctx.task->state == os::TaskState::Blocked
+                   ? os::StepStatus::Blocked
+                   : os::StepStatus::Continue;
+    }
+    inSyscall = false;
+    ++requests;
+    phase = Phase::ReadRequest;
+    return os::StepStatus::Continue;
+}
+
+} // namespace na::workload

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A static-content web server worker (paper Section 4: "ttcp caching
+ * behavior is also representative of real web or file servers that
+ * serve static file content"; the quasi-static-template observation
+ * from their citation [24]).
+ *
+ * Each worker owns one long-lived connection to a client (a
+ * net::RemotePeer in Requester role), reads fixed-size requests and
+ * answers with a template response served from its warm user-space
+ * cache — the same no-payload-touching fast path as ttcp, plus the
+ * request/response scheduling pattern of a server.
+ */
+
+#ifndef NETAFFINITY_WORKLOAD_WEBSERVER_HH
+#define NETAFFINITY_WORKLOAD_WEBSERVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/socket.hh"
+#include "src/os/task.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+class ExecContext;
+class Kernel;
+} // namespace na::os
+
+namespace na::workload {
+
+/** Web worker parameters. */
+struct WebServerConfig
+{
+    std::uint32_t requestBytes = 512;   ///< GET + headers
+    std::uint32_t responseBytes = 16 * 1024; ///< template size
+    /** Cycles of user-space work per request (templating, headers). */
+    std::uint64_t appInstrPerRequest = 4000;
+};
+
+/** One web server worker process. */
+class WebServerApp : public os::TaskLogic, public stats::Group
+{
+  public:
+    WebServerApp(stats::Group *parent, const std::string &name,
+                 os::Kernel &kernel, net::Socket &socket,
+                 const WebServerConfig &config);
+
+    os::StepStatus step(os::ExecContext &ctx) override;
+
+    std::uint64_t requestsServed() const
+    {
+        return static_cast<std::uint64_t>(requests.value());
+    }
+
+    stats::Scalar requests;
+    stats::Scalar bytesServed;
+
+  private:
+    enum class Phase
+    {
+        Connect,
+        ReadRequest,
+        SendResponse,
+    };
+
+    os::Kernel &kernel;
+    net::Socket &socket;
+    WebServerConfig cfg;
+    sim::Addr reqBuf;
+    sim::Addr templateBuf; ///< the cached static content
+    Phase phase = Phase::Connect;
+    bool inSyscall = false;
+    std::uint32_t reqGot = 0;
+    std::uint32_t respSent = 0;
+};
+
+} // namespace na::workload
+
+#endif // NETAFFINITY_WORKLOAD_WEBSERVER_HH

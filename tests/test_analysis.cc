@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the analysis module: Spearman correlation, Amdahl
+ * improvement decomposition, impact indicators, table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/analysis/amdahl.hh"
+#include "src/analysis/impact.hh"
+#include "src/analysis/spearman.hh"
+#include "src/analysis/table.hh"
+#include "src/core/report.hh"
+
+using namespace na;
+using namespace na::analysis;
+
+namespace {
+
+TEST(Spearman, PerfectMonotoneIsOne)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5, 6, 7};
+    const std::vector<double> y{10, 20, 25, 40, 55, 60, 90};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedIsMinusOne)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    const std::vector<double> y{9, 7, 5, 3, 1};
+    EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(Spearman, KnownTextbookValue)
+{
+    // Classic example: ranks differ by d = {0,-1,1,0}, n=4:
+    // rho = 1 - 6*2/(4*15) = 0.8.
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{1, 3, 2, 4};
+    EXPECT_NEAR(spearman(x, y), 0.8, 1e-12);
+}
+
+TEST(Spearman, TiesUseAverageRanks)
+{
+    const std::vector<double> x{1, 2, 2, 4};
+    EXPECT_EQ(averageRanks(x),
+              (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+    // Correlating a tied vector with itself is still 1.
+    EXPECT_NEAR(spearman(x, x), 1.0, 1e-12);
+}
+
+TEST(Spearman, DegenerateInputs)
+{
+    const std::vector<double> one{5};
+    EXPECT_EQ(spearman(one, one), 0.0);
+    const std::vector<double> constant{3, 3, 3, 3};
+    const std::vector<double> rising{1, 2, 3, 4};
+    EXPECT_EQ(spearman(constant, rising), 0.0);
+    EXPECT_EQ(spearman({}, {}), 0.0);
+}
+
+TEST(Spearman, CriticalValuesMatchTables)
+{
+    EXPECT_NEAR(spearmanCriticalValue(5), 0.900, 1e-9);
+    EXPECT_NEAR(spearmanCriticalValue(7), 0.714, 1e-9);
+    EXPECT_NEAR(spearmanCriticalValue(10), 0.564, 1e-9);
+    EXPECT_NEAR(spearmanCriticalValue(30), 0.306, 1e-9);
+    EXPECT_EQ(spearmanCriticalValue(3), 1.0);
+    // Large-n approximation decreases with n.
+    EXPECT_LT(spearmanCriticalValue(100), spearmanCriticalValue(31));
+}
+
+TEST(Spearman, TestVerdict)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5, 6, 7};
+    const std::vector<double> yup{2, 3, 5, 7, 11, 13, 17};
+    const SpearmanResult good = spearmanTest(x, yup);
+    EXPECT_TRUE(good.significant);
+    const std::vector<double> noise{3, 1, 4, 1, 5, 9, 2};
+    const SpearmanResult bad = spearmanTest(x, noise);
+    EXPECT_FALSE(bad.significant);
+}
+
+core::RunResult
+mkRun(std::uint64_t work, std::vector<std::uint64_t> bin_cycles,
+      std::vector<std::uint64_t> bin_llc)
+{
+    core::RunResult r;
+    r.payloadBytes = work;
+    std::uint64_t total = 0;
+    std::uint64_t total_llc = 0;
+    for (std::size_t b = 0; b < bin_cycles.size(); ++b) {
+        r.bins[b].cycles = bin_cycles[b];
+        r.bins[b].llcMisses = b < bin_llc.size() ? bin_llc[b] : 0;
+        total += bin_cycles[b];
+        total_llc += r.bins[b].llcMisses;
+    }
+    r.overall.cycles = total;
+    r.eventTotals[static_cast<std::size_t>(prof::Event::Cycles)] = total;
+    r.eventTotals[static_cast<std::size_t>(prof::Event::LlcMisses)] =
+        total_llc;
+    return r;
+}
+
+TEST(Amdahl, UniformHalvingGivesFiftyPercent)
+{
+    // Both runs do the same work; the optimized one halves every bin.
+    const core::RunResult base =
+        mkRun(1000, {100, 100, 100, 100}, {10, 10, 10, 10});
+    const core::RunResult opt =
+        mkRun(1000, {50, 50, 50, 50}, {5, 5, 5, 5});
+    const ImprovementColumn col =
+        improvementColumn(base, opt, prof::Event::Cycles);
+    EXPECT_NEAR(col.overall, 50.0, 1e-9);
+    EXPECT_NEAR(col.perBin[0], 12.5, 1e-9);
+}
+
+TEST(Amdahl, WeightsByBaselineShare)
+{
+    // Bin0 is 90% of time and halves; bin1 is 10% and vanishes.
+    const core::RunResult base = mkRun(1000, {900, 100}, {0, 0});
+    const core::RunResult opt = mkRun(1000, {450, 0}, {0, 0});
+    const ImprovementColumn col =
+        improvementColumn(base, opt, prof::Event::Cycles);
+    EXPECT_NEAR(col.perBin[0], 45.0, 1e-9);
+    EXPECT_NEAR(col.perBin[1], 10.0, 1e-9);
+    EXPECT_NEAR(col.overall, 55.0, 1e-9);
+}
+
+TEST(Amdahl, NormalizesPerWorkDone)
+{
+    // Optimized run did twice the work with the same raw event count:
+    // that's a 50% per-work improvement.
+    const core::RunResult base = mkRun(1000, {100}, {});
+    const core::RunResult opt = mkRun(2000, {100}, {});
+    const ImprovementColumn col =
+        improvementColumn(base, opt, prof::Event::Cycles);
+    EXPECT_NEAR(col.perBin[0], 50.0, 1e-9);
+}
+
+TEST(Amdahl, RegressionsAreNegative)
+{
+    const core::RunResult base = mkRun(1000, {100, 100}, {});
+    const core::RunResult opt = mkRun(1000, {150, 50}, {});
+    const ImprovementColumn col =
+        improvementColumn(base, opt, prof::Event::Cycles);
+    EXPECT_LT(col.perBin[0], 0.0);
+    EXPECT_GT(col.perBin[1], 0.0);
+    EXPECT_NEAR(col.overall, 0.0, 1e-9);
+}
+
+TEST(Amdahl, EmptyRunsYieldZero)
+{
+    const core::RunResult base = mkRun(0, {}, {});
+    const core::RunResult opt = mkRun(0, {}, {});
+    const ImprovementColumn col =
+        improvementColumn(base, opt, prof::Event::Cycles);
+    EXPECT_EQ(col.overall, 0.0);
+}
+
+TEST(Amdahl, FullTableCoversThreeEvents)
+{
+    const core::RunResult base = mkRun(1000, {100, 50}, {20, 8});
+    const core::RunResult opt = mkRun(1000, {80, 25}, {10, 2});
+    const ImprovementTable t = improvementTable(base, opt);
+    EXPECT_GT(t.cycles.overall, 0.0);
+    EXPECT_GT(t.llcMisses.overall, 0.0);
+    EXPECT_EQ(t.machineClears.overall, 0.0); // no clears recorded
+}
+
+TEST(Impact, CostsMatchPaperFigure5)
+{
+    EXPECT_EQ(impactCost(ImpactRow::MachineClear), 500.0);
+    EXPECT_EQ(impactCost(ImpactRow::LlcMiss), 300.0);
+    EXPECT_EQ(impactCost(ImpactRow::TcMiss), 20.0);
+    EXPECT_EQ(impactCost(ImpactRow::L2Miss), 10.0);
+    EXPECT_EQ(impactCost(ImpactRow::ItlbMiss), 30.0);
+    EXPECT_EQ(impactCost(ImpactRow::DtlbMiss), 36.0);
+    EXPECT_EQ(impactCost(ImpactRow::BrMispredict), 30.0);
+    EXPECT_NEAR(impactCost(ImpactRow::Instructions), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Impact, ColumnArithmetic)
+{
+    core::RunResult r;
+    auto set = [&r](prof::Event e, std::uint64_t v) {
+        r.eventTotals[static_cast<std::size_t>(e)] = v;
+    };
+    set(prof::Event::Cycles, 1'000'000);
+    set(prof::Event::MachineClears, 1000); // 1000*500/1e6 = 50%
+    set(prof::Event::LlcMisses, 1000);     // 30%
+    set(prof::Event::Instructions, 300'000); // /3 -> 10%
+    const ImpactColumn col = impactColumn(r);
+    EXPECT_NEAR(col.pctTime[static_cast<std::size_t>(
+                    ImpactRow::MachineClear)],
+                50.0, 1e-9);
+    EXPECT_NEAR(
+        col.pctTime[static_cast<std::size_t>(ImpactRow::LlcMiss)], 30.0,
+        1e-9);
+    EXPECT_NEAR(col.pctTime[static_cast<std::size_t>(
+                    ImpactRow::Instructions)],
+                10.0, 1e-6);
+}
+
+TEST(Impact, ZeroCyclesGivesZeroColumn)
+{
+    const core::RunResult r;
+    const ImpactColumn col = impactColumn(r);
+    for (double v : col.pctTime)
+        EXPECT_EQ(v, 0.0);
+}
+
+TEST(TableWriter, AlignsAndUnderlines)
+{
+    TableWriter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Every line has the same length (fixed-width columns).
+    std::istringstream is(out);
+    std::string line;
+    std::size_t len = 0;
+    while (std::getline(is, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_LE(line.size(), len + 1);
+    }
+}
+
+TEST(TableWriter, Formatters)
+{
+    EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TableWriter::pct(12.345, 1), "12.3%");
+    EXPECT_EQ(TableWriter::integer(42), "42");
+}
+
+TEST(TableWriter, ShortRowsPadded)
+{
+    TableWriter t({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+TEST(Report, CharacterizationRendersAllBins)
+{
+    core::RunResult r;
+    for (std::size_t b = 0; b < prof::numBins; ++b) {
+        r.bins[b].cycles = 100 * (b + 1);
+        r.bins[b].instructions = 50 * (b + 1);
+        r.bins[b].pctCycles = 10.0;
+        r.bins[b].cpi = 2.0;
+    }
+    std::ostringstream os;
+    core::renderCharacterization(os, r);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Engine"), std::string::npos);
+    EXPECT_NE(out.find("Buf Mgmt"), std::string::npos);
+    EXPECT_NE(out.find("Overall"), std::string::npos);
+    // The paper's tables omit the User bin by default.
+    EXPECT_EQ(out.find("User"), std::string::npos);
+
+    core::ReportOptions opts;
+    opts.includeUserBin = true;
+    opts.includeOverall = false;
+    std::ostringstream os2;
+    core::renderCharacterization(os2, r, opts);
+    EXPECT_NE(os2.str().find("User"), std::string::npos);
+    EXPECT_EQ(os2.str().find("Overall"), std::string::npos);
+}
+
+TEST(Report, ComparisonShowsBothLabels)
+{
+    core::RunResult a;
+    core::RunResult b;
+    std::ostringstream os;
+    core::renderComparison(os, "No", a, "Full", b);
+    EXPECT_NE(os.str().find("%Cyc(No)"), std::string::npos);
+    EXPECT_NE(os.str().find("CPI(Full)"), std::string::npos);
+}
+
+TEST(Report, SummaryLineFormatsMetrics)
+{
+    core::RunResult r;
+    r.throughputMbps = 3456.7;
+    r.ghzPerGbps = 1.16;
+    r.cpuUtil = 0.995;
+    const std::string line = core::summaryLine(r);
+    EXPECT_NE(line.find("3457 Mb/s"), std::string::npos);
+    EXPECT_NE(line.find("1.16 GHz/Gbps"), std::string::npos);
+    EXPECT_NE(line.find("100%"), std::string::npos);
+}
+
+} // namespace

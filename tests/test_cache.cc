@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/cache.hh"
+
+using namespace na;
+using namespace na::mem;
+
+namespace {
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    stats::Group root{nullptr, ""};
+    // 4 KiB, 4-way, 64 B lines -> 16 sets.
+    Cache cache{&root, "c", 4096, 4, 64};
+};
+
+TEST_F(CacheTest, Geometry)
+{
+    EXPECT_EQ(cache.sizeBytes(), 4096u);
+    EXPECT_EQ(cache.associativity(), 4u);
+    EXPECT_EQ(cache.sets(), 16u);
+    EXPECT_EQ(cache.lineBytes(), 64u);
+    EXPECT_EQ(cache.validLines(), 0u);
+}
+
+TEST_F(CacheTest, MissThenHit)
+{
+    EXPECT_EQ(cache.lookup(0x1000), LineState::Invalid);
+    EXPECT_EQ(cache.misses.value(), 1.0);
+    cache.insert(0x1000, LineState::Shared);
+    EXPECT_EQ(cache.lookup(0x1000), LineState::Shared);
+    EXPECT_EQ(cache.hits.value(), 1.0);
+}
+
+TEST_F(CacheTest, SubLineAddressesShareALine)
+{
+    cache.insert(0x1000, LineState::Shared);
+    EXPECT_EQ(cache.lookup(0x103f), LineState::Shared);
+    EXPECT_EQ(cache.lookup(0x1040), LineState::Invalid); // next line
+}
+
+TEST_F(CacheTest, LruEvictsLeastRecentlyUsed)
+{
+    // Same set: addresses differ by sets*line = 1024.
+    const sim::Addr base = 0x0;
+    for (int i = 0; i < 4; ++i)
+        cache.insert(base + static_cast<sim::Addr>(i) * 1024,
+                     LineState::Shared);
+    // Touch line 0 so line 1 is LRU.
+    cache.lookup(base);
+    Cache::Victim v = cache.insert(base + 4 * 1024, LineState::Shared);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, base + 1024);
+    EXPECT_FALSE(v.dirty);
+    EXPECT_EQ(cache.lookup(base), LineState::Shared); // survived
+    EXPECT_EQ(cache.lookup(base + 1024), LineState::Invalid);
+}
+
+TEST_F(CacheTest, DirtyVictimCountsWriteback)
+{
+    for (int i = 0; i < 4; ++i)
+        cache.insert(static_cast<sim::Addr>(i) * 1024,
+                     LineState::Modified);
+    Cache::Victim v = cache.insert(4 * 1024, LineState::Shared);
+    ASSERT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(cache.writebacks.value(), 1.0);
+    EXPECT_EQ(cache.evictions.value(), 1.0);
+}
+
+TEST_F(CacheTest, InsertUpgradesInPlace)
+{
+    cache.insert(0x2000, LineState::Shared);
+    Cache::Victim v = cache.insert(0x2000, LineState::Modified);
+    EXPECT_FALSE(v.valid);
+    EXPECT_EQ(cache.probe(0x2000), LineState::Modified);
+    // Re-inserting Shared must not downgrade.
+    cache.insert(0x2000, LineState::Shared);
+    EXPECT_EQ(cache.probe(0x2000), LineState::Modified);
+    EXPECT_EQ(cache.validLines(), 1u);
+}
+
+TEST_F(CacheTest, InvalidateReturnsPreviousState)
+{
+    cache.insert(0x3000, LineState::Modified);
+    EXPECT_EQ(cache.invalidate(0x3000), LineState::Modified);
+    EXPECT_EQ(cache.probe(0x3000), LineState::Invalid);
+    EXPECT_EQ(cache.invalidate(0x3000), LineState::Invalid);
+    EXPECT_EQ(cache.snoopInvalidations.value(), 1.0);
+}
+
+TEST_F(CacheTest, DowngradeOnlyAffectsModified)
+{
+    cache.insert(0x4000, LineState::Modified);
+    EXPECT_TRUE(cache.downgrade(0x4000));
+    EXPECT_EQ(cache.probe(0x4000), LineState::Shared);
+    EXPECT_TRUE(cache.downgrade(0x4000)); // present, stays Shared
+    EXPECT_EQ(cache.probe(0x4000), LineState::Shared);
+    EXPECT_FALSE(cache.downgrade(0x9000)); // absent
+}
+
+TEST_F(CacheTest, ProbeDoesNotTouchLru)
+{
+    for (int i = 0; i < 4; ++i)
+        cache.insert(static_cast<sim::Addr>(i) * 1024,
+                     LineState::Shared);
+    cache.probe(0); // must NOT refresh line 0
+    Cache::Victim v = cache.insert(4 * 1024, LineState::Shared);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0u); // line 0 was still LRU
+}
+
+TEST_F(CacheTest, FlushAllDropsEverything)
+{
+    cache.insert(0x1000, LineState::Modified);
+    cache.insert(0x2000, LineState::Shared);
+    EXPECT_EQ(cache.validLines(), 2u);
+    cache.flushAll();
+    EXPECT_EQ(cache.validLines(), 0u);
+    EXPECT_EQ(cache.probe(0x1000), LineState::Invalid);
+}
+
+TEST_F(CacheTest, SetModifiedOnPresentLine)
+{
+    cache.insert(0x5000, LineState::Shared);
+    cache.setModified(0x5000);
+    EXPECT_EQ(cache.probe(0x5000), LineState::Modified);
+}
+
+TEST(CacheDeath, SetModifiedOnAbsentLinePanics)
+{
+    stats::Group root(nullptr, "");
+    Cache cache(&root, "c", 4096, 4, 64);
+    EXPECT_DEATH(cache.setModified(0x7777), "absent line");
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    stats::Group root(nullptr, "");
+    EXPECT_EXIT(Cache(&root, "c", 4096, 4, 60),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(Cache(&root, "c", 4000, 4, 64),
+                ::testing::ExitedWithCode(1), "not divisible");
+}
+
+TEST_F(CacheTest, DifferentSetsDoNotConflict)
+{
+    // Fill way beyond one set's capacity across different sets.
+    for (int i = 0; i < 16; ++i)
+        cache.insert(static_cast<sim::Addr>(i) * 64, LineState::Shared);
+    EXPECT_EQ(cache.evictions.value(), 0.0);
+    EXPECT_EQ(cache.validLines(), 16u);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property test: the set-associative cache model against a simple
+ * reference implementation (per-set LRU lists), over random access
+ * streams swept across geometries and seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <tuple>
+
+#include "src/mem/cache.hh"
+#include "src/sim/random.hh"
+
+using namespace na;
+using namespace na::mem;
+
+namespace {
+
+/** Obviously-correct reference: per-set list, front == MRU. */
+class RefCache
+{
+  public:
+    RefCache(unsigned sets, unsigned assoc, unsigned line)
+        : sets(sets), assoc(assoc), line(line)
+    {
+    }
+
+    bool
+    lookup(sim::Addr addr)
+    {
+        auto &set = data[setOf(addr)];
+        const sim::Addr la = lineOf(addr);
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == la) {
+                set.splice(set.begin(), set, it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    insert(sim::Addr addr)
+    {
+        auto &set = data[setOf(addr)];
+        const sim::Addr la = lineOf(addr);
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == la) {
+                set.splice(set.begin(), set, it);
+                return;
+            }
+        }
+        if (set.size() >= assoc)
+            set.pop_back();
+        set.push_front(la);
+    }
+
+    bool
+    present(sim::Addr addr) const
+    {
+        auto it = data.find(setOf(addr));
+        if (it == data.end())
+            return false;
+        const sim::Addr la = lineOf(addr);
+        for (sim::Addr v : it->second) {
+            if (v == la)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    erase(sim::Addr addr)
+    {
+        auto &set = data[setOf(addr)];
+        set.remove(lineOf(addr));
+    }
+
+  private:
+    unsigned sets;
+    unsigned assoc;
+    unsigned line;
+    std::map<unsigned, std::list<sim::Addr>> data;
+
+    sim::Addr lineOf(sim::Addr a) const { return a / line * line; }
+    unsigned setOf(sim::Addr a) const
+    {
+        return static_cast<unsigned>((a / line) % sets);
+    }
+};
+
+using Geometry = std::tuple<unsigned, unsigned, std::uint64_t>;
+// (assoc, lineBytes, seed)
+
+class CacheVsReference : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheVsReference, RandomStreamAgrees)
+{
+    const auto [assoc, line, seed] = GetParam();
+    const unsigned sets = 16;
+    stats::Group root(nullptr, "");
+    Cache cache(&root, "c",
+                static_cast<std::uint64_t>(sets) * assoc * line, assoc,
+                line);
+    RefCache ref(sets, assoc, line);
+    sim::Random rng(seed);
+
+    for (int i = 0; i < 20000; ++i) {
+        // Skewed address stream: hot region + cold tail.
+        const sim::Addr addr =
+            rng.chance(0.7) ? rng.range(0, sets * assoc * line / 2)
+                            : rng.range(0, 1u << 20);
+        const bool hit = cache.lookup(addr) != LineState::Invalid;
+        const bool ref_hit = ref.lookup(addr);
+        ASSERT_EQ(hit, ref_hit) << "divergence at access " << i
+                                << " addr " << addr;
+        if (!hit) {
+            cache.insert(addr, LineState::Shared);
+            ref.insert(addr);
+        }
+    }
+}
+
+TEST_P(CacheVsReference, InvalidationsAgree)
+{
+    const auto [assoc, line, seed] = GetParam();
+    const unsigned sets = 8;
+    stats::Group root(nullptr, "");
+    Cache cache(&root, "c",
+                static_cast<std::uint64_t>(sets) * assoc * line, assoc,
+                line);
+    RefCache ref(sets, assoc, line);
+    sim::Random rng(seed * 31 + 7);
+
+    for (int i = 0; i < 8000; ++i) {
+        const sim::Addr addr = rng.range(0, 1u << 16);
+        if (rng.chance(0.2)) {
+            // Random snoop invalidation, mirrored in the reference.
+            ASSERT_EQ(cache.probe(addr) != LineState::Invalid,
+                      ref.present(addr));
+            cache.invalidate(addr);
+            ref.erase(addr);
+        } else {
+            const bool hit = cache.lookup(addr) != LineState::Invalid;
+            const bool ref_hit = ref.lookup(addr);
+            ASSERT_EQ(hit, ref_hit) << "divergence at access " << i;
+            if (!hit) {
+                cache.insert(addr, LineState::Shared);
+                ref.insert(addr);
+            }
+        }
+    }
+    EXPECT_LE(cache.validLines(),
+              static_cast<std::uint64_t>(sets) * assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheVsReference,
+    ::testing::Values(Geometry{1, 64, 1}, Geometry{2, 64, 2},
+                      Geometry{4, 64, 3}, Geometry{8, 64, 4},
+                      Geometry{4, 32, 5}, Geometry{4, 128, 6},
+                      Geometry{16, 64, 7}, Geometry{8, 128, 8}),
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return "assoc" + std::to_string(std::get<0>(info.param)) +
+               "_line" + std::to_string(std::get<1>(info.param)) +
+               "_seed" + std::to_string(std::get<2>(info.param));
+    });
+
+} // namespace

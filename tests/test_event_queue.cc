@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/sim_object.hh"
+#include "src/sim/trace.hh"
+
+using namespace na::sim;
+
+namespace {
+
+class Recorder : public Event
+{
+  public:
+    Recorder(std::vector<int> &log, int id, int prio = defaultPrio)
+        : Event("recorder", prio), log(log), id(id)
+    {
+    }
+
+    void process() override { log.push_back(id); }
+
+  private:
+    std::vector<int> &log;
+    int id;
+};
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    Recorder b(log, 2);
+    Recorder c(log, 3);
+    eq.schedule(&b, 200);
+    eq.schedule(&a, 100);
+    eq.schedule(&c, 300);
+    eq.runUntil(1000);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder low(log, 1, Event::schedulerPrio);
+    Recorder hi(log, 2, Event::interruptPrio);
+    Recorder mid1(log, 3, Event::defaultPrio);
+    Recorder mid2(log, 4, Event::defaultPrio);
+    eq.schedule(&low, 50);
+    eq.schedule(&mid1, 50);
+    eq.schedule(&hi, 50);
+    eq.schedule(&mid2, 50);
+    eq.runUntil(50);
+    EXPECT_EQ(log, (std::vector<int>{2, 3, 4, 1}));
+}
+
+TEST(EventQueue, AdvancesNowToEventTime)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    eq.schedule(&a, 123);
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(eq.now(), 123u);
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    eq.schedule(&a, 100);
+    EXPECT_TRUE(a.scheduled());
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.runUntil(200);
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, DescheduleIsIdempotent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    eq.deschedule(&a); // never scheduled: no-op
+    eq.schedule(&a, 10);
+    eq.deschedule(&a);
+    eq.deschedule(&a);
+    eq.runUntil(20);
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    Recorder b(log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 150);
+    eq.reschedule(&a, 200); // now after b
+    eq.runUntil(300);
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(a.when(), maxTick);
+}
+
+TEST(EventQueue, EventCanRescheduleItself)
+{
+    EventQueue eq;
+    int fires = 0;
+    class Periodic : public Event
+    {
+      public:
+        Periodic(EventQueue &eq, int &fires)
+            : Event("periodic"), eq(eq), fires(fires)
+        {
+        }
+        void
+        process() override
+        {
+            if (++fires < 5)
+                eq.schedule(this, eq.now() + 10);
+        }
+
+      private:
+        EventQueue &eq;
+        int &fires;
+    } p(eq, fires);
+    eq.schedule(&p, 10);
+    eq.runUntil(1000);
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(eq.processedCount(), 5u);
+}
+
+TEST(EventQueue, LambdaEventsFireAndAreOwned)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleLambda(10, "l1", [&count] { ++count; });
+    eq.scheduleLambda(20, "l2", [&count] { count += 10; });
+    eq.runUntil(100);
+    EXPECT_EQ(count, 11);
+}
+
+TEST(EventQueue, LambdaCanScheduleMoreLambdas)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 4)
+            eq.scheduleLambda(eq.now() + 5, "chain", chain);
+    };
+    eq.scheduleLambda(5, "chain", chain);
+    eq.runUntil(1000);
+    EXPECT_EQ(depth, 4);
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    Recorder b(log, 2);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 300);
+    eq.runUntil(200);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.now(), 200u);
+    eq.runUntil(300); // event exactly at the boundary fires
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    eq.deschedule(&b);
+}
+
+TEST(EventQueue, SchedulingAtCurrentTickWorks)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    eq.runUntil(50);
+    eq.schedule(&a, 50);
+    eq.runUntil(50);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(SimObject, ProvidesNameAndClock)
+{
+    EventQueue eq;
+    class Widget : public SimObject
+    {
+      public:
+        using SimObject::SimObject;
+    } w("sys.widget", eq);
+    EXPECT_EQ(w.name(), "sys.widget");
+    EXPECT_EQ(&w.eventQueue(), &eq);
+    eq.runUntil(500);
+    EXPECT_EQ(w.now(), 500u);
+}
+
+TEST(EventQueueDeath, SchedulingTwicePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    eq.schedule(&a, 10);
+    EXPECT_DEATH(eq.schedule(&a, 20), "scheduled twice");
+    eq.deschedule(&a);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    std::vector<int> log;
+    Recorder a(log, 1);
+    EXPECT_DEATH(eq.schedule(&a, 50), "in the past");
+}
+
+TEST(EventQueueDeath, DestroyingScheduledEventPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(
+        {
+            std::vector<int> log;
+            Recorder a(log, 1);
+            eq.schedule(&a, 10);
+            // 'a' destroyed while scheduled.
+        },
+        "destroyed while scheduled");
+}
+
+TEST(EventQueue, DrainedStaleEntriesDoNotDisturbOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Recorder a(log, 1);
+    for (int i = 0; i < 50; ++i) {
+        eq.schedule(&a, 100 + static_cast<Tick>(i));
+        eq.deschedule(&a);
+    }
+    Recorder b(log, 2);
+    eq.schedule(&b, 120);
+    eq.schedule(&a, 110);
+    eq.runUntil(200);
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(Trace, FlagsGateEmission)
+{
+    setTraceFlagsFromString(""); // all off
+    EXPECT_FALSE(traceEnabled(TraceFlag::Tcp));
+    const auto before = traceLineCount();
+    EventQueue eq;
+    NA_TRACE_LOG(Tcp, eq, "must not appear %d", 1);
+    EXPECT_EQ(traceLineCount(), before);
+
+    setTraceFlag(TraceFlag::Tcp, true);
+    EXPECT_TRUE(traceEnabled(TraceFlag::Tcp));
+    EXPECT_FALSE(traceEnabled(TraceFlag::Nic));
+    NA_TRACE_LOG(Tcp, eq, "appears %d", 2);
+    EXPECT_EQ(traceLineCount(), before + 1);
+    setTraceFlag(TraceFlag::Tcp, false);
+}
+
+TEST(Trace, SpecParsing)
+{
+    setTraceFlagsFromString("tcp,irq");
+    EXPECT_TRUE(traceEnabled(TraceFlag::Tcp));
+    EXPECT_TRUE(traceEnabled(TraceFlag::Irq));
+    EXPECT_FALSE(traceEnabled(TraceFlag::Cache));
+    setTraceFlagsFromString("all");
+    EXPECT_TRUE(traceEnabled(TraceFlag::Cache));
+    setTraceFlagsFromString("");
+    EXPECT_FALSE(traceEnabled(TraceFlag::Cache));
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Consistency tests for the function registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mem/addr_alloc.hh"
+#include "src/prof/func_registry.hh"
+
+using namespace na;
+using namespace na::prof;
+
+namespace {
+
+TEST(FuncRegistry, EveryFunctionHasSaneProperties)
+{
+    for (std::size_t f = 0; f < numFuncs; ++f) {
+        const FuncDesc &d = funcDesc(static_cast<FuncId>(f));
+        EXPECT_EQ(d.id, static_cast<FuncId>(f));
+        EXPECT_FALSE(d.name.empty());
+        EXPECT_LT(static_cast<int>(d.bin),
+                  static_cast<int>(Bin::NumBins));
+        EXPECT_GT(d.codeBytes, 0u);
+        EXPECT_GE(d.branchFrac, 0.0);
+        EXPECT_LE(d.branchFrac, 0.5);
+        EXPECT_GE(d.mispredictBase, 0.0);
+        EXPECT_LE(d.mispredictBase, 0.1);
+        EXPECT_GT(d.baseCpi, 0.3);
+        EXPECT_LT(d.baseCpi, 5.0);
+    }
+}
+
+TEST(FuncRegistry, NamesAreUnique)
+{
+    std::set<std::string_view> names;
+    for (std::size_t f = 0; f < numFuncs; ++f)
+        names.insert(funcDesc(static_cast<FuncId>(f)).name);
+    EXPECT_EQ(names.size(), numFuncs);
+}
+
+TEST(FuncRegistry, LookupByName)
+{
+    const FuncDesc &d = funcDescByName("tcp_sendmsg");
+    EXPECT_EQ(d.id, FuncId::TcpSendmsg);
+    EXPECT_EQ(d.bin, Bin::Engine);
+}
+
+TEST(FuncRegistryDeath, UnknownNamePanics)
+{
+    EXPECT_DEATH(funcDescByName("not_a_symbol"), "unknown function");
+}
+
+TEST(FuncRegistry, NicIrqFuncsAreDriverBin)
+{
+    std::set<FuncId> ids;
+    for (int i = 0; i < 8; ++i) {
+        const FuncId id = nicIrqFunc(i);
+        ids.insert(id);
+        EXPECT_EQ(funcDesc(id).bin, Bin::Driver);
+        EXPECT_NE(funcDesc(id).name.find("IRQ0x"),
+                  std::string_view::npos);
+    }
+    EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(FuncRegistryDeath, NicIrqIndexOutOfRange)
+{
+    EXPECT_DEATH(nicIrqFunc(8), "out of range");
+    EXPECT_DEATH(nicIrqFunc(-1), "out of range");
+}
+
+TEST(FuncRegistry, CodeAddressesArePageAlignedAndDisjoint)
+{
+    std::set<std::uint64_t> addrs;
+    for (std::size_t f = 0; f < numFuncs; ++f) {
+        const auto id = static_cast<FuncId>(f);
+        const std::uint64_t a = funcCodeAddr(id);
+        EXPECT_EQ(a % 4096, 0u);
+        EXPECT_TRUE(addrs.insert(a).second) << "duplicate code addr";
+        // Region matches the bin: user code in UserText.
+        const auto region = mem::AddressAllocator::regionOf(a);
+        if (funcDesc(id).bin == Bin::User)
+            EXPECT_EQ(region, mem::Region::UserText);
+        else
+            EXPECT_EQ(region, mem::Region::KernelText);
+    }
+}
+
+TEST(FuncRegistry, BinNamesMatchPaperRows)
+{
+    EXPECT_EQ(binName(Bin::Interface), "Interface");
+    EXPECT_EQ(binName(Bin::BufMgmt), "Buf Mgmt");
+    EXPECT_EQ(binName(Bin::Copies), "Copies");
+    EXPECT_EQ(eventName(Event::MachineClears), "machine_clears");
+    EXPECT_EQ(allBins.size(), numBins);
+    EXPECT_EQ(allEvents.size(), numEvents);
+}
+
+TEST(FuncRegistry, EveryBinHasAtLeastOneFunction)
+{
+    std::array<int, numBins> counts{};
+    for (std::size_t f = 0; f < numFuncs; ++f)
+        ++counts[static_cast<std::size_t>(
+            funcDesc(static_cast<FuncId>(f)).bin)];
+    for (std::size_t b = 0; b < numBins; ++b)
+        EXPECT_GT(counts[b], 0) << "bin " << b << " empty";
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.hh"
+
+using namespace na::sim;
+
+namespace {
+
+TEST(Random, SameSeedSameStream)
+{
+    Random a(123);
+    Random b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1);
+    Random b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, ReseedRestartsStream)
+{
+    Random a(9);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.seed(9);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, RangeIsInclusive)
+{
+    Random r(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = r.range(3, 7);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RangeSingleValue)
+{
+    Random r(13);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.range(42, 42), 42u);
+}
+
+TEST(RandomDeath, RangeRejectsInvertedBounds)
+{
+    Random r(1);
+    EXPECT_DEATH(r.range(5, 4), "lo");
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Random, ChanceFrequency)
+{
+    Random r(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Random r(23);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = r.exponential(50.0);
+        ASSERT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000.0, 50.0, 2.5);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the timed-contention spinlock model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+#include "src/os/spinlock.hh"
+
+using namespace na;
+using namespace na::os;
+
+namespace {
+
+class SpinLockTest : public ::testing::Test
+{
+  protected:
+    SpinLockTest()
+        : kernel(&root, eq, cpu::PlatformConfig{}),
+          lock(&root, "l", prof::FuncId::LockSock,
+               kernel.addressSpace().alloc(mem::Region::KernelData, 64)),
+          c0(kernel, kernel.processor(0), nullptr),
+          c1(kernel, kernel.processor(1), nullptr)
+    {
+    }
+
+    stats::Group root{nullptr, ""};
+    sim::EventQueue eq;
+    Kernel kernel;
+    SpinLock lock;
+    ExecContext c0;
+    ExecContext c1;
+};
+
+TEST_F(SpinLockTest, UncontendedAcquireIsCheap)
+{
+    lock.acquire(c0, 100);
+    lock.release(c0, 150);
+    EXPECT_EQ(lock.acquisitions.value(), 1.0);
+    EXPECT_EQ(lock.contentions.value(), 0.0);
+    EXPECT_EQ(lock.spinCycles.value(), 0.0);
+    EXPECT_EQ(lock.lastOwner(), 0);
+}
+
+TEST_F(SpinLockTest, SameCpuReacquireNeverSpins)
+{
+    lock.acquire(c0, 100);
+    lock.release(c0, 500);
+    lock.acquire(c0, 200); // "inside" the previous hold window
+    lock.release(c0, 600);
+    EXPECT_EQ(lock.contentions.value(), 0.0);
+}
+
+TEST_F(SpinLockTest, CrossCpuOverlapSpins)
+{
+    lock.acquire(c0, 1000);
+    lock.release(c0, 1400); // hold [1000, 1400)
+    lock.acquire(c1, 1100); // lands mid-hold
+    lock.release(c1, 1500);
+    EXPECT_EQ(lock.contentions.value(), 1.0);
+    // Spun roughly until the release point.
+    EXPECT_NEAR(lock.spinCycles.value(), 300.0, 5.0);
+}
+
+TEST_F(SpinLockTest, AcquireBeforeHoldStartDoesNotSpin)
+{
+    // CPU0's dispatch started later in wall-clock but acquired "in the
+    // future"; CPU1's earlier estimated time wins causally.
+    lock.acquire(c0, 5000);
+    lock.release(c0, 5400);
+    lock.acquire(c1, 200); // before the hold window: no contention
+    lock.release(c1, 300);
+    EXPECT_EQ(lock.contentions.value(), 0.0);
+}
+
+TEST_F(SpinLockTest, AcquireAfterReleaseDoesNotSpin)
+{
+    lock.acquire(c0, 100);
+    lock.release(c0, 200);
+    lock.acquire(c1, 500);
+    lock.release(c1, 600);
+    EXPECT_EQ(lock.contentions.value(), 0.0);
+}
+
+TEST_F(SpinLockTest, ContendedAcquireChargesLockBin)
+{
+    const auto before = kernel.accounting().byBin(
+        prof::Bin::Locks, prof::Event::Cycles);
+    lock.acquire(c0, 1000);
+    lock.release(c0, 3000);
+    lock.acquire(c1, 1500);
+    lock.release(c1, 3100);
+    const auto after = kernel.accounting().byBin(
+        prof::Bin::Locks, prof::Event::Cycles);
+    EXPECT_GE(after - before, 1500u); // includes the spin
+    // The contended handoff also flushes the acquirer's pipeline.
+    EXPECT_GE(kernel.accounting().byBin(prof::Bin::Locks,
+                                        prof::Event::MachineClears),
+              1u);
+}
+
+TEST_F(SpinLockTest, ContendedBranchAnatomy)
+{
+    // Paper Table 2: spinning inflates branches; exactly one exit
+    // mispredict per contended acquisition.
+    lock.acquire(c0, 1000);
+    lock.release(c0, 9000); // long hold: many PAUSE iterations
+    const double br0 = kernel.core(1).counters.branches.value();
+    const double mp0 = kernel.core(1).counters.brMispredicts.value();
+    lock.acquire(c1, 1000);
+    lock.release(c1, 9100);
+    const double branches =
+        kernel.core(1).counters.branches.value() - br0;
+    const double mispredicts =
+        kernel.core(1).counters.brMispredicts.value() - mp0;
+    EXPECT_GT(branches, 100.0); // ~2 per 20-cycle PAUSE iteration
+    EXPECT_EQ(mispredicts, 1.0);
+}
+
+TEST_F(SpinLockTest, UncontendedBranchAnatomy)
+{
+    lock.acquire(c0, 100);
+    lock.release(c0, 120);
+    EXPECT_LE(kernel.core(0).counters.branches.value(), 4.0);
+    EXPECT_EQ(kernel.core(0).counters.brMispredicts.value(), 0.0);
+}
+
+TEST_F(SpinLockTest, DeathOnDoubleAcquireSameCpu)
+{
+    lock.acquire(c0, 100);
+    EXPECT_DEATH(lock.acquire(c0, 110), "deadlock");
+    lock.release(c0, 120);
+}
+
+TEST_F(SpinLockTest, DeathOnReleaseWhileFree)
+{
+    EXPECT_DEATH(lock.release(c0, 100), "released while free");
+}
+
+TEST_F(SpinLockTest, DeathOnForeignRelease)
+{
+    lock.acquire(c0, 100);
+    EXPECT_DEATH(lock.release(c1, 110), "held by cpu");
+    lock.release(c0, 120);
+}
+
+} // namespace

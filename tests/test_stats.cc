@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/stats/stats.hh"
+
+using namespace na::stats;
+
+namespace {
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Group root(nullptr, "");
+    Scalar s(&root, "s", "test scalar");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+    s.set(7);
+    EXPECT_EQ(s.value(), 7.0);
+}
+
+TEST(Vector, BucketsAndTotal)
+{
+    Group root(nullptr, "");
+    Vector v(&root, "v", "test vector", {"a", "b", "c"});
+    EXPECT_EQ(v.size(), 3u);
+    v[0] = 1;
+    v[1] = 2;
+    v[2] = 4;
+    EXPECT_DOUBLE_EQ(v.total(), 7.0);
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+TEST(Vector, OutOfRangeThrows)
+{
+    Group root(nullptr, "");
+    Vector v(&root, "v", "test vector", {"a"});
+    EXPECT_THROW(v[5] = 1, std::out_of_range);
+}
+
+TEST(Distribution, MomentsAndExtrema)
+{
+    Group root(nullptr, "");
+    Distribution d(&root, "d", "test dist");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    // Sample stddev of that classic set is sqrt(32/7).
+    EXPECT_NEAR(d.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Distribution, SingleSampleHasZeroVariance)
+{
+    Group root(nullptr, "");
+    Distribution d(&root, "d", "test dist");
+    d.sample(42);
+    EXPECT_EQ(d.variance(), 0.0);
+    EXPECT_EQ(d.min(), 42.0);
+    EXPECT_EQ(d.max(), 42.0);
+}
+
+TEST(Formula, EvaluatesAtReadTime)
+{
+    Group root(nullptr, "");
+    Scalar a(&root, "a", "");
+    Scalar b(&root, "b", "");
+    Formula f(&root, "ratio", "a/b", [&a, &b] {
+        return b.value() != 0 ? a.value() / b.value() : 0.0;
+    });
+    a += 10;
+    b += 4;
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+    b += 1;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Group, DumpEmitsHierarchicalNames)
+{
+    Group root(nullptr, "");
+    Group child(&root, "child");
+    Scalar s(&child, "hits", "hit count");
+    s += 3;
+    std::ostringstream os;
+    root.dumpStats(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("child.hits"), std::string::npos);
+    EXPECT_NE(out.find("hit count"), std::string::npos);
+}
+
+TEST(Group, ResetCascadesToChildren)
+{
+    Group root(nullptr, "");
+    Group child(&root, "child");
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetStats();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+}
+
+TEST(Group, ChildRemovedOnDestruction)
+{
+    Group root(nullptr, "");
+    {
+        Group child(&root, "gone");
+        Scalar s(&child, "x", "");
+        s += 1;
+    }
+    std::ostringstream os;
+    root.dumpStats(os); // must not touch the dead child
+    EXPECT_EQ(os.str().find("gone"), std::string::npos);
+}
+
+TEST(Distribution, DumpContainsAllMoments)
+{
+    Group root(nullptr, "");
+    Distribution d(&root, "lat", "latency");
+    d.sample(1);
+    d.sample(3);
+    std::ostringstream os;
+    root.dumpStats(os);
+    const std::string out = os.str();
+    for (const char *part :
+         {"lat::count", "lat::mean", "lat::stddev", "lat::min",
+          "lat::max"}) {
+        EXPECT_NE(out.find(part), std::string::npos) << part;
+    }
+}
+
+} // namespace

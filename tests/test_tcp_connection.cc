@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Unit tests for the pure TCP protocol engine: handshake, data
+ * transfer, windows, Nagle, delayed ACKs, reassembly, retransmission,
+ * congestion control, teardown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/net/tcp_connection.hh"
+
+using namespace na;
+using namespace na::net;
+
+namespace {
+
+/** In-process "wire": hand segments between two connections. */
+class Pair
+{
+  public:
+    explicit Pair(TcpConfig cfg = TcpConfig{}) : a(cfg), b(cfg) {}
+
+    /** Move all of src's pending output into dst; return count. */
+    int
+    flow(TcpConnection &src, TcpConnection &dst)
+    {
+        int moved = 0;
+        // Loop because delivering replies can enable more output.
+        for (int round = 0; round < 64; ++round) {
+            std::vector<Segment> out = src.pullSegments(now);
+            if (out.empty())
+                break;
+            for (const Segment &s : out) {
+                ++moved;
+                std::vector<Segment> replies;
+                dst.onSegment(s, now, replies);
+                for (const Segment &r : replies) {
+                    std::vector<Segment> rr;
+                    src.onSegment(r, now, rr);
+                    // Two-level replies (rare) are re-injected.
+                    for (const Segment &r2 : rr)
+                        dst.onSegment(r2, now, replies);
+                }
+            }
+        }
+        return moved;
+    }
+
+    /** Run the exchange until quiescent, firing delack timers. */
+    void
+    settle()
+    {
+        for (int i = 0; i < 128; ++i) {
+            int moved = flow(a, b) + flow(b, a);
+            if (moved == 0) {
+                // Flush delayed ACKs like their 40 ms timers would.
+                for (TcpConnection *c : {&a, &b}) {
+                    if (!c->delackPending())
+                        continue;
+                    std::vector<Segment> replies;
+                    c->onDelackTimer(now, replies);
+                    TcpConnection &other = (c == &a) ? b : a;
+                    for (const Segment &r : replies) {
+                        std::vector<Segment> rr;
+                        other.onSegment(r, now, rr);
+                        std::vector<Segment> sink;
+                        for (const Segment &r2 : rr)
+                            c->onSegment(r2, now, sink);
+                        ++moved;
+                    }
+                }
+            }
+            if (moved == 0)
+                return;
+        }
+        FAIL() << "connections did not settle";
+    }
+
+    void
+    establish()
+    {
+        a.openActive();
+        b.openPassive();
+        settle();
+        ASSERT_EQ(a.state(), TcpState::Established);
+        ASSERT_EQ(b.state(), TcpState::Established);
+    }
+
+    TcpConnection a;
+    TcpConnection b;
+    sim::Tick now = 0;
+};
+
+TEST(TcpHandshake, ThreeWay)
+{
+    Pair p;
+    p.a.openActive();
+    p.b.openPassive();
+
+    // SYN
+    std::vector<Segment> syn = p.a.pullSegments(0);
+    ASSERT_EQ(syn.size(), 1u);
+    EXPECT_TRUE(syn[0].syn());
+    EXPECT_FALSE(syn[0].hasAck());
+    EXPECT_EQ(p.a.state(), TcpState::SynSent);
+
+    // SYN-ACK
+    std::vector<Segment> synack;
+    p.b.onSegment(syn[0], 0, synack);
+    ASSERT_EQ(synack.size(), 1u);
+    EXPECT_TRUE(synack[0].syn());
+    EXPECT_TRUE(synack[0].hasAck());
+    EXPECT_EQ(p.b.state(), TcpState::SynRcvd);
+
+    // ACK
+    std::vector<Segment> ack;
+    p.a.onSegment(synack[0], 0, ack);
+    EXPECT_EQ(p.a.state(), TcpState::Established);
+    ASSERT_EQ(ack.size(), 1u);
+    EXPECT_TRUE(ack[0].hasAck());
+    EXPECT_EQ(ack[0].len, 0u);
+
+    std::vector<Segment> none;
+    p.b.onSegment(ack[0], 0, none);
+    EXPECT_EQ(p.b.state(), TcpState::Established);
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(TcpHandshake, SynRetransmitOnRto)
+{
+    TcpConnection a;
+    a.openActive();
+    EXPECT_EQ(a.pullSegments(0).size(), 1u);
+    EXPECT_NE(a.rtoDeadline(), sim::maxTick);
+    a.onRtoTimer(a.rtoDeadline());
+    std::vector<Segment> again = a.pullSegments(a.rtoDeadline());
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_TRUE(again[0].syn());
+    EXPECT_EQ(a.retransmitCount(), 1u);
+}
+
+TEST(TcpHandshake, DupSynInSynRcvdReelicitsSynAck)
+{
+    Pair p;
+    p.a.openActive();
+    p.b.openPassive();
+    std::vector<Segment> syn = p.a.pullSegments(0);
+    std::vector<Segment> synack;
+    p.b.onSegment(syn[0], 0, synack);
+    ASSERT_EQ(synack.size(), 1u);
+    // The SYN-ACK is lost; the client retransmits its SYN.
+    std::vector<Segment> again;
+    p.b.onSegment(syn[0], 0, again);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_TRUE(again[0].syn());
+    EXPECT_TRUE(again[0].hasAck());
+    EXPECT_EQ(p.b.state(), TcpState::SynRcvd);
+}
+
+TEST(TcpHandshake, SynAckRetransmitOnRto)
+{
+    Pair p;
+    p.a.openActive();
+    p.b.openPassive();
+    std::vector<Segment> syn = p.a.pullSegments(0);
+    std::vector<Segment> synack;
+    p.b.onSegment(syn[0], 0, synack);
+    // SYN-ACK lost; the server's retransmission timer must re-emit it.
+    ASSERT_NE(p.b.rtoDeadline(), sim::maxTick);
+    p.b.onRtoTimer(p.b.rtoDeadline());
+    std::vector<Segment> again = p.b.pullSegments(p.b.rtoDeadline());
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_TRUE(again[0].syn());
+    EXPECT_TRUE(again[0].hasAck());
+    EXPECT_EQ(p.b.retransmitCount(), 1u);
+}
+
+TEST(TcpData, SimpleTransferDelivers)
+{
+    Pair p;
+    p.establish();
+    EXPECT_EQ(p.a.appendSendData(5000), 5000u);
+    p.settle();
+    EXPECT_EQ(p.b.deliveredBytes(), 5000u);
+    EXPECT_EQ(p.b.readableBytes(), 5000u);
+    EXPECT_EQ(p.a.ackedBytes(), 5000u);
+    EXPECT_EQ(p.a.bytesOutstanding(), 0u);
+}
+
+TEST(TcpData, SegmentsRespectMss)
+{
+    TcpConfig cfg;
+    cfg.mss = 1000;
+    Pair p(cfg);
+    p.establish();
+    p.a.appendSendData(3500);
+    std::vector<Segment> segs = p.a.pullSegments(0);
+    ASSERT_GE(segs.size(), 3u);
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i)
+        EXPECT_EQ(segs[i].len, 1000u);
+}
+
+TEST(TcpData, SendBufferLimitsAppend)
+{
+    TcpConfig cfg;
+    cfg.sndBufBytes = 4000;
+    Pair p(cfg);
+    p.establish();
+    EXPECT_EQ(p.a.sndBufSpace(), 4000u);
+    EXPECT_EQ(p.a.appendSendData(10000), 4000u);
+    EXPECT_EQ(p.a.sndBufSpace(), 0u);
+    EXPECT_EQ(p.a.appendSendData(1), 0u);
+    p.settle(); // acked: space returns
+    EXPECT_EQ(p.a.sndBufSpace(), 4000u);
+}
+
+TEST(TcpData, ReceiverWindowThrottlesSender)
+{
+    TcpConfig cfg;
+    cfg.rcvWndBytes = 4096;
+    cfg.sndBufBytes = 65536;
+    Pair p(cfg);
+    p.establish();
+    p.a.appendSendData(20000);
+    p.settle();
+    // Receiver never consumed: at most one window's worth delivered.
+    EXPECT_LE(p.b.deliveredBytes(), 4096u);
+    EXPECT_GT(p.b.deliveredBytes(), 0u);
+    // Consuming re-opens the window and more flows.
+    p.b.consume(p.b.readableBytes());
+    p.settle();
+    EXPECT_GT(p.b.deliveredBytes(), 4096u);
+}
+
+TEST(TcpData, ConsumeEmitsWindowUpdate)
+{
+    TcpConfig cfg;
+    cfg.rcvWndBytes = 8192;
+    Pair p(cfg);
+    p.establish();
+    p.a.appendSendData(8192);
+    p.settle();
+    ASSERT_EQ(p.b.readableBytes(), 8192u);
+    EXPECT_EQ(p.b.advertisedWindow(), 0u);
+    p.b.consume(8192);
+    // Window reopened by a full buffer: must force an update ACK.
+    std::vector<Segment> upd = p.b.pullSegments(0);
+    ASSERT_FALSE(upd.empty());
+    EXPECT_TRUE(upd[0].hasAck());
+    EXPECT_EQ(upd[0].wnd, 8192u);
+}
+
+TEST(TcpNagle, HoldsPartialSegmentWhileUnackedData)
+{
+    Pair p;
+    p.establish();
+    p.a.appendSendData(100);
+    std::vector<Segment> first = p.a.pullSegments(0);
+    ASSERT_EQ(first.size(), 1u); // nothing in flight: may send
+    EXPECT_EQ(first[0].len, 100u);
+
+    p.a.appendSendData(100);
+    EXPECT_TRUE(p.a.pullSegments(0).empty()) << "Nagle must hold";
+
+    // Deliver the first segment's ACK: the held data releases.
+    std::vector<Segment> replies;
+    p.b.onSegment(first[0], 0, replies);
+    // Force the delayed ack out.
+    p.b.onDelackTimer(0, replies);
+    ASSERT_FALSE(replies.empty());
+    std::vector<Segment> rr;
+    p.a.onSegment(replies.back(), 0, rr);
+    std::vector<Segment> second = p.a.pullSegments(0);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].len, 100u);
+}
+
+TEST(TcpNagle, DisabledSendsImmediately)
+{
+    TcpConfig cfg;
+    cfg.nagle = false;
+    Pair p(cfg);
+    p.establish();
+    p.a.appendSendData(100);
+    EXPECT_EQ(p.a.pullSegments(0).size(), 1u);
+    p.a.appendSendData(100);
+    EXPECT_EQ(p.a.pullSegments(0).size(), 1u) << "no Nagle hold";
+}
+
+TEST(TcpAcks, EverySecondFullSegmentAcksImmediately)
+{
+    Pair p;
+    p.establish();
+    p.a.appendSendData(2 * p.a.config().mss);
+    std::vector<Segment> segs = p.a.pullSegments(0);
+    ASSERT_EQ(segs.size(), 2u);
+
+    std::vector<Segment> replies;
+    p.b.onSegment(segs[0], 0, replies);
+    EXPECT_TRUE(replies.empty());
+    EXPECT_TRUE(p.b.delackPending());
+    p.b.onSegment(segs[1], 0, replies);
+    ASSERT_EQ(replies.size(), 1u); // second full segment: ack now
+    EXPECT_EQ(replies[0].ack, segs[1].seq + segs[1].len);
+    EXPECT_FALSE(p.b.delackPending());
+}
+
+TEST(TcpAcks, DelackTimerFlushesPendingAck)
+{
+    Pair p;
+    p.establish();
+    p.a.appendSendData(300);
+    std::vector<Segment> segs = p.a.pullSegments(0);
+    ASSERT_EQ(segs.size(), 1u);
+    std::vector<Segment> replies;
+    p.b.onSegment(segs[0], 0, replies);
+    EXPECT_TRUE(replies.empty());
+    ASSERT_TRUE(p.b.delackPending());
+    p.b.onDelackTimer(100, replies);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_FALSE(p.b.delackPending());
+}
+
+TEST(TcpReassembly, OutOfOrderBuffersAndDupAcks)
+{
+    Pair p;
+    p.establish();
+    p.a.appendSendData(3 * 1448);
+    std::vector<Segment> segs = p.a.pullSegments(0);
+    ASSERT_EQ(segs.size(), 3u);
+
+    std::vector<Segment> replies;
+    // Deliver #2 before #1: buffered, dup-ack emitted.
+    p.b.onSegment(segs[1], 0, replies);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].ack, segs[0].seq); // still expecting seg 0
+    EXPECT_EQ(p.b.deliveredBytes(), 0u);
+    EXPECT_EQ(p.b.oooQueueSize(), 1u);
+
+    replies.clear();
+    p.b.onSegment(segs[0], 0, replies);
+    EXPECT_EQ(p.b.deliveredBytes(), 2 * 1448u); // gap filled
+    EXPECT_EQ(p.b.oooQueueSize(), 0u);
+
+    replies.clear();
+    p.b.onSegment(segs[2], 0, replies);
+    EXPECT_EQ(p.b.deliveredBytes(), 3 * 1448u);
+}
+
+TEST(TcpReassembly, DuplicateSegmentReAcked)
+{
+    Pair p;
+    p.establish();
+    p.a.appendSendData(1448);
+    std::vector<Segment> segs = p.a.pullSegments(0);
+    std::vector<Segment> replies;
+    p.b.onSegment(segs[0], 0, replies);
+    replies.clear();
+    p.b.onSegment(segs[0], 0, replies); // duplicate
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].ack, segs[0].seq + segs[0].len);
+    EXPECT_EQ(p.b.deliveredBytes(), 1448u); // no double delivery
+}
+
+TEST(TcpRetransmit, FastRetransmitAfterThreeDupAcks)
+{
+    TcpConfig cfg;
+    cfg.initialCwndSegs = 8; // room to emit the whole burst at once
+    Pair p(cfg);
+    p.establish();
+    p.a.appendSendData(5 * 1448);
+    std::vector<Segment> segs = p.a.pullSegments(0);
+    ASSERT_GE(segs.size(), 4u);
+
+    // Lose segs[0]; deliver 1..3 -> three dup acks.
+    std::vector<Segment> dups;
+    for (int i = 1; i <= 3; ++i)
+        p.b.onSegment(segs[static_cast<std::size_t>(i)], 0, dups);
+    ASSERT_GE(dups.size(), 3u);
+    std::vector<Segment> none;
+    for (const Segment &d : dups)
+        p.a.onSegment(d, 0, none);
+
+    std::vector<Segment> rtx = p.a.pullSegments(0);
+    ASSERT_FALSE(rtx.empty());
+    EXPECT_EQ(rtx[0].seq, segs[0].seq);
+    EXPECT_EQ(p.a.retransmitCount(), 1u);
+    EXPECT_EQ(p.a.dupAckCount(), 3u);
+
+    // Deliver the retransmission: everything recovers in order.
+    std::vector<Segment> replies;
+    p.b.onSegment(rtx[0], 0, replies);
+    EXPECT_EQ(p.b.deliveredBytes(), 4 * 1448u);
+}
+
+TEST(TcpRetransmit, RtoCollapsesCwndAndBacksOff)
+{
+    Pair p;
+    p.establish();
+    const std::uint32_t cwnd0 = p.a.cwndBytes();
+    p.a.appendSendData(4 * 1448);
+    p.a.pullSegments(0); // all lost
+    const sim::Tick d1 = p.a.rtoDeadline();
+    ASSERT_NE(d1, sim::maxTick);
+    p.a.onRtoTimer(d1);
+    EXPECT_EQ(p.a.cwndBytes(), p.a.config().mss);
+    EXPECT_LT(p.a.cwndBytes(), cwnd0);
+    std::vector<Segment> rtx = p.a.pullSegments(d1);
+    ASSERT_FALSE(rtx.empty());
+    // Exponential backoff: next deadline further out.
+    EXPECT_GT(p.a.rtoDeadline() - d1, p.a.config().rtoTicks);
+}
+
+TEST(TcpCongestion, SlowStartGrowsCwnd)
+{
+    TcpConfig cfg;
+    cfg.rcvWndBytes = 256 * 1024;
+    cfg.sndBufBytes = 256 * 1024;
+    Pair p(cfg);
+    p.establish();
+    const std::uint32_t before = p.a.cwndBytes();
+    p.a.appendSendData(100000);
+    p.settle();
+    p.b.consume(p.b.readableBytes());
+    EXPECT_GT(p.a.cwndBytes(), before);
+}
+
+TEST(TcpClose, ActiveCloseFourWay)
+{
+    Pair p;
+    p.establish();
+    p.a.appendSendData(500);
+    p.settle();
+    p.b.consume(500);
+
+    p.a.close();
+    p.settle();
+    EXPECT_TRUE(p.b.finReceived());
+    EXPECT_EQ(p.b.state(), TcpState::CloseWait);
+    EXPECT_EQ(p.a.state(), TcpState::FinWait2);
+
+    p.b.close();
+    p.settle();
+    EXPECT_EQ(p.b.state(), TcpState::Closed);
+    EXPECT_EQ(p.a.state(), TcpState::TimeWait);
+}
+
+TEST(TcpClose, FinWaitsForBufferedData)
+{
+    TcpConfig cfg;
+    cfg.rcvWndBytes = 2048; // throttle so data stays queued
+    Pair p(cfg);
+    p.establish();
+    p.a.appendSendData(6000);
+    p.a.close();
+    p.settle();
+    // Receiver hasn't consumed: FIN cannot have been accepted yet.
+    EXPECT_FALSE(p.b.finReceived());
+    p.b.consume(p.b.readableBytes());
+    p.settle();
+    p.b.consume(p.b.readableBytes());
+    p.settle();
+    p.b.consume(p.b.readableBytes());
+    p.settle();
+    EXPECT_TRUE(p.b.finReceived());
+    EXPECT_EQ(p.b.deliveredBytes(), 6000u);
+}
+
+TEST(TcpClose, SimultaneousClose)
+{
+    Pair p;
+    p.establish();
+    p.a.close();
+    p.b.close();
+    // Pull both FINs before delivering either.
+    std::vector<Segment> fa = p.a.pullSegments(0);
+    std::vector<Segment> fb = p.b.pullSegments(0);
+    ASSERT_EQ(fa.size(), 1u);
+    ASSERT_EQ(fb.size(), 1u);
+    ASSERT_TRUE(fa[0].fin());
+    ASSERT_TRUE(fb[0].fin());
+    std::vector<Segment> ra;
+    std::vector<Segment> rb;
+    p.b.onSegment(fa[0], 0, rb);
+    p.a.onSegment(fb[0], 0, ra);
+    for (const Segment &s : ra) {
+        std::vector<Segment> x;
+        p.b.onSegment(s, 0, x);
+    }
+    for (const Segment &s : rb) {
+        std::vector<Segment> x;
+        p.a.onSegment(s, 0, x);
+    }
+    EXPECT_TRUE(p.a.state() == TcpState::TimeWait ||
+                p.a.state() == TcpState::Closing);
+    EXPECT_TRUE(p.b.state() == TcpState::TimeWait ||
+                p.b.state() == TcpState::Closing);
+}
+
+TEST(TcpMisc, RstAborts)
+{
+    Pair p;
+    p.establish();
+    Segment rst;
+    rst.flags = flagRst;
+    rst.seq = p.b.rcvNxtAbs();
+    std::vector<Segment> replies;
+    p.a.onSegment(rst, 0, replies);
+    EXPECT_EQ(p.a.state(), TcpState::Closed);
+    EXPECT_TRUE(replies.empty());
+}
+
+TEST(TcpMisc, AbortEmitsRstOnce)
+{
+    Pair p;
+    p.establish();
+    p.a.abort();
+    EXPECT_EQ(p.a.state(), TcpState::Closed);
+    std::vector<Segment> out = p.a.pullSegments(0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].rst());
+    EXPECT_TRUE(p.a.pullSegments(0).empty()) << "RST must fire once";
+
+    // Delivering the RST tears the peer down without a counter-RST.
+    std::vector<Segment> replies;
+    p.b.onSegment(out[0], 0, replies);
+    EXPECT_EQ(p.b.state(), TcpState::Closed);
+    EXPECT_TRUE(replies.empty());
+    EXPECT_TRUE(p.b.pullSegments(0).empty());
+}
+
+TEST(TcpMisc, AbortBeforeOpenEmitsNothing)
+{
+    TcpConnection a;
+    a.abort();
+    EXPECT_TRUE(a.pullSegments(0).empty());
+}
+
+TEST(TcpMisc, AckBeyondSndNxtIgnored)
+{
+    Pair p;
+    p.establish();
+    Segment bogus;
+    bogus.flags = flagAck;
+    bogus.ack = p.a.sndNxtAbs() + 99999;
+    bogus.wnd = 1000;
+    std::vector<Segment> replies;
+    p.a.onSegment(bogus, 0, replies);
+    EXPECT_EQ(p.a.ackedBytes(), 0u);
+}
+
+TEST(TcpMisc, ZeroWindowArmsProbeTimer)
+{
+    TcpConfig cfg;
+    cfg.rcvWndBytes = 1448;
+    Pair p(cfg);
+    p.establish();
+    p.a.appendSendData(3 * 1448);
+    p.settle();
+    // Window now zero with data waiting: RTO must be armed to probe.
+    EXPECT_GT(p.a.bytesOutstanding(), 0u);
+    EXPECT_NE(p.a.rtoDeadline(), sim::maxTick);
+}
+
+TEST(TcpMisc, StateNamesPrintable)
+{
+    EXPECT_EQ(tcpStateName(TcpState::Established), "ESTABLISHED");
+    EXPECT_EQ(tcpStateName(TcpState::TimeWait), "TIME_WAIT");
+    Segment s;
+    s.flags = flagSyn | flagAck;
+    EXPECT_NE(s.describe().find("S."), std::string::npos);
+}
+
+TEST(TcpMisc, HasPendingOutputMatchesPull)
+{
+    Pair p;
+    p.establish();
+    EXPECT_FALSE(p.a.hasPendingOutput(0));
+    p.a.appendSendData(100);
+    EXPECT_TRUE(p.a.hasPendingOutput(0));
+    p.a.pullSegments(0);
+    EXPECT_FALSE(p.a.hasPendingOutput(0));
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Property tests: TCP delivers everything exactly once, in order, over
+ * a lossy, delaying link — swept across loss rates, seeds, and
+ * configurations with parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+
+#include "src/net/tcp_connection.hh"
+#include "src/sim/random.hh"
+
+using namespace na;
+using namespace na::net;
+
+namespace {
+
+struct LossParam
+{
+    double lossProb;
+    std::uint64_t seed;
+    std::uint32_t mss;
+    bool nagle;
+};
+
+class TcpLossProperty : public ::testing::TestWithParam<LossParam>
+{
+};
+
+/** A lossy, fixed-latency FIFO link with an event clock. */
+class LossyWorld
+{
+  public:
+    explicit LossyWorld(const LossParam &p)
+        : rng(p.seed), lossProb(p.lossProb)
+    {
+        TcpConfig cfg;
+        cfg.mss = p.mss;
+        cfg.nagle = p.nagle;
+        cfg.rtoTicks = 4000; // short timeouts keep tests fast
+        a = std::make_unique<TcpConnection>(cfg);
+        b = std::make_unique<TcpConnection>(cfg);
+    }
+
+    struct InFlight
+    {
+        sim::Tick arrive;
+        bool toB;
+        Segment seg;
+    };
+
+    void
+    send(bool to_b, const Segment &seg)
+    {
+        if (rng.chance(lossProb))
+            return; // dropped
+        wire.push_back(InFlight{now + 50, to_b, seg});
+    }
+
+    /** One world step: pull output, deliver due segments, run timers. */
+    void
+    step()
+    {
+        now += 25;
+        for (const Segment &s : a->pullSegments(now))
+            send(true, s);
+        for (const Segment &s : b->pullSegments(now))
+            send(false, s);
+
+        std::deque<InFlight> due;
+        for (auto it = wire.begin(); it != wire.end();) {
+            if (it->arrive <= now) {
+                due.push_back(*it);
+                it = wire.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (const InFlight &f : due) {
+            std::vector<Segment> replies;
+            (f.toB ? *b : *a).onSegment(f.seg, now, replies);
+            for (const Segment &r : replies)
+                send(!f.toB, r);
+        }
+
+        for (TcpConnection *c : {a.get(), b.get()}) {
+            if (c->rtoDeadline() <= now)
+                c->onRtoTimer(now);
+            if (c->delackPending() && now % 400 == 0) {
+                std::vector<Segment> replies;
+                c->onDelackTimer(now, replies);
+                for (const Segment &r : replies)
+                    send(c == b.get(), r);
+            }
+        }
+    }
+
+    sim::Random rng;
+    double lossProb;
+    sim::Tick now = 0;
+    std::deque<InFlight> wire;
+    std::unique_ptr<TcpConnection> a;
+    std::unique_ptr<TcpConnection> b;
+};
+
+TEST_P(TcpLossProperty, ExactlyOnceInOrderDelivery)
+{
+    LossyWorld w(GetParam());
+    w.a->openActive();
+    w.b->openPassive();
+
+    constexpr std::uint64_t kTotal = 120 * 1024;
+    std::uint64_t appended = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t last_delivered = 0;
+
+    for (int steps = 0; steps < 2'000'000; ++steps) {
+        if (w.a->state() == TcpState::Established && appended < kTotal) {
+            appended += w.a->appendSendData(static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(kTotal - appended, 4096)));
+        }
+        w.step();
+
+        // Delivery is monotonic, never exceeds what was appended.
+        const std::uint64_t delivered = w.b->deliveredBytes();
+        ASSERT_GE(delivered, last_delivered) << "delivery regressed";
+        ASSERT_LE(delivered, appended) << "phantom bytes delivered";
+        last_delivered = delivered;
+
+        consumed += w.b->consume(w.b->readableBytes());
+        if (appended == kTotal && consumed == kTotal)
+            break;
+    }
+
+    // Let the final ACKs drain back to the sender.
+    for (int i = 0; i < 4000 && w.a->ackedBytes() < kTotal; ++i)
+        w.step();
+
+    EXPECT_EQ(appended, kTotal);
+    EXPECT_EQ(consumed, kTotal) << "lost bytes despite retransmission";
+    EXPECT_EQ(w.b->deliveredBytes(), kTotal);
+    EXPECT_EQ(w.a->ackedBytes(), kTotal);
+    if (GetParam().lossProb > 0) {
+        EXPECT_GT(w.a->retransmitCount() + w.b->retransmitCount(), 0u);
+    }
+}
+
+TEST_P(TcpLossProperty, CloseCompletesUnderLoss)
+{
+    LossyWorld w(GetParam());
+    w.a->openActive();
+    w.b->openPassive();
+
+    bool closed = false;
+    std::uint64_t appended = 0;
+    for (int steps = 0; steps < 2'000'000; ++steps) {
+        if (w.a->state() == TcpState::Established && appended < 8192) {
+            appended += w.a->appendSendData(
+                static_cast<std::uint32_t>(8192 - appended));
+        }
+        if (appended == 8192 && !closed &&
+            w.a->state() == TcpState::Established) {
+            w.a->close();
+            closed = true;
+        }
+        w.step();
+        w.b->consume(w.b->readableBytes());
+        if (w.b->finReceived() && closed) {
+            if (w.b->state() == TcpState::CloseWait)
+                w.b->close();
+            if (w.b->state() == TcpState::Closed &&
+                (w.a->state() == TcpState::TimeWait)) {
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(w.b->finReceived());
+    EXPECT_EQ(w.b->deliveredBytes(), 8192u);
+    EXPECT_EQ(w.b->state(), TcpState::Closed);
+    EXPECT_EQ(w.a->state(), TcpState::TimeWait);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSweep, TcpLossProperty,
+    ::testing::Values(
+        LossParam{0.00, 1, 1448, true},
+        LossParam{0.01, 2, 1448, true},
+        LossParam{0.05, 3, 1448, true},
+        LossParam{0.15, 4, 1448, true},
+        LossParam{0.05, 5, 536, true},
+        LossParam{0.05, 6, 1448, false},
+        LossParam{0.15, 7, 536, false},
+        LossParam{0.30, 8, 1448, true}),
+    [](const ::testing::TestParamInfo<LossParam> &info) {
+        const LossParam &p = info.param;
+        return "loss" +
+               std::to_string(static_cast<int>(p.lossProb * 100)) +
+               "_seed" + std::to_string(p.seed) + "_mss" +
+               std::to_string(p.mss) + (p.nagle ? "_nagle" : "_nodelay");
+    });
+
+} // namespace
