@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_4p_scaling.dir/ext_4p_scaling.cpp.o"
+  "CMakeFiles/ext_4p_scaling.dir/ext_4p_scaling.cpp.o.d"
+  "ext_4p_scaling"
+  "ext_4p_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_4p_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

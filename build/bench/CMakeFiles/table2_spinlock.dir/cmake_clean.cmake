@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_spinlock.dir/table2_spinlock.cpp.o"
+  "CMakeFiles/table2_spinlock.dir/table2_spinlock.cpp.o.d"
+  "table2_spinlock"
+  "table2_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_improvements.dir/table3_improvements.cpp.o"
+  "CMakeFiles/table3_improvements.dir/table3_improvements.cpp.o.d"
+  "table3_improvements"
+  "table3_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_improvements.
+# This may be replaced when dependencies are built.

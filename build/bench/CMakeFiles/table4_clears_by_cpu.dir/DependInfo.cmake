@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_clears_by_cpu.cpp" "bench/CMakeFiles/table4_clears_by_cpu.dir/table4_clears_by_cpu.cpp.o" "gcc" "bench/CMakeFiles/table4_clears_by_cpu.dir/table4_clears_by_cpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/na_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/na_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/na_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/na_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/na_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/na_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/na_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/na_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/na_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/na_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_clears_by_cpu.dir/table4_clears_by_cpu.cpp.o"
+  "CMakeFiles/table4_clears_by_cpu.dir/table4_clears_by_cpu.cpp.o.d"
+  "table4_clears_by_cpu"
+  "table4_clears_by_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_clears_by_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_clears_by_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_correlation.dir/table5_correlation.cpp.o"
+  "CMakeFiles/table5_correlation.dir/table5_correlation.cpp.o.d"
+  "table5_correlation"
+  "table5_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

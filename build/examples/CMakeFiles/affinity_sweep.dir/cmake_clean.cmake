@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_sweep.dir/affinity_sweep.cpp.o"
+  "CMakeFiles/affinity_sweep.dir/affinity_sweep.cpp.o.d"
+  "affinity_sweep"
+  "affinity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

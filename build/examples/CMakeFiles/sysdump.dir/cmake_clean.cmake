@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdump.dir/sysdump.cpp.o"
+  "CMakeFiles/sysdump.dir/sysdump.cpp.o.d"
+  "sysdump"
+  "sysdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

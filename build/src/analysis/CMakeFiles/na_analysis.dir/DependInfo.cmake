@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/amdahl.cc" "src/analysis/CMakeFiles/na_analysis.dir/amdahl.cc.o" "gcc" "src/analysis/CMakeFiles/na_analysis.dir/amdahl.cc.o.d"
+  "/root/repo/src/analysis/impact.cc" "src/analysis/CMakeFiles/na_analysis.dir/impact.cc.o" "gcc" "src/analysis/CMakeFiles/na_analysis.dir/impact.cc.o.d"
+  "/root/repo/src/analysis/spearman.cc" "src/analysis/CMakeFiles/na_analysis.dir/spearman.cc.o" "gcc" "src/analysis/CMakeFiles/na_analysis.dir/spearman.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/na_analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/na_analysis.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prof/CMakeFiles/na_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/na_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/na_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

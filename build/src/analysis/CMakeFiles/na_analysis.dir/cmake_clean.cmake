@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_analysis.dir/amdahl.cc.o"
+  "CMakeFiles/na_analysis.dir/amdahl.cc.o.d"
+  "CMakeFiles/na_analysis.dir/impact.cc.o"
+  "CMakeFiles/na_analysis.dir/impact.cc.o.d"
+  "CMakeFiles/na_analysis.dir/spearman.cc.o"
+  "CMakeFiles/na_analysis.dir/spearman.cc.o.d"
+  "CMakeFiles/na_analysis.dir/table.cc.o"
+  "CMakeFiles/na_analysis.dir/table.cc.o.d"
+  "libna_analysis.a"
+  "libna_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

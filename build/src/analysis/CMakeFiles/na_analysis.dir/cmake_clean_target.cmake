@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libna_analysis.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_core.dir/experiment.cc.o"
+  "CMakeFiles/na_core.dir/experiment.cc.o.d"
+  "CMakeFiles/na_core.dir/report.cc.o"
+  "CMakeFiles/na_core.dir/report.cc.o.d"
+  "CMakeFiles/na_core.dir/system.cc.o"
+  "CMakeFiles/na_core.dir/system.cc.o.d"
+  "libna_core.a"
+  "libna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_cpu.dir/core.cc.o"
+  "CMakeFiles/na_cpu.dir/core.cc.o.d"
+  "libna_cpu.a"
+  "libna_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/addr_alloc.cc" "src/mem/CMakeFiles/na_mem.dir/addr_alloc.cc.o" "gcc" "src/mem/CMakeFiles/na_mem.dir/addr_alloc.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/na_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/na_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/na_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/na_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/na_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/na_mem.dir/tlb.cc.o.d"
+  "/root/repo/src/mem/trace_cache.cc" "src/mem/CMakeFiles/na_mem.dir/trace_cache.cc.o" "gcc" "src/mem/CMakeFiles/na_mem.dir/trace_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/na_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/na_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

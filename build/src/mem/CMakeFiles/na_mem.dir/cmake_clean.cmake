@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_mem.dir/addr_alloc.cc.o"
+  "CMakeFiles/na_mem.dir/addr_alloc.cc.o.d"
+  "CMakeFiles/na_mem.dir/cache.cc.o"
+  "CMakeFiles/na_mem.dir/cache.cc.o.d"
+  "CMakeFiles/na_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/na_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/na_mem.dir/tlb.cc.o"
+  "CMakeFiles/na_mem.dir/tlb.cc.o.d"
+  "CMakeFiles/na_mem.dir/trace_cache.cc.o"
+  "CMakeFiles/na_mem.dir/trace_cache.cc.o.d"
+  "libna_mem.a"
+  "libna_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/driver.cc" "src/net/CMakeFiles/na_net.dir/driver.cc.o" "gcc" "src/net/CMakeFiles/na_net.dir/driver.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/net/CMakeFiles/na_net.dir/nic.cc.o" "gcc" "src/net/CMakeFiles/na_net.dir/nic.cc.o.d"
+  "/root/repo/src/net/peer.cc" "src/net/CMakeFiles/na_net.dir/peer.cc.o" "gcc" "src/net/CMakeFiles/na_net.dir/peer.cc.o.d"
+  "/root/repo/src/net/skb.cc" "src/net/CMakeFiles/na_net.dir/skb.cc.o" "gcc" "src/net/CMakeFiles/na_net.dir/skb.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/na_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/na_net.dir/socket.cc.o.d"
+  "/root/repo/src/net/tcp_connection.cc" "src/net/CMakeFiles/na_net.dir/tcp_connection.cc.o" "gcc" "src/net/CMakeFiles/na_net.dir/tcp_connection.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/na_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/na_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/na_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/na_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/na_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/na_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/na_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/na_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

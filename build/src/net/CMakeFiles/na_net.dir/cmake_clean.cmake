@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_net.dir/driver.cc.o"
+  "CMakeFiles/na_net.dir/driver.cc.o.d"
+  "CMakeFiles/na_net.dir/nic.cc.o"
+  "CMakeFiles/na_net.dir/nic.cc.o.d"
+  "CMakeFiles/na_net.dir/peer.cc.o"
+  "CMakeFiles/na_net.dir/peer.cc.o.d"
+  "CMakeFiles/na_net.dir/skb.cc.o"
+  "CMakeFiles/na_net.dir/skb.cc.o.d"
+  "CMakeFiles/na_net.dir/socket.cc.o"
+  "CMakeFiles/na_net.dir/socket.cc.o.d"
+  "CMakeFiles/na_net.dir/tcp_connection.cc.o"
+  "CMakeFiles/na_net.dir/tcp_connection.cc.o.d"
+  "CMakeFiles/na_net.dir/wire.cc.o"
+  "CMakeFiles/na_net.dir/wire.cc.o.d"
+  "libna_net.a"
+  "libna_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/exec_context.cc" "src/os/CMakeFiles/na_os.dir/exec_context.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/exec_context.cc.o.d"
+  "/root/repo/src/os/interrupts.cc" "src/os/CMakeFiles/na_os.dir/interrupts.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/interrupts.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/na_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/processor.cc" "src/os/CMakeFiles/na_os.dir/processor.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/processor.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/na_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/scheduler.cc.o.d"
+  "/root/repo/src/os/spinlock.cc" "src/os/CMakeFiles/na_os.dir/spinlock.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/spinlock.cc.o.d"
+  "/root/repo/src/os/task.cc" "src/os/CMakeFiles/na_os.dir/task.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/task.cc.o.d"
+  "/root/repo/src/os/timer_list.cc" "src/os/CMakeFiles/na_os.dir/timer_list.cc.o" "gcc" "src/os/CMakeFiles/na_os.dir/timer_list.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/na_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/na_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/na_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/na_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/na_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

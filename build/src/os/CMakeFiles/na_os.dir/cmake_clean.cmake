@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_os.dir/exec_context.cc.o"
+  "CMakeFiles/na_os.dir/exec_context.cc.o.d"
+  "CMakeFiles/na_os.dir/interrupts.cc.o"
+  "CMakeFiles/na_os.dir/interrupts.cc.o.d"
+  "CMakeFiles/na_os.dir/kernel.cc.o"
+  "CMakeFiles/na_os.dir/kernel.cc.o.d"
+  "CMakeFiles/na_os.dir/processor.cc.o"
+  "CMakeFiles/na_os.dir/processor.cc.o.d"
+  "CMakeFiles/na_os.dir/scheduler.cc.o"
+  "CMakeFiles/na_os.dir/scheduler.cc.o.d"
+  "CMakeFiles/na_os.dir/spinlock.cc.o"
+  "CMakeFiles/na_os.dir/spinlock.cc.o.d"
+  "CMakeFiles/na_os.dir/task.cc.o"
+  "CMakeFiles/na_os.dir/task.cc.o.d"
+  "CMakeFiles/na_os.dir/timer_list.cc.o"
+  "CMakeFiles/na_os.dir/timer_list.cc.o.d"
+  "libna_os.a"
+  "libna_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

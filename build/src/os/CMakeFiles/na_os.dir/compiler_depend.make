@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for na_os.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/accounting.cc" "src/prof/CMakeFiles/na_prof.dir/accounting.cc.o" "gcc" "src/prof/CMakeFiles/na_prof.dir/accounting.cc.o.d"
+  "/root/repo/src/prof/func_registry.cc" "src/prof/CMakeFiles/na_prof.dir/func_registry.cc.o" "gcc" "src/prof/CMakeFiles/na_prof.dir/func_registry.cc.o.d"
+  "/root/repo/src/prof/sampler.cc" "src/prof/CMakeFiles/na_prof.dir/sampler.cc.o" "gcc" "src/prof/CMakeFiles/na_prof.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/na_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/na_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_prof.dir/accounting.cc.o"
+  "CMakeFiles/na_prof.dir/accounting.cc.o.d"
+  "CMakeFiles/na_prof.dir/func_registry.cc.o"
+  "CMakeFiles/na_prof.dir/func_registry.cc.o.d"
+  "CMakeFiles/na_prof.dir/sampler.cc.o"
+  "CMakeFiles/na_prof.dir/sampler.cc.o.d"
+  "libna_prof.a"
+  "libna_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libna_prof.a"
+)

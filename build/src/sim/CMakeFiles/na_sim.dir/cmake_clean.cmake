@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_sim.dir/event_queue.cc.o"
+  "CMakeFiles/na_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/na_sim.dir/logging.cc.o"
+  "CMakeFiles/na_sim.dir/logging.cc.o.d"
+  "CMakeFiles/na_sim.dir/random.cc.o"
+  "CMakeFiles/na_sim.dir/random.cc.o.d"
+  "CMakeFiles/na_sim.dir/trace.cc.o"
+  "CMakeFiles/na_sim.dir/trace.cc.o.d"
+  "libna_sim.a"
+  "libna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_stats.dir/stats.cc.o"
+  "CMakeFiles/na_stats.dir/stats.cc.o.d"
+  "libna_stats.a"
+  "libna_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

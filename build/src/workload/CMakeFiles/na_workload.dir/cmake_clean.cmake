@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_workload.dir/iscsi.cc.o"
+  "CMakeFiles/na_workload.dir/iscsi.cc.o.d"
+  "CMakeFiles/na_workload.dir/ttcp.cc.o"
+  "CMakeFiles/na_workload.dir/ttcp.cc.o.d"
+  "CMakeFiles/na_workload.dir/webserver.cc.o"
+  "CMakeFiles/na_workload.dir/webserver.cc.o.d"
+  "libna_workload.a"
+  "libna_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

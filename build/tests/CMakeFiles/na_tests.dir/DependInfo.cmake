@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accounting_sampler.cc" "tests/CMakeFiles/na_tests.dir/test_accounting_sampler.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_accounting_sampler.cc.o.d"
+  "/root/repo/tests/test_affinity_properties.cc" "tests/CMakeFiles/na_tests.dir/test_affinity_properties.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_affinity_properties.cc.o.d"
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/na_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/na_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_property.cc" "tests/CMakeFiles/na_tests.dir/test_cache_property.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_cache_property.cc.o.d"
+  "/root/repo/tests/test_core_charges.cc" "tests/CMakeFiles/na_tests.dir/test_core_charges.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_core_charges.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/na_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_func_registry.cc" "tests/CMakeFiles/na_tests.dir/test_func_registry.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_func_registry.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/na_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_net_stack.cc" "tests/CMakeFiles/na_tests.dir/test_net_stack.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_net_stack.cc.o.d"
+  "/root/repo/tests/test_nic_edge.cc" "tests/CMakeFiles/na_tests.dir/test_nic_edge.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_nic_edge.cc.o.d"
+  "/root/repo/tests/test_os_kernel.cc" "tests/CMakeFiles/na_tests.dir/test_os_kernel.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_os_kernel.cc.o.d"
+  "/root/repo/tests/test_processor.cc" "tests/CMakeFiles/na_tests.dir/test_processor.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_processor.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/na_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_skb_wire.cc" "tests/CMakeFiles/na_tests.dir/test_skb_wire.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_skb_wire.cc.o.d"
+  "/root/repo/tests/test_spinlock.cc" "tests/CMakeFiles/na_tests.dir/test_spinlock.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_spinlock.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/na_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_tcp_connection.cc" "tests/CMakeFiles/na_tests.dir/test_tcp_connection.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_tcp_connection.cc.o.d"
+  "/root/repo/tests/test_tcp_loss_property.cc" "tests/CMakeFiles/na_tests.dir/test_tcp_loss_property.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_tcp_loss_property.cc.o.d"
+  "/root/repo/tests/test_tcp_rtt.cc" "tests/CMakeFiles/na_tests.dir/test_tcp_rtt.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_tcp_rtt.cc.o.d"
+  "/root/repo/tests/test_tlb_tc.cc" "tests/CMakeFiles/na_tests.dir/test_tlb_tc.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_tlb_tc.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/na_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/na_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/na_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/na_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/na_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/na_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/na_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/na_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/na_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/na_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/na_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/na_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
