@@ -1,6 +1,13 @@
 /**
  * @file
  * Shared scaffolding for the paper-reproduction benchmark binaries.
+ *
+ * Benches are declarative: build a sweep (core::SweepBuilder), run it
+ * through the parallel campaign engine (core::Campaign), format tables
+ * from the ResultSet. Environment knobs shared by every binary:
+ *
+ *   NA_CAMPAIGN_THREADS=N   worker threads (default: hardware)
+ *   NA_CAMPAIGN_JSON=PATH   also export results to PATH as JSON
  */
 
 #ifndef NETAFFINITY_BENCH_BENCH_COMMON_HH
@@ -8,10 +15,15 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/analysis/table.hh"
-#include "src/core/experiment.hh"
+#include "src/core/campaign.hh"
+#include "src/core/results_json.hh"
+#include "src/core/sweep.hh"
 #include "src/sim/logging.hh"
 
 namespace na::bench {
@@ -24,35 +36,37 @@ constexpr std::array<std::uint32_t, 7> paperSizes = {
 constexpr std::uint32_t smallSize = 128;
 constexpr std::uint32_t largeSize = 65536;
 
-/** Default schedule for bench runs. */
-inline core::RunSchedule
-benchSchedule()
-{
-    core::RunSchedule s;
-    s.warmup = 60'000'000;   // 30 ms
-    s.measure = 100'000'000; // 50 ms
-    return s;
-}
+/**
+ * The paper's table column order (None, Proc, Irq, Full). Keyed on the
+ * enum — never on the position within core::allAffinityModes — so an
+ * enum or list reorder cannot silently swap table columns.
+ */
+constexpr std::array<core::AffinityMode, 4> columnOrder = {
+    core::AffinityMode::None, core::AffinityMode::Proc,
+    core::AffinityMode::Irq, core::AffinityMode::Full};
 
-/** Build the paper's standard configuration. */
-inline core::SystemConfig
-paperConfig(workload::TtcpMode mode, std::uint32_t msg_size,
-            core::AffinityMode affinity)
+/**
+ * Run a campaign with the shared environment knobs applied: thread
+ * count from NA_CAMPAIGN_THREADS (via Campaign::resolveThreads) and an
+ * optional JSON export to $NA_CAMPAIGN_JSON.
+ */
+inline core::ResultSet
+runCampaign(std::vector<core::CampaignPoint> points,
+            core::Campaign::Options options = {})
 {
-    core::SystemConfig cfg;
-    cfg.ttcp.mode = mode;
-    cfg.ttcp.msgSize = msg_size;
-    cfg.affinity = affinity;
-    return cfg;
-}
-
-/** Run one configuration with the bench schedule. */
-inline core::RunResult
-runOne(workload::TtcpMode mode, std::uint32_t msg_size,
-       core::AffinityMode affinity)
-{
-    return core::Experiment::run(paperConfig(mode, msg_size, affinity),
-                                 benchSchedule());
+    core::ResultSet results =
+        core::Campaign::run(std::move(points), options);
+    if (const char *path = std::getenv("NA_CAMPAIGN_JSON")) {
+        // Not sim::warn: benches run with setQuiet(true), and a failed
+        // export should never be silent.
+        if (!core::writeResultsJsonFile(path, results)) {
+            std::fprintf(stderr,
+                         "warning: could not write campaign results "
+                         "to %s\n",
+                         path);
+        }
+    }
+    return results;
 }
 
 inline const char *

@@ -16,20 +16,30 @@ using namespace na;
 
 namespace {
 
+constexpr std::array<core::AffinityMode, 3> rowModes = {
+    core::AffinityMode::None, core::AffinityMode::Irq,
+    core::AffinityMode::Full};
+
 void
 run(int num_cpus)
 {
     std::printf("\n%dP system, TX 64KB, 8 connections\n\n", num_cpus);
+
+    core::SystemConfig base;
+    base.platform.numCpus = num_cpus;
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .base(base)
+            .mode(workload::TtcpMode::Transmit)
+            .size(bench::largeSize)
+            .affinities(rowModes)
+            .build());
+
     analysis::TableWriter t({"Mode", "BW (Mb/s)", "GHz/Gbps", "CPU0",
                              "CPU1", "CPU2", "CPU3"});
-    for (core::AffinityMode m :
-         {core::AffinityMode::None, core::AffinityMode::Irq,
-          core::AffinityMode::Full}) {
-        core::SystemConfig cfg = bench::paperConfig(
+    for (core::AffinityMode m : rowModes) {
+        const core::RunResult &r = results.at(
             workload::TtcpMode::Transmit, bench::largeSize, m);
-        cfg.platform.numCpus = num_cpus;
-        const core::RunResult r =
-            core::Experiment::run(cfg, bench::benchSchedule());
         std::vector<std::string> row{
             std::string(core::affinityName(m)),
             analysis::TableWriter::num(r.throughputMbps, 0),

@@ -10,6 +10,9 @@
  *     the affinity win flows through the paper's headline event;
  *  4. NIC checksum offload on/off (Background section);
  *  5. interrupt moderation (ITR gap) sweep.
+ *
+ * Every ablation is one declarative variant sweep; row attributes are
+ * read back from each point's final config.
  */
 
 #include <iostream>
@@ -20,28 +23,32 @@ using namespace na;
 
 namespace {
 
-core::RunResult
-runCfg(core::SystemConfig cfg, sim::Tick rotation = 0)
-{
-    core::System system(cfg);
-    if (rotation)
-        system.kernel().irqController().setRotation(rotation);
-    return core::Experiment::measure(system, bench::benchSchedule());
-}
-
 void
 wakeAffineAblation()
 {
     std::printf("\n[1] wake-affine on/off (TX 64KB, IRQ affinity)\n\n");
+
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .mode(workload::TtcpMode::Transmit)
+            .size(bench::largeSize)
+            .affinity(core::AffinityMode::Irq)
+            .variant("wake-affine on",
+                     [](core::SystemConfig &cfg) {
+                         cfg.platform.wakeAffine = true;
+                     })
+            .variant("wake-affine off",
+                     [](core::SystemConfig &cfg) {
+                         cfg.platform.wakeAffine = false;
+                     })
+            .build());
+
     analysis::TableWriter t({"wake-affine", "BW (Mb/s)", "GHz/Gbps",
                              "cross-CPU wakeup IPIs"});
-    for (bool wa : {true, false}) {
-        core::SystemConfig cfg = bench::paperConfig(
-            workload::TtcpMode::Transmit, bench::largeSize,
-            core::AffinityMode::Irq);
-        cfg.platform.wakeAffine = wa;
-        const core::RunResult r = runCfg(cfg);
-        t.addRow({wa ? "on" : "off",
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::RunResult &r = results.result(i);
+        t.addRow({results.point(i).config.platform.wakeAffine ? "on"
+                                                              : "off",
                   analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps),
                   analysis::TableWriter::integer(r.ipis)});
@@ -57,34 +64,44 @@ rotationAblation()
 {
     std::printf("\n[2] static affinity vs 2.6-style rotating IRQ "
                 "distribution (TX 64KB)\n\n");
-    analysis::TableWriter t({"distribution", "BW (Mb/s)", "GHz/Gbps"});
-    {
-        const core::RunResult r = bench::runOne(
-            workload::TtcpMode::Transmit, bench::largeSize,
-            core::AffinityMode::None);
-        t.addRow({"static, all CPU0 (2.4 default)",
-                  analysis::TableWriter::num(r.throughputMbps, 0),
-                  analysis::TableWriter::num(r.ghzPerGbps)});
-    }
+
+    core::SweepBuilder sweep;
+    sweep.mode(workload::TtcpMode::Transmit)
+        .size(bench::largeSize)
+        .affinity(core::AffinityMode::None)
+        .variant("static, all CPU0 (2.4 default)",
+                 [](core::SystemConfig &) {});
     for (sim::Tick ticks : {2'000'000ULL, 20'000'000ULL,
                             200'000'000ULL}) {
-        core::SystemConfig cfg = bench::paperConfig(
-            workload::TtcpMode::Transmit, bench::largeSize,
-            core::AffinityMode::None);
-        const core::RunResult r = runCfg(cfg, ticks);
-        t.addRow({"rotate every " +
-                      analysis::TableWriter::num(
-                          static_cast<double>(ticks) / 2'000'000.0, 0) +
-                      " ms",
-                  analysis::TableWriter::num(r.throughputMbps, 0),
-                  analysis::TableWriter::num(r.ghzPerGbps)});
+        sweep.variant(sim::format("rotate every %.0f ms",
+                                  static_cast<double>(ticks) /
+                                      2'000'000.0),
+                      [ticks](core::SystemConfig &cfg) {
+                          cfg.irqRotationTicks = ticks;
+                      });
     }
-    {
-        const core::RunResult r = bench::runOne(
-            workload::TtcpMode::Transmit, bench::largeSize,
-            core::AffinityMode::Full);
-        t.addRow({"static full affinity",
-                  analysis::TableWriter::num(r.throughputMbps, 0),
+    sweep.variant("static full affinity", [](core::SystemConfig &cfg) {
+        cfg.affinity = core::AffinityMode::Full;
+    });
+
+    const core::ResultSet results = bench::runCampaign(sweep.build());
+
+    analysis::TableWriter t({"distribution", "BW (Mb/s)", "GHz/Gbps"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::SystemConfig &cfg = results.point(i).config;
+        const core::RunResult &r = results.result(i);
+        std::string label;
+        if (cfg.irqRotationTicks > 0) {
+            label = sim::format("rotate every %.0f ms",
+                                static_cast<double>(
+                                    cfg.irqRotationTicks) /
+                                    2'000'000.0);
+        } else if (cfg.affinity == core::AffinityMode::Full) {
+            label = "static full affinity";
+        } else {
+            label = "static, all CPU0 (2.4 default)";
+        }
+        t.addRow({label, analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps)});
     }
     t.print(std::cout);
@@ -99,23 +116,37 @@ orderingClearAblation()
 {
     std::printf("\n[3] memory-ordering machine clears on/off "
                 "(TX 64KB)\n\n");
+
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .mode(workload::TtcpMode::Transmit)
+            .size(bench::largeSize)
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .variant("ordering clears on",
+                     [](core::SystemConfig &cfg) {
+                         cfg.platform.orderingClearProb = 0.85;
+                     })
+            .variant("ordering clears off",
+                     [](core::SystemConfig &cfg) {
+                         cfg.platform.orderingClearProb = 0.0;
+                     })
+            .build());
+
     analysis::TableWriter t({"config", "mode", "BW (Mb/s)", "GHz/Gbps",
                              "machine clears"});
-    for (double p : {0.85, 0.0}) {
-        for (core::AffinityMode m :
-             {core::AffinityMode::None, core::AffinityMode::Full}) {
-            core::SystemConfig cfg = bench::paperConfig(
-                workload::TtcpMode::Transmit, bench::largeSize, m);
-            cfg.platform.orderingClearProb = p;
-            const core::RunResult r = runCfg(cfg);
-            t.addRow({p > 0 ? "ordering clears on" : "ordering clears off",
-                      std::string(core::affinityName(m)),
-                      analysis::TableWriter::num(r.throughputMbps, 0),
-                      analysis::TableWriter::num(r.ghzPerGbps),
-                      analysis::TableWriter::integer(
-                          r.eventTotals[static_cast<std::size_t>(
-                              prof::Event::MachineClears)])});
-        }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::SystemConfig &cfg = results.point(i).config;
+        const core::RunResult &r = results.result(i);
+        t.addRow({cfg.platform.orderingClearProb > 0
+                      ? "ordering clears on"
+                      : "ordering clears off",
+                  std::string(core::affinityName(cfg.affinity)),
+                  analysis::TableWriter::num(r.throughputMbps, 0),
+                  analysis::TableWriter::num(r.ghzPerGbps),
+                  analysis::TableWriter::integer(
+                      r.eventTotals[static_cast<std::size_t>(
+                          prof::Event::MachineClears)])});
     }
     t.print(std::cout);
     std::printf("Expected: with ordering clears disabled the "
@@ -129,17 +160,31 @@ checksumOffloadAblation()
 {
     std::printf("\n[4] NIC checksum offload on/off (TX 64KB, full "
                 "affinity)\n\n");
+
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .mode(workload::TtcpMode::Transmit)
+            .size(bench::largeSize)
+            .affinity(core::AffinityMode::Full)
+            .variant("csum on",
+                     [](core::SystemConfig &cfg) {
+                         cfg.tcp.checksumOffload = true;
+                     })
+            .variant("csum off",
+                     [](core::SystemConfig &cfg) {
+                         cfg.tcp.checksumOffload = false;
+                     })
+            .build());
+
     analysis::TableWriter t({"csum offload", "BW (Mb/s)", "GHz/Gbps",
                              "copy instr/KB"});
-    for (bool offload : {true, false}) {
-        core::SystemConfig cfg = bench::paperConfig(
-            workload::TtcpMode::Transmit, bench::largeSize,
-            core::AffinityMode::Full);
-        cfg.tcp.checksumOffload = offload;
-        const core::RunResult r = runCfg(cfg);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::RunResult &r = results.result(i);
         const auto copies = r.bins[static_cast<std::size_t>(
             prof::Bin::Copies)];
-        t.addRow({offload ? "on (hardware)" : "off (csum+copy)",
+        t.addRow({results.point(i).config.tcp.checksumOffload
+                      ? "on (hardware)"
+                      : "off (csum+copy)",
                   analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps),
                   analysis::TableWriter::num(
@@ -158,16 +203,30 @@ moderationSweep()
 {
     std::printf("\n[5] interrupt moderation sweep (TX 64KB, no "
                 "affinity)\n\n");
+
+    core::SweepBuilder sweep;
+    sweep.mode(workload::TtcpMode::Transmit)
+        .size(bench::largeSize)
+        .affinity(core::AffinityMode::None);
+    for (sim::Tick gap : {4'000ULL, 16'000ULL, 32'000ULL, 128'000ULL}) {
+        sweep.variant(sim::format("gap %llu",
+                                  static_cast<unsigned long long>(gap)),
+                      [gap](core::SystemConfig &cfg) {
+                          cfg.nic.irqGapTicks = gap;
+                      });
+    }
+
+    const core::ResultSet results = bench::runCampaign(sweep.build());
+
     analysis::TableWriter t({"ITR gap", "BW (Mb/s)", "GHz/Gbps",
                              "IRQs taken"});
-    for (sim::Tick gap : {4'000ULL, 16'000ULL, 32'000ULL, 128'000ULL}) {
-        core::SystemConfig cfg = bench::paperConfig(
-            workload::TtcpMode::Transmit, bench::largeSize,
-            core::AffinityMode::None);
-        cfg.nic.irqGapTicks = gap;
-        const core::RunResult r = runCfg(cfg);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::RunResult &r = results.result(i);
         t.addRow({analysis::TableWriter::num(
-                      static_cast<double>(gap) / 2000.0, 0) + " us",
+                      static_cast<double>(
+                          results.point(i).config.nic.irqGapTicks) /
+                          2000.0,
+                      0) + " us",
                   analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps),
                   analysis::TableWriter::integer(r.irqs)});

@@ -13,7 +13,7 @@ using namespace na;
 namespace {
 
 void
-sweep(workload::TtcpMode mode)
+sweep(const core::ResultSet &results, workload::TtcpMode mode)
 {
     std::printf("\n%s Bandwidth vs CPU Utilization "
                 "(8 conns, 8 GbE NICs, 2 CPUs)\n\n",
@@ -24,26 +24,16 @@ sweep(workload::TtcpMode mode)
                              "IRQ CPU", "Full CPU"});
     for (std::uint32_t size : bench::paperSizes) {
         std::vector<std::string> row{std::to_string(size)};
-        std::array<double, 4> bw{};
-        std::array<double, 4> util{};
-        int i = 0;
-        for (core::AffinityMode m : core::allAffinityModes) {
-            // allAffinityModes order: None, Irq, Proc, Full; reorder
-            // into the table's column order below.
-            const core::RunResult r = bench::runOne(mode, size, m);
-            bw[static_cast<std::size_t>(i)] = r.throughputMbps;
-            util[static_cast<std::size_t>(i)] = 100.0 * r.cpuUtil;
-            ++i;
+        for (core::AffinityMode m : bench::columnOrder) {
+            row.push_back(analysis::TableWriter::num(
+                              results.at(mode, size, m).throughputMbps,
+                              0) +
+                          " Mb/s");
         }
-        // columns: None, Proc, Irq, Full
-        row.push_back(analysis::TableWriter::num(bw[0], 0) + " Mb/s");
-        row.push_back(analysis::TableWriter::num(bw[2], 0) + " Mb/s");
-        row.push_back(analysis::TableWriter::num(bw[1], 0) + " Mb/s");
-        row.push_back(analysis::TableWriter::num(bw[3], 0) + " Mb/s");
-        row.push_back(analysis::TableWriter::pct(util[0]));
-        row.push_back(analysis::TableWriter::pct(util[2]));
-        row.push_back(analysis::TableWriter::pct(util[1]));
-        row.push_back(analysis::TableWriter::pct(util[3]));
+        for (core::AffinityMode m : bench::columnOrder) {
+            row.push_back(analysis::TableWriter::pct(
+                100.0 * results.at(mode, size, m).cpuUtil));
+        }
         t.addRow(std::move(row));
     }
     t.print(std::cout);
@@ -57,8 +47,17 @@ main()
     sim::setQuiet(true);
     bench::banner("Figure 3: TCP CPU utilization and throughput",
                   "Figure 3");
-    sweep(workload::TtcpMode::Transmit);
-    sweep(workload::TtcpMode::Receive);
+
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .sizes(bench::paperSizes)
+            .affinities(core::allAffinityModes)
+            .build());
+
+    sweep(results, workload::TtcpMode::Transmit);
+    sweep(results, workload::TtcpMode::Receive);
 
     std::printf("\nExpected shape: IRQ and Full affinity lift "
                 "throughput (up to ~25-30%% at large sizes); Proc "

@@ -14,7 +14,7 @@ using namespace na;
 namespace {
 
 void
-sweep(workload::TtcpMode mode)
+sweep(const core::ResultSet &results, workload::TtcpMode mode)
 {
     std::printf("\n%s Cost in GHz/Gbps\n\n", bench::modeLabel(mode));
 
@@ -22,19 +22,18 @@ sweep(workload::TtcpMode mode)
         {"Size(B)", "No Aff", "Proc Aff", "IRQ Aff", "Full Aff",
          "No/Full"});
     for (std::uint32_t size : bench::paperSizes) {
-        std::array<double, 4> cost{};
-        int i = 0;
-        for (core::AffinityMode m : core::allAffinityModes) {
-            cost[static_cast<std::size_t>(i++)] =
-                bench::runOne(mode, size, m).ghzPerGbps;
+        std::vector<std::string> row{std::to_string(size)};
+        for (core::AffinityMode m : bench::columnOrder) {
+            row.push_back(analysis::TableWriter::num(
+                results.at(mode, size, m).ghzPerGbps));
         }
-        t.addRow({std::to_string(size),
-                  analysis::TableWriter::num(cost[0]),
-                  analysis::TableWriter::num(cost[2]),
-                  analysis::TableWriter::num(cost[1]),
-                  analysis::TableWriter::num(cost[3]),
-                  analysis::TableWriter::num(
-                      cost[3] > 0 ? cost[0] / cost[3] : 0)});
+        const double no =
+            results.at(mode, size, core::AffinityMode::None).ghzPerGbps;
+        const double full =
+            results.at(mode, size, core::AffinityMode::Full).ghzPerGbps;
+        row.push_back(
+            analysis::TableWriter::num(full > 0 ? no / full : 0));
+        t.addRow(std::move(row));
     }
     t.print(std::cout);
 }
@@ -46,8 +45,17 @@ main()
 {
     sim::setQuiet(true);
     bench::banner("Figure 4: TCP processing costs", "Figure 4");
-    sweep(workload::TtcpMode::Transmit);
-    sweep(workload::TtcpMode::Receive);
+
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .sizes(bench::paperSizes)
+            .affinities(core::allAffinityModes)
+            .build());
+
+    sweep(results, workload::TtcpMode::Transmit);
+    sweep(results, workload::TtcpMode::Receive);
 
     std::printf("\nExpected shape: full affinity cuts the 64KB cost by "
                 "roughly a quarter (paper: 1.9 -> 1.4 for TX 64KB); the "

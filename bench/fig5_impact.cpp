@@ -16,21 +16,19 @@ using namespace na;
 namespace {
 
 void
-block(std::uint32_t size, const char *label)
+block(const core::ResultSet &results, std::uint32_t size,
+      const char *label)
 {
     std::printf("\n%s\n\n", label);
 
     std::array<analysis::ImpactColumn, 4> cols;
-    std::array<core::RunResult, 4> runs;
     int i = 0;
     for (workload::TtcpMode mode :
          {workload::TtcpMode::Transmit, workload::TtcpMode::Receive}) {
         for (core::AffinityMode aff :
              {core::AffinityMode::None, core::AffinityMode::Full}) {
-            runs[static_cast<std::size_t>(i)] =
-                bench::runOne(mode, size, aff);
             cols[static_cast<std::size_t>(i)] =
-                analysis::impactColumn(runs[static_cast<std::size_t>(i)]);
+                analysis::impactColumn(results.at(mode, size, aff));
             ++i;
         }
     }
@@ -61,8 +59,17 @@ main()
     sim::setQuiet(true);
     bench::banner("Figure 5: performance impact indicators", "Figure 5");
 
-    block(bench::largeSize, "64KB");
-    block(bench::smallSize, "128B");
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .sizes({bench::largeSize, bench::smallSize})
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build());
+
+    block(results, bench::largeSize, "64KB");
+    block(results, bench::smallSize, "128B");
 
     std::printf(
         "\nExpected shape: machine clears and LLC misses dominate every "

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tier-1 smoke test of the parallel campaign path: a two-point sweep
+ * with a short measurement window, run serially and with two worker
+ * threads. Exits nonzero unless both runs produce identical, nonempty
+ * results — registered as a ctest so every CI run exercises the
+ * thread pool.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace na;
+
+namespace {
+
+bool
+identical(const core::RunResult &a, const core::RunResult &b)
+{
+    if (a.seconds != b.seconds || a.payloadBytes != b.payloadBytes ||
+        a.throughputMbps != b.throughputMbps ||
+        a.cpuUtil != b.cpuUtil || a.ghzPerGbps != b.ghzPerGbps ||
+        a.irqs != b.irqs || a.ipis != b.ipis ||
+        a.migrations != b.migrations ||
+        a.contextSwitches != b.contextSwitches) {
+        return false;
+    }
+    for (std::size_t e = 0; e < prof::numEvents; ++e) {
+        if (a.eventTotals[e] != b.eventTotals[e])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+
+    core::SystemConfig base;
+    base.numConnections = 2;
+
+    core::RunSchedule schedule;
+    schedule.warmup = 2'000'000;   // 1 ms
+    schedule.measure = 10'000'000; // 5 ms
+
+    const std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .base(base)
+            .schedule(schedule)
+            .size(4096)
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build();
+
+    core::Campaign::Options serial;
+    serial.numThreads = 1;
+    core::Campaign::Options parallel;
+    parallel.numThreads = 2;
+
+    const core::ResultSet a = core::Campaign::run(points, serial);
+    const core::ResultSet b = core::Campaign::run(points, parallel);
+
+    if (a.size() != 2 || b.size() != 2) {
+        std::fprintf(stderr, "smoke: expected 2 results, got %zu/%zu\n",
+                     a.size(), b.size());
+        return 1;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a.result(i).payloadBytes == 0) {
+            std::fprintf(stderr, "smoke: point %zu (%s) moved no data\n",
+                         i, a.point(i).label.c_str());
+            return 1;
+        }
+        if (!identical(a.result(i), b.result(i))) {
+            std::fprintf(stderr,
+                         "smoke: point %zu (%s) differs between 1 and "
+                         "2 worker threads\n",
+                         i, a.point(i).label.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("smoke campaign OK: %zu points, serial == 2-thread, "
+                "%.0f / %.0f Mb/s\n",
+                a.size(), a.result(0).throughputMbps,
+                a.result(1).throughputMbps);
+    return 0;
+}

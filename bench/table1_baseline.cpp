@@ -14,12 +14,13 @@ using namespace na;
 namespace {
 
 void
-quadrant(workload::TtcpMode mode, std::uint32_t size)
+quadrant(const core::ResultSet &results, workload::TtcpMode mode,
+         std::uint32_t size)
 {
-    const core::RunResult no =
-        bench::runOne(mode, size, core::AffinityMode::None);
-    const core::RunResult full =
-        bench::runOne(mode, size, core::AffinityMode::Full);
+    const core::RunResult &no =
+        results.at(mode, size, core::AffinityMode::None);
+    const core::RunResult &full =
+        results.at(mode, size, core::AffinityMode::Full);
 
     std::printf("\n%s %s\n\n", bench::modeLabel(mode),
                 size >= 1024 ? "64KB" : "128B");
@@ -62,10 +63,19 @@ main()
     sim::setQuiet(true);
     bench::banner("Table 1: Baseline TCP characterization", "Table 1");
 
-    quadrant(workload::TtcpMode::Transmit, bench::largeSize);
-    quadrant(workload::TtcpMode::Transmit, bench::smallSize);
-    quadrant(workload::TtcpMode::Receive, bench::largeSize);
-    quadrant(workload::TtcpMode::Receive, bench::smallSize);
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .sizes({bench::largeSize, bench::smallSize})
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build());
+
+    quadrant(results, workload::TtcpMode::Transmit, bench::largeSize);
+    quadrant(results, workload::TtcpMode::Transmit, bench::smallSize);
+    quadrant(results, workload::TtcpMode::Receive, bench::largeSize);
+    quadrant(results, workload::TtcpMode::Receive, bench::smallSize);
 
     std::printf(
         "\nExpected shape: 64KB hotspots are engine/buf-mgmt/copies; "

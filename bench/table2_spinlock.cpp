@@ -22,11 +22,12 @@ using namespace na;
 namespace {
 
 void
-fullStackView(std::uint32_t size, const char *label)
+fullStackView(const core::ResultSet &results, std::uint32_t size,
+              const char *label)
 {
-    const core::RunResult no = bench::runOne(
+    const core::RunResult &no = results.at(
         workload::TtcpMode::Transmit, size, core::AffinityMode::None);
-    const core::RunResult full = bench::runOne(
+    const core::RunResult &full = results.at(
         workload::TtcpMode::Transmit, size, core::AffinityMode::Full);
 
     const auto &ln = no.bins[static_cast<std::size_t>(prof::Bin::Locks)];
@@ -132,8 +133,16 @@ main()
     bench::banner("Table 2: spinlock implementation behaviour",
                   "Table 2 and Section 6.1's lock discussion");
 
-    fullStackView(bench::largeSize, "64KB");
-    fullStackView(bench::smallSize, "128B");
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .mode(workload::TtcpMode::Transmit)
+            .sizes({bench::largeSize, bench::smallSize})
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build());
+
+    fullStackView(results, bench::largeSize, "64KB");
+    fullStackView(results, bench::smallSize, "128B");
     microbench();
 
     std::printf(

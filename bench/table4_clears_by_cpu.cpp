@@ -7,6 +7,8 @@
  */
 
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_common.hh"
 #include "src/prof/sampler.hh"
@@ -16,23 +18,14 @@ using namespace na;
 namespace {
 
 void
-view(workload::TtcpMode mode, core::AffinityMode aff)
+view(const core::CampaignPoint &point,
+     const prof::SampleProfiler &profiler, int num_cpus)
 {
-    core::System system(
-        bench::paperConfig(mode, bench::smallSize, aff));
-    prof::SampleProfiler profiler(system.kernel().numCpus(),
-                                  /*seed=*/99);
-    // Sample machine clears like Oprofile would: one sample per N
-    // events, with some skid into the interrupted code.
-    profiler.setSamplingInterval(prof::Event::MachineClears, 8);
-    profiler.setSkidProbability(0.10);
-    system.kernel().accounting().setListener(&profiler);
-
-    core::Experiment::measure(system, bench::benchSchedule());
-
-    std::printf("\n%s 128B, %s\n", bench::modeLabel(mode),
-                std::string(core::affinityName(aff)).c_str());
-    for (int c = 0; c < system.kernel().numCpus(); ++c) {
+    std::printf("\n%s 128B, %s\n",
+                bench::modeLabel(point.config.ttcp.mode),
+                std::string(core::affinityName(point.config.affinity))
+                    .c_str());
+    for (int c = 0; c < num_cpus; ++c) {
         std::printf("  CPU %d\n", c);
         analysis::TableWriter t({"  samples", "%", "symbol"});
         for (const prof::SampleRow &row : profiler.topFunctions(
@@ -62,10 +55,41 @@ main()
         "Table 4: functions with the most machine clears, per CPU",
         "Table 4");
 
-    view(workload::TtcpMode::Transmit, core::AffinityMode::None);
-    view(workload::TtcpMode::Transmit, core::AffinityMode::Full);
-    view(workload::TtcpMode::Receive, core::AffinityMode::None);
-    view(workload::TtcpMode::Receive, core::AffinityMode::Full);
+    std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .size(bench::smallSize)
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build();
+
+    // One Oprofile-style sampler per point, attached on the worker
+    // thread before measurement; slots are per-index, so concurrent
+    // workers never share state.
+    std::vector<std::unique_ptr<prof::SampleProfiler>> profilers(
+        points.size());
+    core::Campaign::Options options;
+    options.systemHook = [&profilers](core::System &system,
+                                      const core::CampaignPoint &,
+                                      std::size_t index) {
+        auto p = std::make_unique<prof::SampleProfiler>(
+            system.kernel().numCpus(), /*seed=*/99);
+        // Sample machine clears like Oprofile would: one sample per N
+        // events, with some skid into the interrupted code.
+        p->setSamplingInterval(prof::Event::MachineClears, 8);
+        p->setSkidProbability(0.10);
+        system.kernel().accounting().setListener(p.get());
+        profilers[index] = std::move(p);
+    };
+
+    const core::ResultSet results =
+        bench::runCampaign(std::move(points), options);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        view(results.point(i), *profilers[i],
+             results.point(i).config.platform.numCpus);
+    }
 
     std::printf(
         "\nExpected shape: under no affinity CPU0 owns every "

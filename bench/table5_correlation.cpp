@@ -24,12 +24,13 @@ struct RowResult
 };
 
 RowResult
-quadrant(workload::TtcpMode mode, std::uint32_t size)
+quadrant(const core::ResultSet &results, workload::TtcpMode mode,
+         std::uint32_t size)
 {
-    const core::RunResult no =
-        bench::runOne(mode, size, core::AffinityMode::None);
-    const core::RunResult full =
-        bench::runOne(mode, size, core::AffinityMode::Full);
+    const core::RunResult &no =
+        results.at(mode, size, core::AffinityMode::None);
+    const core::RunResult &full =
+        results.at(mode, size, core::AffinityMode::Full);
     const analysis::ImprovementTable imp =
         analysis::improvementTable(no, full);
 
@@ -62,14 +63,23 @@ main()
         "Table 5: correlating cycle improvements to event improvements",
         "Table 5");
 
+    const core::ResultSet results = bench::runCampaign(
+        core::SweepBuilder()
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .sizes({bench::largeSize, bench::smallSize})
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build());
+
     std::vector<RowResult> rows;
-    rows.push_back(quadrant(workload::TtcpMode::Transmit,
+    rows.push_back(quadrant(results, workload::TtcpMode::Transmit,
                             bench::largeSize));
-    rows.push_back(quadrant(workload::TtcpMode::Transmit,
+    rows.push_back(quadrant(results, workload::TtcpMode::Transmit,
                             bench::smallSize));
-    rows.push_back(quadrant(workload::TtcpMode::Receive,
+    rows.push_back(quadrant(results, workload::TtcpMode::Receive,
                             bench::largeSize));
-    rows.push_back(quadrant(workload::TtcpMode::Receive,
+    rows.push_back(quadrant(results, workload::TtcpMode::Receive,
                             bench::smallSize));
 
     std::printf("\nRank correlation of per-bin cycle improvement vs "

@@ -1,11 +1,14 @@
 /**
  * @file
  * Parameterized affinity sweep: the user-facing version of the paper's
- * Figures 3/4 with knobs on the command line.
+ * Figures 3/4 with knobs on the command line, run through the parallel
+ * campaign engine.
  *
  * Usage:
  *   ./build/examples/affinity_sweep [--rx] [--conns N] [--cpus N]
  *                                   [--size BYTES] [--loss P]
+ *                                   [--threads N] [--seed S]
+ *                                   [--json PATH]
  */
 
 #include <cstdio>
@@ -14,7 +17,9 @@
 #include <iostream>
 
 #include "src/analysis/table.hh"
-#include "src/core/experiment.hh"
+#include "src/core/campaign.hh"
+#include "src/core/results_json.hh"
+#include "src/core/sweep.hh"
 #include "src/sim/logging.hh"
 
 using namespace na;
@@ -28,6 +33,9 @@ main(int argc, char **argv)
     cfg.ttcp.mode = workload::TtcpMode::Transmit;
     cfg.ttcp.msgSize = 65536;
 
+    core::Campaign::Options options;
+    const char *json_path = nullptr;
+
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--rx")) {
             cfg.ttcp.mode = workload::TtcpMode::Receive;
@@ -40,10 +48,18 @@ main(int argc, char **argv)
                 static_cast<std::uint32_t>(std::atoi(argv[++i]));
         } else if (!std::strcmp(argv[i], "--loss") && i + 1 < argc) {
             cfg.wireLossProb = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            options.numThreads = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+            options.seed = static_cast<std::uint64_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--rx] [--conns N] [--cpus N] "
-                         "[--size BYTES] [--loss P]\n",
+                         "[--size BYTES] [--loss P] [--threads N] "
+                         "[--seed S] [--json PATH]\n",
                          argv[0]);
             return 2;
         }
@@ -56,12 +72,25 @@ main(int argc, char **argv)
                 cfg.ttcp.msgSize, cfg.numConnections,
                 cfg.platform.numCpus);
 
+    core::ResultSet results;
+    try {
+        results = core::Campaign::run(
+            core::SweepBuilder()
+                .base(cfg)
+                .affinities(core::allAffinityModes)
+                .build(),
+            options);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
     analysis::TableWriter t({"Mode", "BW (Mb/s)", "GHz/Gbps", "Util",
                              "IPIs", "Migrations", "Clears/KB",
                              "LLC/KB"});
     for (core::AffinityMode m : core::allAffinityModes) {
-        cfg.affinity = m;
-        const core::RunResult r = core::Experiment::run(cfg);
+        const core::RunResult &r =
+            results.at(cfg.ttcp.mode, cfg.ttcp.msgSize, m);
         t.addRow({std::string(core::affinityName(m)),
                   analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps),
@@ -75,5 +104,14 @@ main(int argc, char **argv)
                       1024 * r.eventsPerByte(prof::Event::LlcMisses))});
     }
     t.print(std::cout);
+
+    if (json_path) {
+        if (!core::writeResultsJsonFile(json_path, results)) {
+            std::fprintf(stderr, "error: could not write %s\n",
+                         json_path);
+            return 1;
+        }
+        std::printf("\nresults written to %s\n", json_path);
+    }
     return 0;
 }

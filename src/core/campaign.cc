@@ -1,0 +1,174 @@
+#include "src/core/campaign.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/sim/logging.hh"
+
+namespace na::core {
+
+ResultSet::ResultSet(std::vector<CampaignPoint> points,
+                     std::vector<RunResult> results)
+    : pts(std::move(points)), res(std::move(results))
+{
+    if (pts.size() != res.size())
+        throw std::runtime_error("ResultSet: point/result count mismatch");
+}
+
+const RunResult *
+ResultSet::find(workload::TtcpMode mode, std::uint32_t msg_size,
+                AffinityMode affinity) const
+{
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const SystemConfig &c = pts[i].config;
+        if (c.ttcp.mode == mode && c.ttcp.msgSize == msg_size &&
+            c.affinity == affinity) {
+            return &res[i];
+        }
+    }
+    return nullptr;
+}
+
+const RunResult &
+ResultSet::at(workload::TtcpMode mode, std::uint32_t msg_size,
+              AffinityMode affinity) const
+{
+    if (const RunResult *r = find(mode, msg_size, affinity))
+        return *r;
+    throw std::runtime_error(sim::format(
+        "ResultSet: no point for %s %uB %s",
+        mode == workload::TtcpMode::Transmit ? "TX" : "RX", msg_size,
+        std::string(affinityName(affinity)).c_str()));
+}
+
+const RunResult *
+ResultSet::findLabel(std::string_view label) const
+{
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].label == label)
+            return &res[i];
+    }
+    return nullptr;
+}
+
+const RunResult &
+ResultSet::at(std::string_view label) const
+{
+    if (const RunResult *r = findLabel(label))
+        return *r;
+    throw std::runtime_error(
+        sim::format("ResultSet: no point labelled '%.*s'",
+                    static_cast<int>(label.size()), label.data()));
+}
+
+std::uint64_t
+Campaign::pointSeed(std::uint64_t campaign_seed, std::size_t index)
+{
+    // splitmix64 finalizer over (seed, index); the golden-ratio stride
+    // decorrelates adjacent indices before the mix.
+    std::uint64_t z = campaign_seed +
+                      0x9e3779b97f4a7c15ULL *
+                          (static_cast<std::uint64_t>(index) + 1);
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z ? z : 0x9e3779b97f4a7c15ULL;
+}
+
+int
+Campaign::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("NA_CAMPAIGN_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ResultSet
+Campaign::run(std::vector<CampaignPoint> points)
+{
+    return run(std::move(points), Options{});
+}
+
+ResultSet
+Campaign::run(std::vector<CampaignPoint> points, const Options &options)
+{
+    if (options.derivePointSeeds) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            points[i].config.platform.seed = pointSeed(options.seed, i);
+    }
+    // Fail fast, before any thread spawns, with the offending point.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        try {
+            points[i].config.validate();
+        } catch (const std::exception &e) {
+            throw std::runtime_error(
+                sim::format("campaign point %zu (%s): %s", i,
+                            points[i].label.c_str(), e.what()));
+        }
+    }
+
+    std::vector<RunResult> results(points.size());
+    std::vector<std::string> errors(points.size());
+    std::atomic<std::size_t> next{0};
+
+    auto work = [&]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            try {
+                System system(points[i].config);
+                if (options.systemHook)
+                    options.systemHook(system, points[i], i);
+                results[i] =
+                    Experiment::measure(system, points[i].schedule);
+            } catch (const std::exception &e) {
+                errors[i] = e.what();
+            }
+        }
+    };
+
+    int n_threads = resolveThreads(options.numThreads);
+    if (points.size() < static_cast<std::size_t>(n_threads))
+        n_threads = static_cast<int>(points.size());
+    if (n_threads < 1)
+        n_threads = 1;
+
+    if (n_threads == 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(n_threads));
+        for (int t = 0; t < n_threads; ++t)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!errors[i].empty()) {
+            throw std::runtime_error(
+                sim::format("campaign point %zu (%s) failed: %s", i,
+                            points[i].label.c_str(), errors[i].c_str()));
+        }
+    }
+
+    ResultSet rs(std::move(points), std::move(results));
+    rs.campaignSeed = options.seed;
+    rs.threadsUsed = n_threads;
+    return rs;
+}
+
+} // namespace na::core

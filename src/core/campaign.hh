@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Thread-pooled multi-configuration experiment engine.
+ *
+ * A Campaign takes a list of (SystemConfig, RunSchedule) points and
+ * executes each point's full measurement protocol on a pool of worker
+ * threads. Every System owns its own EventQueue, kernel, and RNGs, so
+ * configurations are embarrassingly parallel; the campaign exploits
+ * that while keeping the output *bit-identical* to a serial run:
+ *
+ *  - each point gets a deterministic seed derived only from the
+ *    campaign seed and the point's submission index (never from thread
+ *    identity or scheduling), and
+ *  - results are collected into a vector indexed by submission order.
+ *
+ * Running the same point list with 1, 2, or N worker threads therefore
+ * produces the same bytes.
+ */
+
+#ifndef NETAFFINITY_CORE_CAMPAIGN_HH
+#define NETAFFINITY_CORE_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/experiment.hh"
+#include "src/core/measurement.hh"
+#include "src/core/system.hh"
+
+namespace na::core {
+
+/** One experiment of a campaign: what to build and how long to run. */
+struct CampaignPoint
+{
+    SystemConfig config;
+    RunSchedule schedule{};
+    /** Human-readable identifier (kept in JSON exports). */
+    std::string label;
+};
+
+/**
+ * Points and results of a completed campaign, in submission order.
+ * result(i) always corresponds to point(i) regardless of how many
+ * worker threads executed the campaign.
+ */
+class ResultSet
+{
+  public:
+    ResultSet() = default;
+    ResultSet(std::vector<CampaignPoint> points,
+              std::vector<RunResult> results);
+
+    std::size_t size() const { return pts.size(); }
+    const CampaignPoint &point(std::size_t i) const { return pts.at(i); }
+    const RunResult &result(std::size_t i) const { return res.at(i); }
+
+    /**
+     * @return the result of the unique point matching the given ttcp
+     *         mode, message size, and affinity mode, or nullptr.
+     *
+     * Keyed on the enums themselves (not positional indices), so a
+     * reordering of core::allAffinityModes can never silently swap
+     * table columns.
+     */
+    const RunResult *find(workload::TtcpMode mode, std::uint32_t msg_size,
+                          AffinityMode affinity) const;
+
+    /** Like find(), but throws std::runtime_error when absent. */
+    const RunResult &at(workload::TtcpMode mode, std::uint32_t msg_size,
+                        AffinityMode affinity) const;
+
+    /** @return result of the first point with @p label, or nullptr. */
+    const RunResult *findLabel(std::string_view label) const;
+
+    /** Like findLabel(), but throws std::runtime_error when absent. */
+    const RunResult &at(std::string_view label) const;
+
+    /** Campaign seed the per-point seeds were derived from. */
+    std::uint64_t campaignSeed = 0;
+    /** Worker threads the campaign actually used. */
+    int threadsUsed = 1;
+
+  private:
+    std::vector<CampaignPoint> pts;
+    std::vector<RunResult> res;
+};
+
+/** Parallel experiment-campaign runner. */
+class Campaign
+{
+  public:
+    struct Options
+    {
+        /**
+         * Worker threads. 0 = auto: the NA_CAMPAIGN_THREADS
+         * environment variable if set, else the hardware concurrency.
+         */
+        int numThreads = 0;
+
+        /** Campaign seed; per-point seeds derive from it. */
+        std::uint64_t seed = 42;
+
+        /**
+         * Overwrite each point's platform seed with
+         * pointSeed(seed, index). Disable to run the configs' own
+         * seeds verbatim.
+         */
+        bool derivePointSeeds = true;
+
+        /**
+         * Optional hook invoked on the worker thread after System
+         * construction, before the measurement protocol — e.g. to
+         * attach a profiler. The index is the point's submission
+         * index; hooks touching shared state must only write to
+         * per-index slots.
+         */
+        std::function<void(System &, const CampaignPoint &, std::size_t)>
+            systemHook;
+    };
+
+    /**
+     * Deterministic per-point seed: splitmix64 finalizer over the
+     * campaign seed and the point's submission index. Independent of
+     * thread count and execution order.
+     */
+    static std::uint64_t pointSeed(std::uint64_t campaign_seed,
+                                   std::size_t index);
+
+    /** Resolve an Options::numThreads request to a concrete count. */
+    static int resolveThreads(int requested);
+
+    /**
+     * Run every point and collect results in submission order.
+     * Validates all configs up front; rethrows the first worker
+     * exception after the pool drains.
+     */
+    static ResultSet run(std::vector<CampaignPoint> points,
+                         const Options &options);
+
+    /** run() with default Options. */
+    static ResultSet run(std::vector<CampaignPoint> points);
+};
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_CAMPAIGN_HH

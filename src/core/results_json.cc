@@ -1,0 +1,485 @@
+#include "src/core/results_json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/prof/bins.hh"
+#include "src/sim/logging.hh"
+
+namespace na::core {
+
+namespace {
+
+const char *
+modeToken(workload::TtcpMode m)
+{
+    return m == workload::TtcpMode::Transmit ? "tx" : "rx";
+}
+
+const char *
+affinityToken(AffinityMode a)
+{
+    switch (a) {
+      case AffinityMode::None: return "none";
+      case AffinityMode::Irq:  return "irq";
+      case AffinityMode::Proc: return "proc";
+      case AffinityMode::Full: return "full";
+      default:                 return "?";
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** %.17g keeps doubles bit-exact across a write/read round trip. */
+std::string
+dbl(double v)
+{
+    return sim::format("%.17g", v);
+}
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON reader: just enough for the schema
+// this file writes (objects, arrays, strings, numbers, bools, null).
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    const JsonValue &
+    field(const std::string &name) const
+    {
+        auto it = fields.find(name);
+        if (it == fields.end())
+            throw std::runtime_error("results json: missing field '" +
+                                     name + "'");
+        return it->second;
+    }
+
+    double
+    num(const std::string &name) const
+    {
+        const JsonValue &v = field(name);
+        if (v.kind != Kind::Number)
+            throw std::runtime_error("results json: field '" + name +
+                                     "' is not a number");
+        return v.number;
+    }
+
+    /**
+     * Unsigned integers are re-parsed from the raw token: doubles only
+     * hold 53 mantissa bits, not enough for 64-bit seeds and counters.
+     */
+    std::uint64_t
+    u64(const std::string &name) const
+    {
+        const JsonValue &v = field(name);
+        if (v.kind != Kind::Number)
+            throw std::runtime_error("results json: field '" + name +
+                                     "' is not a number");
+        return v.asU64();
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        if (text.find_first_not_of("0123456789") == std::string::npos &&
+            !text.empty()) {
+            return std::stoull(text);
+        }
+        return static_cast<std::uint64_t>(number);
+    }
+
+    const std::string &
+    str(const std::string &name) const
+    {
+        const JsonValue &v = field(name);
+        if (v.kind != Kind::String)
+            throw std::runtime_error("results json: field '" + name +
+                                     "' is not a string");
+        return v.text;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : src(std::move(text)) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos != src.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    std::string src;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error(
+            sim::format("results json: %s at offset %zu", why.c_str(),
+                        pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= src.size())
+            fail("unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(sim::format("expected '%c'", c));
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (src.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.text = parseString();
+            return v;
+        }
+        if (consumeLiteral("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return JsonValue{};
+        return parseNumber();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= src.size())
+                fail("unterminated string");
+            const char c = src[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= src.size())
+                    fail("unterminated escape");
+                const char e = src[pos++];
+                switch (e) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/':  out += '/'; break;
+                  case 'n':  out += '\n'; break;
+                  case 't':  out += '\t'; break;
+                  case 'r':  out += '\r'; break;
+                  case 'b':  out += '\b'; break;
+                  case 'f':  out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > src.size())
+                        fail("truncated \\u escape");
+                    const unsigned code = static_cast<unsigned>(
+                        std::stoul(src.substr(pos, 4), nullptr, 16));
+                    pos += 4;
+                    // The writer only emits \u00xx control codes.
+                    out += static_cast<char>(code & 0xff);
+                    break;
+                  }
+                  default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '-' || src[pos] == '+' || src[pos] == '.' ||
+                src[pos] == 'e' || src[pos] == 'E')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.text = src.substr(start, pos - start);
+        try {
+            v.number = std::stod(v.text);
+        } catch (const std::exception &) {
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parseValue());
+            const char c = peek();
+            ++pos;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            const std::string key = parseString();
+            expect(':');
+            v.fields.emplace(key, parseValue());
+            const char c = peek();
+            ++pos;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+};
+
+workload::TtcpMode
+parseModeToken(const std::string &tok)
+{
+    if (tok == "tx")
+        return workload::TtcpMode::Transmit;
+    if (tok == "rx")
+        return workload::TtcpMode::Receive;
+    throw std::runtime_error("results json: bad mode token '" + tok +
+                             "'");
+}
+
+AffinityMode
+parseAffinityToken(const std::string &tok)
+{
+    for (AffinityMode a : allAffinityModes) {
+        if (tok == affinityToken(a))
+            return a;
+    }
+    throw std::runtime_error("results json: bad affinity token '" + tok +
+                             "'");
+}
+
+} // namespace
+
+void
+writeResultsJson(std::ostream &os, const ResultSet &results)
+{
+    os << "{\n";
+    os << "  \"schema_version\": 1,\n";
+    os << "  \"campaign_seed\": " << results.campaignSeed << ",\n";
+    os << "  \"threads\": " << results.threadsUsed << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CampaignPoint &p = results.point(i);
+        const RunResult &r = results.result(i);
+        const SystemConfig &c = p.config;
+        os << (i ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"label\": \"" << jsonEscape(p.label) << "\",\n";
+        os << "      \"config\": {\"mode\": \"" << modeToken(c.ttcp.mode)
+           << "\", \"msg_size\": " << c.ttcp.msgSize
+           << ", \"affinity\": \"" << affinityToken(c.affinity)
+           << "\", \"connections\": " << c.numConnections
+           << ", \"cpus\": " << c.platform.numCpus
+           << ", \"seed\": " << c.platform.seed << "},\n";
+        os << "      \"result\": {\n";
+        os << "        \"seconds\": " << dbl(r.seconds) << ",\n";
+        os << "        \"payload_bytes\": " << r.payloadBytes << ",\n";
+        os << "        \"throughput_mbps\": " << dbl(r.throughputMbps)
+           << ",\n";
+        os << "        \"cpu_util\": " << dbl(r.cpuUtil) << ",\n";
+        os << "        \"ghz_per_gbps\": " << dbl(r.ghzPerGbps) << ",\n";
+        os << "        \"util_per_cpu\": [";
+        for (int c2 = 0; c2 < c.platform.numCpus; ++c2) {
+            os << (c2 ? ", " : "")
+               << dbl(r.utilPerCpu[static_cast<std::size_t>(c2)]);
+        }
+        os << "],\n";
+        os << "        \"irqs\": " << r.irqs << ", \"ipis\": " << r.ipis
+           << ", \"migrations\": " << r.migrations
+           << ", \"context_switches\": " << r.contextSwitches << ",\n";
+        os << "        \"event_totals\": {";
+        for (std::size_t e = 0; e < prof::numEvents; ++e) {
+            os << (e ? ", " : "") << '"'
+               << prof::eventName(static_cast<prof::Event>(e)) << "\": "
+               << r.eventTotals[e];
+        }
+        os << "}\n";
+        os << "      }\n";
+        os << "    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+writeResultsJsonFile(const std::string &path, const ResultSet &results)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeResultsJson(out, results);
+    return out.good();
+}
+
+JsonCampaign
+readResultsJson(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    JsonParser parser(buf.str());
+    const JsonValue root = parser.parse();
+    if (root.kind != JsonValue::Kind::Object)
+        throw std::runtime_error("results json: root is not an object");
+    if (static_cast<int>(root.num("schema_version")) != 1)
+        throw std::runtime_error(
+            "results json: unsupported schema_version");
+
+    JsonCampaign campaign;
+    campaign.campaignSeed = root.u64("campaign_seed");
+    campaign.threads = static_cast<int>(root.num("threads"));
+
+    const JsonValue &points = root.field("points");
+    if (points.kind != JsonValue::Kind::Array)
+        throw std::runtime_error("results json: 'points' is not a list");
+
+    for (const JsonValue &pv : points.items) {
+        JsonRunRecord rec;
+        rec.label = pv.str("label");
+
+        const JsonValue &cfg = pv.field("config");
+        rec.mode = parseModeToken(cfg.str("mode"));
+        rec.msgSize = static_cast<std::uint32_t>(cfg.num("msg_size"));
+        rec.affinity = parseAffinityToken(cfg.str("affinity"));
+        rec.connections = static_cast<int>(cfg.num("connections"));
+        rec.cpus = static_cast<int>(cfg.num("cpus"));
+        rec.seed = cfg.u64("seed");
+
+        const JsonValue &res = pv.field("result");
+        rec.result.seconds = res.num("seconds");
+        rec.result.payloadBytes = res.u64("payload_bytes");
+        rec.result.throughputMbps = res.num("throughput_mbps");
+        rec.result.cpuUtil = res.num("cpu_util");
+        rec.result.ghzPerGbps = res.num("ghz_per_gbps");
+        const JsonValue &util = res.field("util_per_cpu");
+        for (std::size_t c = 0;
+             c < util.items.size() && c < rec.result.utilPerCpu.size();
+             ++c) {
+            rec.result.utilPerCpu[c] = util.items[c].number;
+        }
+        rec.result.irqs = res.u64("irqs");
+        rec.result.ipis = res.u64("ipis");
+        rec.result.migrations = res.u64("migrations");
+        rec.result.contextSwitches = res.u64("context_switches");
+        const JsonValue &events = res.field("event_totals");
+        for (std::size_t e = 0; e < prof::numEvents; ++e) {
+            const auto ev = static_cast<prof::Event>(e);
+            auto it =
+                events.fields.find(std::string(prof::eventName(ev)));
+            if (it != events.fields.end())
+                rec.result.eventTotals[e] = it->second.asU64();
+        }
+        campaign.points.push_back(std::move(rec));
+    }
+    return campaign;
+}
+
+} // namespace na::core

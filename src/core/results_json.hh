@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Campaign result export/import as JSON (campaign_results.json).
+ *
+ * Schema (version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "campaign_seed": 42,
+ *     "threads": 4,
+ *     "points": [
+ *       {
+ *         "label": "TX 65536B Full Aff",
+ *         "config": {
+ *           "mode": "tx" | "rx",
+ *           "msg_size": 65536,
+ *           "affinity": "none" | "irq" | "proc" | "full",
+ *           "connections": 8,
+ *           "cpus": 2,
+ *           "seed": 1234567
+ *         },
+ *         "result": {
+ *           "seconds": 0.05,
+ *           "payload_bytes": 123456,
+ *           "throughput_mbps": 1975.3,
+ *           "cpu_util": 0.98,
+ *           "ghz_per_gbps": 1.42,
+ *           "util_per_cpu": [0.99, 0.97],
+ *           "irqs": 1000, "ipis": 12,
+ *           "migrations": 3, "context_switches": 450,
+ *           "event_totals": { "cycles": ..., "instructions": ..., ... }
+ *         }
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * Doubles are printed with %.17g so values survive a write/read
+ * round-trip bit-exactly.
+ */
+
+#ifndef NETAFFINITY_CORE_RESULTS_JSON_HH
+#define NETAFFINITY_CORE_RESULTS_JSON_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.hh"
+
+namespace na::core {
+
+/** Serialize a completed campaign to the schema above. */
+void writeResultsJson(std::ostream &os, const ResultSet &results);
+
+/** writeResultsJson() to @p path. @return false on I/O failure. */
+bool writeResultsJsonFile(const std::string &path,
+                          const ResultSet &results);
+
+/** One record parsed back from a results file. */
+struct JsonRunRecord
+{
+    std::string label;
+    workload::TtcpMode mode = workload::TtcpMode::Transmit;
+    std::uint32_t msgSize = 0;
+    AffinityMode affinity = AffinityMode::None;
+    int connections = 0;
+    int cpus = 0;
+    std::uint64_t seed = 0;
+    /** Result fields the schema carries (bins stay zeroed). */
+    RunResult result;
+};
+
+/** Parsed top-level campaign file. */
+struct JsonCampaign
+{
+    std::uint64_t campaignSeed = 0;
+    int threads = 0;
+    std::vector<JsonRunRecord> points;
+};
+
+/**
+ * Parse a schema-version-1 results stream.
+ * @throws std::runtime_error on malformed input.
+ */
+JsonCampaign readResultsJson(std::istream &is);
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_RESULTS_JSON_HH

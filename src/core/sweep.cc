@@ -1,0 +1,70 @@
+#include "src/core/sweep.hh"
+
+#include <utility>
+
+#include "src/sim/logging.hh"
+
+namespace na::core {
+
+SweepBuilder &
+SweepBuilder::variant(std::string label,
+                      std::function<void(SystemConfig &)> mutate)
+{
+    variants.push_back({std::move(label), std::move(mutate)});
+    return *this;
+}
+
+std::vector<CampaignPoint>
+SweepBuilder::build() const
+{
+    const std::vector<workload::TtcpMode> ms =
+        modeAxis.empty() ? std::vector<workload::TtcpMode>{
+                               baseCfg.ttcp.mode}
+                         : modeAxis;
+    const std::vector<std::uint32_t> ss =
+        sizeAxis.empty() ? std::vector<std::uint32_t>{
+                               baseCfg.ttcp.msgSize}
+                         : sizeAxis;
+    const std::vector<AffinityMode> as =
+        affinityAxis.empty() ? std::vector<AffinityMode>{baseCfg.affinity}
+                             : affinityAxis;
+    const std::vector<Variant> vs =
+        variants.empty() ? std::vector<Variant>{{std::string(), nullptr}}
+                         : variants;
+
+    std::vector<CampaignPoint> points;
+    points.reserve(vs.size() * ms.size() * ss.size() * as.size());
+    for (const Variant &v : vs) {
+        for (workload::TtcpMode m : ms) {
+            for (std::uint32_t size : ss) {
+                for (AffinityMode a : as) {
+                    CampaignPoint p;
+                    p.config = baseCfg;
+                    p.config.ttcp.mode = m;
+                    p.config.ttcp.msgSize = size;
+                    p.config.affinity = a;
+                    if (v.mutate)
+                        v.mutate(p.config);
+                    p.schedule = sched;
+                    // Label from the *final* config, so variant
+                    // overrides stay truthful.
+                    p.label = sim::format(
+                        "%s %uB %s",
+                        p.config.ttcp.mode ==
+                                workload::TtcpMode::Transmit
+                            ? "TX"
+                            : "RX",
+                        p.config.ttcp.msgSize,
+                        std::string(affinityName(p.config.affinity))
+                            .c_str());
+                    if (!v.label.empty())
+                        p.label += " [" + v.label + "]";
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace na::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fluent construction of campaign point lists.
+ *
+ * A SweepBuilder crosses up to four axes — ttcp mode, transaction
+ * size, affinity mode, and free-form config variants — over a base
+ * SystemConfig and a shared RunSchedule:
+ *
+ *   auto points = core::SweepBuilder()
+ *                     .modes({TtcpMode::Transmit, TtcpMode::Receive})
+ *                     .sizes(bench::paperSizes)
+ *                     .affinities(core::allAffinityModes)
+ *                     .build();
+ *
+ * Point order is deterministic: variants outermost, then mode, size,
+ * and affinity innermost. Axes left unset contribute the base config's
+ * value. Variant mutators run last, so a variant may override any
+ * field the other axes set (ablation sweeps rely on this).
+ */
+
+#ifndef NETAFFINITY_CORE_SWEEP_HH
+#define NETAFFINITY_CORE_SWEEP_HH
+
+#include <functional>
+#include <initializer_list>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.hh"
+
+namespace na::core {
+
+/** Builds the cross product of sweep axes into CampaignPoints. */
+class SweepBuilder
+{
+  public:
+    /** Start every point from @p cfg (default: SystemConfig{}). */
+    SweepBuilder &
+    base(const SystemConfig &cfg)
+    {
+        baseCfg = cfg;
+        return *this;
+    }
+
+    /** Schedule shared by every point (default: RunSchedule{}). */
+    SweepBuilder &
+    schedule(const RunSchedule &s)
+    {
+        sched = s;
+        return *this;
+    }
+
+    /** @name ttcp mode axis @{ */
+    SweepBuilder &
+    modes(std::initializer_list<workload::TtcpMode> ms)
+    {
+        modeAxis.assign(ms.begin(), ms.end());
+        return *this;
+    }
+
+    SweepBuilder &
+    mode(workload::TtcpMode m)
+    {
+        modeAxis.assign(1, m);
+        return *this;
+    }
+    /** @} */
+
+    /** @name transaction size axis @{ */
+    SweepBuilder &
+    sizes(std::initializer_list<std::uint32_t> ss)
+    {
+        sizeAxis.assign(ss.begin(), ss.end());
+        return *this;
+    }
+
+    template <typename Range>
+    SweepBuilder &
+    sizes(const Range &range)
+    {
+        sizeAxis.assign(std::begin(range), std::end(range));
+        return *this;
+    }
+
+    SweepBuilder &
+    size(std::uint32_t s)
+    {
+        sizeAxis.assign(1, s);
+        return *this;
+    }
+    /** @} */
+
+    /** @name affinity axis @{ */
+    SweepBuilder &
+    affinities(std::initializer_list<AffinityMode> as)
+    {
+        affinityAxis.assign(as.begin(), as.end());
+        return *this;
+    }
+
+    template <typename Range>
+    SweepBuilder &
+    affinities(const Range &range)
+    {
+        affinityAxis.assign(std::begin(range), std::end(range));
+        return *this;
+    }
+
+    SweepBuilder &
+    affinity(AffinityMode a)
+    {
+        affinityAxis.assign(1, a);
+        return *this;
+    }
+    /** @} */
+
+    /**
+     * Append a free-form variant: @p mutate runs on each generated
+     * config after the other axes applied, and @p label is appended to
+     * the point label as " [label]". Calling variant() at least once
+     * replaces the implicit identity variant.
+     */
+    SweepBuilder &variant(std::string label,
+                          std::function<void(SystemConfig &)> mutate);
+
+    /** @return the cross product, in deterministic order. */
+    std::vector<CampaignPoint> build() const;
+
+  private:
+    struct Variant
+    {
+        std::string label;
+        std::function<void(SystemConfig &)> mutate;
+    };
+
+    SystemConfig baseCfg{};
+    RunSchedule sched{};
+    std::vector<workload::TtcpMode> modeAxis;
+    std::vector<std::uint32_t> sizeAxis;
+    std::vector<AffinityMode> affinityAxis;
+    std::vector<Variant> variants;
+};
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_SWEEP_HH

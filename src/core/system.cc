@@ -1,16 +1,62 @@
 #include "src/core/system.hh"
 
+#include <cmath>
+#include <stdexcept>
+
 #include "src/sim/logging.hh"
 
 namespace na::core {
 
+namespace {
+
+/** RunResult::utilPerCpu and the 32-bit affinity masks bound this. */
+constexpr int maxModelCpus = 8;
+
+} // namespace
+
+void
+SystemConfig::validate() const
+{
+    if (numConnections < 1) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: numConnections must be positive, got %d "
+            "(each connection is one NIC plus one ttcp process)",
+            numConnections));
+    }
+    if (platform.numCpus < 1 || platform.numCpus > maxModelCpus) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: platform.numCpus must be in [1, %d], got %d "
+            "(per-CPU result arrays and affinity masks cap the model)",
+            maxModelCpus, platform.numCpus));
+    }
+    if (!(wireBitsPerSec > 0.0)) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: wireBitsPerSec must be positive, got %g "
+            "(a zero-rate wire never delivers a segment)",
+            wireBitsPerSec));
+    }
+    if (std::isnan(wireLossProb) || wireLossProb < 0.0 ||
+        wireLossProb > 1.0) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: wireLossProb must be a probability in "
+            "[0, 1], got %g",
+            wireLossProb));
+    }
+    if (ttcp.msgSize == 0) {
+        throw std::runtime_error(
+            "SystemConfig: ttcp.msgSize must be nonzero (ttcp would "
+            "spin on empty read()/write() calls)");
+    }
+}
+
 System::System(const SystemConfig &config)
     : stats::Group(nullptr, ""), cfg(config)
 {
-    if (cfg.numConnections < 1)
-        sim::fatal("need at least one connection");
+    cfg.validate();
 
     kern = std::make_unique<os::Kernel>(this, eq, cfg.platform);
+    if (cfg.irqRotationTicks > 0)
+        kern->irqController().setRotation(cfg.irqRotationTicks);
 
     int pool_slots = cfg.skbPoolSlots;
     if (pool_slots == 0) {

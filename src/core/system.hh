@@ -42,6 +42,21 @@ struct SystemConfig
     sim::Tick wireLatencyTicks = 10'000; ///< 5 us
     double wireLossProb = 0.0;
     int skbPoolSlots = 0; ///< 0 = sized automatically
+    /**
+     * Linux-2.6-style rotating IRQ distribution interval (0 = static
+     * smp_affinity, the paper's setup). Nonzero re-targets every
+     * vector to the next CPU each interval.
+     */
+    sim::Tick irqRotationTicks = 0;
+
+    /**
+     * Sanity-check the configuration.
+     * @throws std::runtime_error describing the first violation.
+     *
+     * Checked from the System constructor, so an invalid config never
+     * produces a half-built simulation.
+     */
+    void validate() const;
 };
 
 /** The assembled simulation. */

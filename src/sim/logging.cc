@@ -1,5 +1,6 @@
 #include "src/sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,19 +8,21 @@
 namespace na::sim {
 
 namespace {
-bool quietFlag = false;
+// Atomic: campaign worker threads run Systems concurrently and all of
+// them consult the quiet flag.
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 std::string

@@ -1,5 +1,6 @@
 #include "src/sim/trace.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -11,7 +12,9 @@ namespace na::sim {
 
 namespace {
 
-std::uint64_t lineCount = 0;
+// Atomic: concurrent Systems on campaign worker threads may trace and
+// toggle categories at the same time.
+std::atomic<std::uint64_t> lineCount{0};
 
 std::uint32_t
 parseSpec(const char *spec)
@@ -49,10 +52,11 @@ parseSpec(const char *spec)
 }
 
 /** Lazily seeded from the NA_TRACE environment variable. */
-std::uint32_t &
+std::atomic<std::uint32_t> &
 mask()
 {
-    static std::uint32_t m = parseSpec(std::getenv("NA_TRACE"));
+    static std::atomic<std::uint32_t> m{
+        parseSpec(std::getenv("NA_TRACE"))};
     return m;
 }
 
@@ -61,22 +65,25 @@ mask()
 bool
 traceEnabled(TraceFlag flag)
 {
-    return (mask() & static_cast<std::uint32_t>(flag)) != 0;
+    return (mask().load(std::memory_order_relaxed) &
+            static_cast<std::uint32_t>(flag)) != 0;
 }
 
 void
 setTraceFlag(TraceFlag flag, bool enabled)
 {
     if (enabled)
-        mask() |= static_cast<std::uint32_t>(flag);
+        mask().fetch_or(static_cast<std::uint32_t>(flag),
+                        std::memory_order_relaxed);
     else
-        mask() &= ~static_cast<std::uint32_t>(flag);
+        mask().fetch_and(~static_cast<std::uint32_t>(flag),
+                         std::memory_order_relaxed);
 }
 
 void
 setTraceFlagsFromString(const char *spec)
 {
-    mask() = parseSpec(spec);
+    mask().store(parseSpec(spec), std::memory_order_relaxed);
 }
 
 void
@@ -89,13 +96,13 @@ traceLine(TraceFlag flag, Tick now, const char *fmt, ...)
     va_end(ap);
     std::fprintf(stderr, "%12llu: %s\n", (unsigned long long)now,
                  msg.c_str());
-    ++lineCount;
+    lineCount.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t
 traceLineCount()
 {
-    return lineCount;
+    return lineCount.load(std::memory_order_relaxed);
 }
 
 } // namespace na::sim

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Campaign engine: parallel determinism, submission-order collection,
+ * sweep construction, and the JSON results round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "src/core/campaign.hh"
+#include "src/core/results_json.hh"
+#include "src/core/sweep.hh"
+#include "src/sim/logging.hh"
+
+using namespace na;
+
+namespace {
+
+core::RunSchedule
+tinySchedule()
+{
+    core::RunSchedule s;
+    s.warmup = 2'000'000;   // 1 ms
+    s.measure = 10'000'000; // 5 ms
+    return s;
+}
+
+std::vector<core::CampaignPoint>
+tinyPoints()
+{
+    core::SystemConfig base;
+    base.numConnections = 2;
+    return core::SweepBuilder()
+        .base(base)
+        .schedule(tinySchedule())
+        .modes({workload::TtcpMode::Transmit,
+                workload::TtcpMode::Receive})
+        .sizes({1024u, 8192u})
+        .affinity(core::AffinityMode::Full)
+        .build();
+}
+
+void
+expectIdentical(const core::RunResult &a, const core::RunResult &b)
+{
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.payloadBytes, b.payloadBytes);
+    EXPECT_EQ(a.throughputMbps, b.throughputMbps);
+    EXPECT_EQ(a.cpuUtil, b.cpuUtil);
+    EXPECT_EQ(a.ghzPerGbps, b.ghzPerGbps);
+    EXPECT_EQ(a.irqs, b.irqs);
+    EXPECT_EQ(a.ipis, b.ipis);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    for (std::size_t e = 0; e < prof::numEvents; ++e)
+        EXPECT_EQ(a.eventTotals[e], b.eventTotals[e]);
+    for (std::size_t c = 0; c < a.utilPerCpu.size(); ++c)
+        EXPECT_EQ(a.utilPerCpu[c], b.utilPerCpu[c]);
+}
+
+TEST(Campaign, PointSeedIsDeterministicAndDistinct)
+{
+    const std::uint64_t a0 = core::Campaign::pointSeed(42, 0);
+    const std::uint64_t a1 = core::Campaign::pointSeed(42, 1);
+    const std::uint64_t b0 = core::Campaign::pointSeed(43, 0);
+    EXPECT_EQ(a0, core::Campaign::pointSeed(42, 0));
+    EXPECT_NE(a0, a1);
+    EXPECT_NE(a0, b0);
+    EXPECT_NE(a0, 0u);
+}
+
+TEST(Campaign, SeedsDeriveFromCampaignSeedAndIndex)
+{
+    core::Campaign::Options opts;
+    opts.numThreads = 1;
+    opts.seed = 7;
+    const core::ResultSet rs = core::Campaign::run(tinyPoints(), opts);
+    ASSERT_EQ(rs.size(), 4u);
+    EXPECT_EQ(rs.campaignSeed, 7u);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(rs.point(i).config.platform.seed,
+                  core::Campaign::pointSeed(7, i));
+    }
+}
+
+TEST(Campaign, ResultsIdenticalAcross1And2And8Threads)
+{
+    const std::vector<core::CampaignPoint> points = tinyPoints();
+
+    core::Campaign::Options o1;
+    o1.numThreads = 1;
+    core::Campaign::Options o2;
+    o2.numThreads = 2;
+    core::Campaign::Options o8;
+    o8.numThreads = 8;
+
+    const core::ResultSet r1 = core::Campaign::run(points, o1);
+    const core::ResultSet r2 = core::Campaign::run(points, o2);
+    const core::ResultSet r8 = core::Campaign::run(points, o8);
+
+    ASSERT_EQ(r1.size(), points.size());
+    ASSERT_EQ(r2.size(), points.size());
+    ASSERT_EQ(r8.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_GT(r1.result(i).payloadBytes, 0u) << "point " << i;
+        expectIdentical(r1.result(i), r2.result(i));
+        expectIdentical(r1.result(i), r8.result(i));
+    }
+}
+
+TEST(Campaign, ResultsKeepSubmissionOrder)
+{
+    const std::vector<core::CampaignPoint> points = tinyPoints();
+    core::Campaign::Options opts;
+    opts.numThreads = 4;
+    const core::ResultSet rs = core::Campaign::run(points, opts);
+
+    ASSERT_EQ(rs.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(rs.point(i).config.ttcp.msgSize,
+                  points[i].config.ttcp.msgSize);
+        EXPECT_EQ(rs.point(i).config.ttcp.mode,
+                  points[i].config.ttcp.mode);
+        EXPECT_EQ(rs.point(i).label, points[i].label);
+        // Lookup keyed on (mode, size, affinity) resolves to the same
+        // slot as positional access.
+        EXPECT_EQ(&rs.at(points[i].config.ttcp.mode,
+                         points[i].config.ttcp.msgSize,
+                         points[i].config.affinity),
+                  &rs.result(i));
+    }
+}
+
+TEST(Campaign, SystemHookRunsOncePerPointWithItsIndex)
+{
+    const std::vector<core::CampaignPoint> points = tinyPoints();
+    std::vector<std::atomic<int>> calls(points.size());
+
+    core::Campaign::Options opts;
+    opts.numThreads = 2;
+    opts.systemHook = [&calls](core::System &system,
+                               const core::CampaignPoint &point,
+                               std::size_t index) {
+        EXPECT_EQ(system.config().ttcp.msgSize,
+                  point.config.ttcp.msgSize);
+        calls.at(index).fetch_add(1);
+    };
+    core::Campaign::run(points, opts);
+    for (std::size_t i = 0; i < calls.size(); ++i)
+        EXPECT_EQ(calls[i].load(), 1) << "point " << i;
+}
+
+TEST(Campaign, InvalidPointIsRejectedBeforeAnyRun)
+{
+    std::vector<core::CampaignPoint> points = tinyPoints();
+    points[1].config.wireLossProb = 2.0;
+    core::Campaign::Options opts;
+    opts.numThreads = 2;
+    EXPECT_THROW(core::Campaign::run(points, opts), std::runtime_error);
+}
+
+TEST(SweepBuilder, CrossesAxesInDeterministicOrder)
+{
+    const std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .sizes({128u, 65536u})
+            .affinities(core::allAffinityModes)
+            .build();
+    ASSERT_EQ(points.size(), 2u * 2u * 4u);
+    // Mode outermost, affinity innermost.
+    EXPECT_EQ(points[0].config.ttcp.mode, workload::TtcpMode::Transmit);
+    EXPECT_EQ(points[0].config.ttcp.msgSize, 128u);
+    EXPECT_EQ(points[0].config.affinity, core::AffinityMode::None);
+    EXPECT_EQ(points[1].config.affinity, core::AffinityMode::Irq);
+    EXPECT_EQ(points[4].config.ttcp.msgSize, 65536u);
+    EXPECT_EQ(points[8].config.ttcp.mode, workload::TtcpMode::Receive);
+    EXPECT_EQ(points[0].label, "TX 128B No Aff");
+}
+
+TEST(SweepBuilder, VariantsOverrideAxesAndExtendLabels)
+{
+    const std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .mode(workload::TtcpMode::Transmit)
+            .size(1024)
+            .affinity(core::AffinityMode::None)
+            .variant("as-is", [](core::SystemConfig &) {})
+            .variant("full+4p",
+                     [](core::SystemConfig &cfg) {
+                         cfg.affinity = core::AffinityMode::Full;
+                         cfg.platform.numCpus = 4;
+                     })
+            .build();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].config.affinity, core::AffinityMode::None);
+    EXPECT_EQ(points[1].config.affinity, core::AffinityMode::Full);
+    EXPECT_EQ(points[1].config.platform.numCpus, 4);
+    EXPECT_EQ(points[0].label, "TX 1024B No Aff [as-is]");
+    // Label reflects the post-variant config.
+    EXPECT_EQ(points[1].label, "TX 1024B Full Aff [full+4p]");
+}
+
+TEST(ResultsJson, RoundTripsThroughputUtilAndCounters)
+{
+    core::Campaign::Options opts;
+    opts.numThreads = 2;
+    opts.seed = 123;
+    const core::ResultSet rs = core::Campaign::run(tinyPoints(), opts);
+
+    std::stringstream ss;
+    core::writeResultsJson(ss, rs);
+
+    const core::JsonCampaign parsed = core::readResultsJson(ss);
+    EXPECT_EQ(parsed.campaignSeed, 123u);
+    EXPECT_EQ(parsed.threads, 2);
+    ASSERT_EQ(parsed.points.size(), rs.size());
+
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const core::JsonRunRecord &rec = parsed.points[i];
+        const core::CampaignPoint &p = rs.point(i);
+        const core::RunResult &r = rs.result(i);
+
+        EXPECT_EQ(rec.label, p.label);
+        EXPECT_EQ(rec.mode, p.config.ttcp.mode);
+        EXPECT_EQ(rec.msgSize, p.config.ttcp.msgSize);
+        EXPECT_EQ(rec.affinity, p.config.affinity);
+        EXPECT_EQ(rec.connections, p.config.numConnections);
+        EXPECT_EQ(rec.cpus, p.config.platform.numCpus);
+        EXPECT_EQ(rec.seed, p.config.platform.seed);
+
+        EXPECT_EQ(rec.result.seconds, r.seconds);
+        EXPECT_EQ(rec.result.payloadBytes, r.payloadBytes);
+        EXPECT_EQ(rec.result.throughputMbps, r.throughputMbps);
+        EXPECT_EQ(rec.result.cpuUtil, r.cpuUtil);
+        EXPECT_EQ(rec.result.ghzPerGbps, r.ghzPerGbps);
+        EXPECT_EQ(rec.result.irqs, r.irqs);
+        EXPECT_EQ(rec.result.ipis, r.ipis);
+        EXPECT_EQ(rec.result.migrations, r.migrations);
+        EXPECT_EQ(rec.result.contextSwitches, r.contextSwitches);
+        for (std::size_t e = 0; e < prof::numEvents; ++e)
+            EXPECT_EQ(rec.result.eventTotals[e], r.eventTotals[e]);
+        for (int c = 0; c < p.config.platform.numCpus; ++c) {
+            EXPECT_EQ(rec.result.utilPerCpu[static_cast<std::size_t>(c)],
+                      r.utilPerCpu[static_cast<std::size_t>(c)]);
+        }
+    }
+}
+
+TEST(ResultsJson, RejectsMalformedInput)
+{
+    std::stringstream notJson("this is not json");
+    EXPECT_THROW(core::readResultsJson(notJson), std::runtime_error);
+
+    std::stringstream wrongVersion(
+        "{\"schema_version\": 99, \"campaign_seed\": 0, \"threads\": 1, "
+        "\"points\": []}");
+    EXPECT_THROW(core::readResultsJson(wrongVersion), std::runtime_error);
+}
+
+TEST(ResultSet, LookupFailuresAreDescriptive)
+{
+    core::Campaign::Options opts;
+    opts.numThreads = 1;
+    std::vector<core::CampaignPoint> points = tinyPoints();
+    points.resize(1);
+    const core::ResultSet rs = core::Campaign::run(points, opts);
+    EXPECT_EQ(rs.find(workload::TtcpMode::Transmit, 999,
+                      core::AffinityMode::Full),
+              nullptr);
+    EXPECT_THROW(rs.at(workload::TtcpMode::Transmit, 999,
+                       core::AffinityMode::Full),
+                 std::runtime_error);
+    EXPECT_EQ(rs.findLabel("nope"), nullptr);
+    EXPECT_THROW(rs.at("nope"), std::runtime_error);
+}
+
+} // namespace

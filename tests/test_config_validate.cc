@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SystemConfig::validate() rejection paths and their wiring into the
+ * System constructor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "src/core/system.hh"
+
+using namespace na;
+
+namespace {
+
+core::SystemConfig
+goodConfig()
+{
+    core::SystemConfig cfg;
+    cfg.numConnections = 2;
+    return cfg;
+}
+
+TEST(ConfigValidate, AcceptsDefaultAndPaperConfigs)
+{
+    EXPECT_NO_THROW(core::SystemConfig{}.validate());
+    core::SystemConfig cfg = goodConfig();
+    cfg.platform.numCpus = 8;
+    cfg.wireLossProb = 1.0;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, RejectsNonPositiveConnectionCount)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.numConnections = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg.numConnections = -3;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(ConfigValidate, RejectsCpuCountOutsideModelRange)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.platform.numCpus = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg.platform.numCpus = 9;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(ConfigValidate, RejectsNonPositiveWireRate)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.wireBitsPerSec = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(ConfigValidate, RejectsLossProbabilityOutsideUnitInterval)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.wireLossProb = -0.1;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg.wireLossProb = 1.5;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg.wireLossProb = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(ConfigValidate, RejectsZeroMessageSize)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.ttcp.msgSize = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(ConfigValidate, ErrorMessagesNameTheField)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.wireLossProb = 1.5;
+    try {
+        cfg.validate();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("wireLossProb"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ConfigValidate, SystemConstructorRejectsBadConfig)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.numConnections = 0;
+    EXPECT_THROW(core::System{cfg}, std::runtime_error);
+}
+
+TEST(ConfigValidate, SystemConstructorAcceptsGoodConfig)
+{
+    EXPECT_NO_THROW(core::System{goodConfig()});
+}
+
+} // namespace
