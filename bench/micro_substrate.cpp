@@ -9,10 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include "src/analysis/spearman.hh"
+#include "src/core/campaign.hh"
+#include "src/core/sweep.hh"
+#include "src/mem/cache.hh"
 #include "src/mem/hierarchy.hh"
 #include "src/mem/tlb.hh"
 #include "src/net/tcp_connection.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/logging.hh"
 #include "src/sim/random.hh"
 
 using namespace na;
@@ -31,6 +35,82 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     benchmark::DoNotOptimize(n);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+/**
+ * Deschedule/reschedule churn on member events — the Nic moderation
+ * and Processor tick pattern. Exercises lazy deletion plus periodic
+ * heap compaction.
+ */
+void
+BM_EventQueueDescheduleStorm(benchmark::State &state)
+{
+    struct NopEvent : sim::Event
+    {
+        NopEvent() : sim::Event("nop") {}
+        void process() override {}
+    };
+
+    sim::EventQueue eq;
+    std::array<NopEvent, 64> evs;
+    sim::Tick when = 1000;
+    for (auto &ev : evs)
+        eq.schedule(&ev, when += 10);
+    for (auto _ : state) {
+        for (auto &ev : evs)
+            eq.deschedule(&ev);
+        for (auto &ev : evs)
+            eq.schedule(&ev, when += 10);
+    }
+    benchmark::DoNotOptimize(eq.size());
+    for (auto &ev : evs)
+        eq.deschedule(&ev);
+}
+BENCHMARK(BM_EventQueueDescheduleStorm);
+
+/** Single-walk hit-or-fill against one L2-sized cache level. */
+void
+BM_CacheFindOrInsert(benchmark::State &state)
+{
+    stats::Group root(nullptr, "");
+    mem::Cache c(&root, "c", 512 * 1024, 8);
+    sim::Random rng(5);
+    std::uint64_t prev = 0;
+    for (auto _ : state) {
+        const sim::Addr addr = (rng.next() % (1u << 21)) & ~63ULL;
+        const auto r = c.findOrInsert(
+            addr, rng.chance(0.3) ? mem::LineState::Modified
+                                  : mem::LineState::Shared);
+        prev += static_cast<std::uint64_t>(r.prev);
+    }
+    benchmark::DoNotOptimize(prev);
+}
+BENCHMARK(BM_CacheFindOrInsert);
+
+/**
+ * Remote-write snoops against a hierarchy whose caches mostly do NOT
+ * hold the line — the dominant coherence pattern in the paper sweeps.
+ * Exercises the inclusion short-circuit and the presence filter.
+ */
+void
+BM_SnoopInvalidateAbsent(benchmark::State &state)
+{
+    mem::SnoopDomain domain;
+    stats::Group root(nullptr, "");
+    mem::CacheGeometry geom;
+    mem::CacheHierarchy h0(&root, "h0", 0, geom, domain);
+    sim::Random rng(6);
+    // Warm h0 with a small working set, then snoop a disjoint region.
+    for (int i = 0; i < 4096; ++i)
+        h0.access((rng.next() % (1u << 18)) & ~63ULL, 64, true);
+    std::uint64_t found = 0;
+    for (auto _ : state) {
+        const sim::Addr addr =
+            ((1u << 22) + (rng.next() % (1u << 22))) & ~63ULL;
+        found += static_cast<std::uint64_t>(h0.snoopInvalidate(addr));
+    }
+    benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_SnoopInvalidateAbsent);
 
 void
 BM_CacheHierarchyAccess(benchmark::State &state)
@@ -127,6 +207,39 @@ BM_RandomNext(benchmark::State &state)
     benchmark::DoNotOptimize(v);
 }
 BENCHMARK(BM_RandomNext);
+
+/**
+ * One complete (small) campaign point per iteration: System build,
+ * warmup, measurement, extraction. The end-to-end number the paper
+ * sweeps are made of; simulated-seconds-per-wall-second is derived
+ * from it in substrate_perf.
+ */
+void
+BM_CampaignPoint(benchmark::State &state)
+{
+    sim::setQuiet(true);
+    core::SystemConfig base;
+    base.numConnections = 1;
+    core::RunSchedule schedule;
+    schedule.warmup = 1'000'000;  // 0.5 ms simulated
+    schedule.measure = 4'000'000; // 2 ms simulated
+    const std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .base(base)
+            .schedule(schedule)
+            .size(4096)
+            .affinities({core::AffinityMode::Full})
+            .build();
+    core::Campaign::Options opts;
+    opts.numThreads = 1;
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        const core::ResultSet rs = core::Campaign::run(points, opts);
+        bytes += rs.result(0).payloadBytes;
+    }
+    benchmark::DoNotOptimize(bytes);
+}
+BENCHMARK(BM_CampaignPoint)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Versioned substrate performance tracker.
+ *
+ * Measures the two rates the paper-reproduction sweeps are gated on —
+ * raw event-queue throughput and end-to-end campaign-point rate — and
+ * writes them to a JSON file (default BENCH_substrate.json, or argv[1])
+ * so successive commits can be compared:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "events_per_sec": ...,        // event queue schedule+dispatch rate
+ *     "sim_ns_per_wall_ms": ...,    // simulated ns advanced per wall ms
+ *     "campaign_points": [ {label, wall_ms, throughput_mbps}, ... ],
+ *     "total_wall_ms": ...
+ *   }
+ *
+ * The binary re-reads the file after writing and exits nonzero if it is
+ * missing, empty, or does not round-trip — so the ctest registration
+ * fails on malformed output rather than silently tracking nothing.
+ *
+ * NA_BENCH_FAST=1 shrinks the workload for CI smoke use; numbers are
+ * then only good for validating the pipeline, not for comparisons.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.hh"
+#include "src/core/sweep.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/logging.hh"
+
+using namespace na;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+wallMsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** Pooled-lambda schedule+dispatch rate through the event queue. */
+double
+measureEventRate(std::uint64_t events)
+{
+    sim::EventQueue eq;
+    std::uint64_t n = 0;
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < events; ++i) {
+        eq.scheduleLambda(eq.now() + 10, "bench", [&n] { ++n; });
+        eq.runOne();
+    }
+    const double ms = wallMsSince(start);
+    if (n != events || ms <= 0.0)
+        return 0.0;
+    return static_cast<double>(events) / (ms / 1000.0);
+}
+
+struct PointTiming
+{
+    std::string label;
+    double wallMs = 0;
+    double throughputMbps = 0;
+    double simNs = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+    const bool fast = []() {
+        const char *v = std::getenv("NA_BENCH_FAST");
+        return v && v[0] && std::strcmp(v, "0") != 0;
+    }();
+    const char *path = argc > 1 ? argv[1] : "BENCH_substrate.json";
+
+    // --- Event queue rate -------------------------------------------
+    const std::uint64_t events = fast ? 200'000 : 2'000'000;
+    const double events_per_sec = measureEventRate(events);
+    if (events_per_sec <= 0.0) {
+        std::fprintf(stderr, "substrate_perf: event rate measurement "
+                             "failed\n");
+        return 1;
+    }
+
+    // --- End-to-end campaign points ---------------------------------
+    core::SystemConfig base;
+    base.numConnections = fast ? 1 : 2;
+    core::RunSchedule schedule;
+    schedule.warmup = fast ? 1'000'000 : 4'000'000;
+    schedule.measure = fast ? 4'000'000 : 20'000'000;
+
+    const std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .base(base)
+            .schedule(schedule)
+            .sizes(fast ? std::vector<std::uint32_t>{4096}
+                        : std::vector<std::uint32_t>{128, 4096, 65536})
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build();
+
+    core::Campaign::Options opts;
+    opts.numThreads = 1;
+
+    std::vector<PointTiming> timings;
+    double total_wall_ms = 0;
+    double total_sim_ns = 0;
+    for (const core::CampaignPoint &pt : points) {
+        const auto start = Clock::now();
+        const core::ResultSet rs = core::Campaign::run({pt}, opts);
+        PointTiming t;
+        t.label = pt.label;
+        t.wallMs = wallMsSince(start);
+        t.throughputMbps = rs.result(0).throughputMbps;
+        const double freq = pt.config.platform.freqHz;
+        t.simNs = static_cast<double>(pt.schedule.warmup +
+                                      pt.schedule.measure) /
+                  freq * 1e9;
+        if (t.wallMs <= 0.0 || rs.result(0).payloadBytes == 0) {
+            std::fprintf(stderr,
+                         "substrate_perf: point '%s' produced no "
+                         "data\n",
+                         t.label.c_str());
+            return 1;
+        }
+        total_wall_ms += t.wallMs;
+        total_sim_ns += t.simNs;
+        timings.push_back(std::move(t));
+    }
+    const double sim_ns_per_wall_ms = total_sim_ns / total_wall_ms;
+
+    // --- Emit + self-validate ---------------------------------------
+    std::ostringstream json;
+    char buf[256];
+    json << "{\n  \"schema_version\": 1,\n";
+    std::snprintf(buf, sizeof buf, "  \"events_per_sec\": %.1f,\n",
+                  events_per_sec);
+    json << buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"sim_ns_per_wall_ms\": %.1f,\n",
+                  sim_ns_per_wall_ms);
+    json << buf;
+    json << "  \"campaign_points\": [\n";
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        std::snprintf(buf, sizeof buf,
+                      "    {\"label\": \"%s\", \"wall_ms\": %.2f, "
+                      "\"throughput_mbps\": %.2f}%s\n",
+                      timings[i].label.c_str(), timings[i].wallMs,
+                      timings[i].throughputMbps,
+                      i + 1 < timings.size() ? "," : "");
+        json << buf;
+    }
+    json << "  ],\n";
+    std::snprintf(buf, sizeof buf, "  \"total_wall_ms\": %.2f\n",
+                  total_wall_ms);
+    json << buf << "}\n";
+    const std::string payload = json.str();
+
+    {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "substrate_perf: cannot open %s\n",
+                         path);
+            return 1;
+        }
+        out << payload;
+    }
+    std::ifstream in(path);
+    std::stringstream readback;
+    readback << in.rdbuf();
+    if (readback.str().empty() || readback.str() != payload ||
+        payload.find("\"schema_version\": 1") == std::string::npos) {
+        std::fprintf(stderr,
+                     "substrate_perf: %s is empty or malformed\n",
+                     path);
+        return 1;
+    }
+
+    std::printf("substrate_perf: %.0f events/s, %.0f sim-ns/wall-ms, "
+                "%zu points in %.0f ms -> %s\n",
+                events_per_sec, sim_ns_per_wall_ms, timings.size(),
+                total_wall_ms, path);
+    return 0;
+}

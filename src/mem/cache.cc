@@ -1,5 +1,8 @@
 #include "src/mem/cache.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "src/sim/logging.hh"
 
 namespace na::mem {
@@ -10,17 +13,6 @@ bool
 isPow2(std::uint64_t v)
 {
     return v != 0 && (v & (v - 1)) == 0;
-}
-
-unsigned
-log2u(std::uint64_t v)
-{
-    unsigned n = 0;
-    while (v > 1) {
-        v >>= 1;
-        ++n;
-    }
-    return n;
 }
 
 } // namespace
@@ -46,47 +38,20 @@ Cache::Cache(stats::Group *parent, const std::string &name,
         size_bytes / (static_cast<std::uint64_t>(assoc_ways) * line_bytes));
     if (!isPow2(numSets))
         sim::fatal("cache set count %u not a power of two", numSets);
-    lineShift = log2u(line_bytes);
+    lineShift = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(line_bytes)));
+    setMask = numSets - 1;
     lines.resize(static_cast<std::size_t>(numSets) * assoc);
+
+    // Filter sized to 2x the line count keeps bucket collisions (and
+    // thus false-positive walks) rare.
+    std::uint64_t cap = 1;
+    while (cap < static_cast<std::uint64_t>(numSets) * assoc * 2)
+        cap <<= 1;
+    presence.assign(static_cast<std::size_t>(cap), 0);
+    presenceShift = 64 - static_cast<unsigned>(std::countr_zero(cap));
 }
 
-Cache::Line *
-Cache::findLine(sim::Addr addr)
-{
-    const sim::Addr la = lineAddr(addr);
-    Line *set = &lines[static_cast<std::size_t>(setIndex(addr)) * assoc];
-    for (unsigned w = 0; w < assoc; ++w) {
-        if (set[w].state != LineState::Invalid && set[w].tag == la)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(sim::Addr addr) const
-{
-    return const_cast<Cache *>(this)->findLine(addr);
-}
-
-LineState
-Cache::lookup(sim::Addr addr)
-{
-    Line *line = findLine(addr);
-    if (!line) {
-        ++misses;
-        return LineState::Invalid;
-    }
-    ++hits;
-    line->lru = ++lruCounter;
-    return line->state;
-}
-
-LineState
-Cache::probe(sim::Addr addr) const
-{
-    const Line *line = findLine(addr);
-    return line ? line->state : LineState::Invalid;
-}
 
 Cache::Victim
 Cache::insert(sim::Addr addr, LineState state)
@@ -122,34 +87,60 @@ Cache::insert(sim::Addr addr, LineState state)
         ++evictions;
         if (victim.dirty)
             ++writebacks;
+        --presence[presenceIdx(victim.lineAddr)];
     }
+    ++presence[presenceIdx(la)];
     target->tag = la;
     target->state = state;
     target->lru = ++lruCounter;
+    mru = target;
     return victim;
 }
 
-LineState
-Cache::invalidate(sim::Addr addr)
+Cache::FindOrInsertResult
+Cache::findOrInsert(sim::Addr addr, LineState state)
 {
-    Line *line = findLine(addr);
-    if (!line)
-        return LineState::Invalid;
-    const LineState prev = line->state;
-    line->state = LineState::Invalid;
-    ++snoopInvalidations;
-    return prev;
-}
+    FindOrInsertResult res;
+    const sim::Addr la = lineAddr(addr);
 
-bool
-Cache::downgrade(sim::Addr addr)
-{
-    Line *line = findLine(addr);
-    if (!line)
-        return false;
-    if (line->state == LineState::Modified)
-        line->state = LineState::Shared;
-    return true;
+    if (Line *line = findLine(addr)) {
+        res.prev = line->state;
+        ++hits;
+        if (state == LineState::Modified)
+            line->state = LineState::Modified;
+        line->lru = ++lruCounter;
+        return res;
+    }
+
+    ++misses;
+    Line *set = &lines[static_cast<std::size_t>(setIndex(addr)) * assoc];
+    Line *target = nullptr;
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (set[w].state == LineState::Invalid) {
+            target = &set[w];
+            break;
+        }
+    }
+    if (!target) {
+        target = &set[0];
+        for (unsigned w = 1; w < assoc; ++w) {
+            if (set[w].lru < target->lru)
+                target = &set[w];
+        }
+        res.victim.valid = true;
+        res.victim.lineAddr = target->tag;
+        res.victim.dirty = target->state == LineState::Modified;
+        ++evictions;
+        if (res.victim.dirty)
+            ++writebacks;
+        --presence[presenceIdx(res.victim.lineAddr)];
+    }
+    ++presence[presenceIdx(la)];
+    target->tag = la;
+    target->state = state;
+    target->lru = ++lruCounter;
+    mru = target;
+    return res;
 }
 
 void
@@ -167,6 +158,7 @@ Cache::flushAll()
 {
     for (Line &line : lines)
         line.state = LineState::Invalid;
+    std::fill(presence.begin(), presence.end(), 0);
 }
 
 std::uint64_t

@@ -71,6 +71,34 @@ class Cache : public stats::Group
      */
     Victim insert(sim::Addr addr, LineState state);
 
+    /** Outcome of findOrInsert(): previous state plus any victim. */
+    struct FindOrInsertResult
+    {
+        LineState prev = LineState::Invalid; ///< state before the call
+        Victim victim;                       ///< displaced line on miss
+
+        /** @return true if the line was already present. */
+        bool hit() const { return prev != LineState::Invalid; }
+    };
+
+    /**
+     * Single-walk equivalent of `lookup(); if miss then insert(state)`:
+     * counts one hit or one miss, touches LRU exactly once, fills (and
+     * evicts, counting evictions/writebacks) only on a miss, and on a
+     * hit upgrades to Modified iff @p state is Modified (never
+     * downgrades). The observable counters and final tag state are
+     * bit-identical to the composed pair; the set is scanned once
+     * instead of twice.
+     */
+    FindOrInsertResult findOrInsert(sim::Addr addr, LineState state);
+
+    /**
+     * Single-walk equivalent of `probe() != Invalid ? setModified() :
+     * false` — no LRU touch, no hit/miss counting.
+     * @return true if the line was present (and is now Modified).
+     */
+    bool setModifiedIfPresent(sim::Addr addr);
+
     /**
      * Invalidate a line (snoop or back-invalidate).
      * @return previous state (Invalid if it was not present).
@@ -117,8 +145,37 @@ class Cache : public stats::Group
     unsigned assoc;
     unsigned numSets;
     unsigned lineShift;
+    unsigned setMask;
     std::uint64_t lruCounter = 0;
     std::vector<Line> lines; ///< numSets * assoc, set-major
+
+    /**
+     * Most-recently-found line, a single-entry memo in front of the set
+     * walk. Self-validating: tags are full line addresses, so a tag
+     * match on a valid line is exactly what the walk would return, and
+     * no invalidation hook is needed. `lines` never reallocates after
+     * construction, so the pointer stays valid.
+     */
+    Line *mru = nullptr;
+
+    /**
+     * Exact counting presence filter: valid lines per hash bucket. A
+     * zero count proves the line is absent, turning the dominant
+     * absent-line snoop/invalidate probes into a single load instead of
+     * a set walk. Never produces false negatives (every Invalid<->valid
+     * transition updates it), so a nonzero count just falls back to the
+     * walk and behavior is unchanged.
+     */
+    std::vector<std::uint16_t> presence;
+    unsigned presenceShift = 0; ///< 64 - log2(presence.size())
+
+    std::size_t
+    presenceIdx(sim::Addr line_addr) const
+    {
+        return static_cast<std::size_t>(
+            ((line_addr >> lineShift) * 0x9e3779b97f4a7c15ULL) >>
+            presenceShift);
+    }
 
     sim::Addr lineAddr(sim::Addr addr) const
     {
@@ -127,12 +184,95 @@ class Cache : public stats::Group
 
     unsigned setIndex(sim::Addr addr) const
     {
-        return (addr >> lineShift) % numSets;
+        return static_cast<unsigned>(addr >> lineShift) & setMask;
     }
 
     Line *findLine(sim::Addr addr);
     const Line *findLine(sim::Addr addr) const;
 };
+
+// The short hot-path methods live in the header so callers in other
+// translation units (CacheHierarchy in particular) can inline them;
+// profiling shows the call overhead alone dominates once the walks are
+// memoized/filtered away.
+
+inline Cache::Line *
+Cache::findLine(sim::Addr addr)
+{
+    const sim::Addr la = lineAddr(addr);
+    if (mru && mru->tag == la && mru->state != LineState::Invalid)
+        return mru;
+    if (presence[presenceIdx(la)] == 0)
+        return nullptr;
+    Line *set = &lines[static_cast<std::size_t>(setIndex(addr)) * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (set[w].state != LineState::Invalid && set[w].tag == la) {
+            mru = &set[w];
+            return mru;
+        }
+    }
+    return nullptr;
+}
+
+inline const Cache::Line *
+Cache::findLine(sim::Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+inline LineState
+Cache::lookup(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line) {
+        ++misses;
+        return LineState::Invalid;
+    }
+    ++hits;
+    line->lru = ++lruCounter;
+    return line->state;
+}
+
+inline LineState
+Cache::probe(sim::Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? line->state : LineState::Invalid;
+}
+
+inline LineState
+Cache::invalidate(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return LineState::Invalid;
+    const LineState prev = line->state;
+    line->state = LineState::Invalid;
+    --presence[presenceIdx(lineAddr(addr))];
+    ++snoopInvalidations;
+    return prev;
+}
+
+inline bool
+Cache::downgrade(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    if (line->state == LineState::Modified)
+        line->state = LineState::Shared;
+    return true;
+}
+
+inline bool
+Cache::setModifiedIfPresent(sim::Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    line->state = LineState::Modified;
+    return true;
+}
 
 } // namespace na::mem
 

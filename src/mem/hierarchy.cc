@@ -40,14 +40,28 @@ CacheHierarchy::fillLine(sim::Addr line_addr, LineState state)
 }
 
 void
+CacheHierarchy::fillInner(sim::Addr line_addr, LineState state)
+{
+    Cache::Victim v2 = l2.insert(line_addr, state);
+    if (v2.valid)
+        l1.invalidate(v2.lineAddr);
+    l1.insert(line_addr, state);
+}
+
+void
 CacheHierarchy::upgradeLine(sim::Addr line_addr)
 {
-    if (l1.probe(line_addr) != LineState::Invalid)
-        l1.setModified(line_addr);
-    if (l2.probe(line_addr) != LineState::Invalid)
+    // Inclusion (L1 ⊆ L2 ⊆ L3) means the outer levels are guaranteed
+    // present once an inner level hits, so each level is walked once
+    // instead of the probe+setModified double walk.
+    if (l1.setModifiedIfPresent(line_addr)) {
         l2.setModified(line_addr);
-    if (l3.probe(line_addr) != LineState::Invalid)
         l3.setModified(line_addr);
+    } else if (l2.setModifiedIfPresent(line_addr)) {
+        l3.setModified(line_addr);
+    } else {
+        l3.setModifiedIfPresent(line_addr);
+    }
 }
 
 AccessResult
@@ -91,9 +105,11 @@ CacheHierarchy::access(sim::Addr addr, std::uint32_t bytes, bool write,
                 upgradeLine(la);
                 ++res.upgrades;
                 stall += timing.upgradeCycles;
-            } else if (write) {
-                upgradeLine(la);
             }
+            // A write hitting Modified needs no upgrade anywhere:
+            // every level holding a line holds it in the same state
+            // (fills, upgrades, downgrades, and invalidations all
+            // apply level-uniformly), so L2/L3 are Modified too.
             continue;
         }
 
@@ -110,23 +126,34 @@ CacheHierarchy::access(sim::Addr addr, std::uint32_t bytes, bool write,
             continue;
         }
 
-        const LineState s3 = l3.lookup(la);
-        if (s3 != LineState::Invalid) {
+        // L2 miss: one walk of the L3 set both classifies the access
+        // (hit vs full miss) and performs the fill. Snoops never touch
+        // the local hierarchy, so filling L3 before the snoop below
+        // commutes with the old lookup-snoop-insert order.
+        ++res.l2Misses;
+        const auto r3 = l3.findOrInsert(
+            la, write ? LineState::Modified : LineState::Shared);
+        if (r3.hit()) {
             ++res.l3Hits;
-            ++res.l2Misses;
             stall += timing.l3HitCycles * overlap;
-            if (write && s3 == LineState::Shared) {
+            if (write && r3.prev == LineState::Shared) {
                 domain.snoopWrite(cpu, la, res.stolenFrom);
                 ++res.upgrades;
                 stall += timing.upgradeCycles;
             }
-            fillLine(la, write ? LineState::Modified : s3);
+            // A read of a dirty L3 line fills the inner levels
+            // Modified, exactly as the old fillLine(la, s3) did.
+            fillInner(la, write ? LineState::Modified : r3.prev);
             continue;
         }
 
-        // Full local miss: snoop the other CPUs, then memory.
-        ++res.l2Misses;
+        // Full local miss: back-invalidate the L3 victim to preserve
+        // inclusion, snoop the other CPUs, then fill the inner levels.
         ++res.llcMisses;
+        if (r3.victim.valid) {
+            l2.invalidate(r3.victim.lineAddr);
+            l1.invalidate(r3.victim.lineAddr);
+        }
         LineState remote;
         if (write) {
             remote = domain.snoopWrite(cpu, la, res.stolenFrom);
@@ -140,7 +167,7 @@ CacheHierarchy::access(sim::Addr addr, std::uint32_t bytes, bool write,
             stall += timing.memCycles * overlap;
         }
         // Read fill is Shared (MSI; no E state — see DESIGN.md).
-        fillLine(la, write ? LineState::Modified : LineState::Shared);
+        fillInner(la, write ? LineState::Modified : LineState::Shared);
     }
 
     res.stallCycles = static_cast<std::uint64_t>(std::llround(stall));
@@ -166,30 +193,34 @@ CacheHierarchy::present(sim::Addr addr) const
 LineState
 CacheHierarchy::snoopInvalidate(sim::Addr addr)
 {
-    LineState worst = LineState::Invalid;
+    // Inclusion: a line absent from L3 is absent everywhere, so the
+    // common miss case costs one set walk instead of three. Invalidating
+    // an absent line bumps no counter, so skipping L1/L2 here is
+    // observable only as saved work.
+    const LineState p3 = l3.invalidate(addr);
+    if (p3 == LineState::Invalid)
+        return LineState::Invalid;
     const LineState p1 = l1.invalidate(addr);
     const LineState p2 = l2.invalidate(addr);
-    const LineState p3 = l3.invalidate(addr);
-    if (p1 == LineState::Modified || p2 == LineState::Modified ||
-        p3 == LineState::Modified) {
-        worst = LineState::Modified;
-    } else if (p1 != LineState::Invalid || p2 != LineState::Invalid ||
-               p3 != LineState::Invalid) {
-        worst = LineState::Shared;
-    }
-    if (worst != LineState::Invalid)
-        ++linesStolenByRemote;
+    const LineState worst =
+        (p1 == LineState::Modified || p2 == LineState::Modified ||
+         p3 == LineState::Modified)
+            ? LineState::Modified
+            : LineState::Shared;
+    ++linesStolenByRemote;
     return worst;
 }
 
 bool
 CacheHierarchy::snoopDowngrade(sim::Addr addr)
 {
-    bool any = false;
-    any |= l1.downgrade(addr);
-    any |= l2.downgrade(addr);
-    any |= l3.downgrade(addr);
-    return any;
+    // Same inclusion short-circuit; downgrading an absent line is a
+    // no-op, so nothing is skipped when L3 misses.
+    if (!l3.downgrade(addr))
+        return false;
+    l1.downgrade(addr);
+    l2.downgrade(addr);
+    return true;
 }
 
 void

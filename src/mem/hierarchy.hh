@@ -156,6 +156,9 @@ class CacheHierarchy : public stats::Group
     /** Fill a line into every level, maintaining inclusion. */
     void fillLine(sim::Addr line_addr, LineState state);
 
+    /** Fill L2 and L1 only (L3 already filled by findOrInsert). */
+    void fillInner(sim::Addr line_addr, LineState state);
+
     /** Upgrade a locally-present line to Modified at every level. */
     void upgradeLine(sim::Addr line_addr);
 };

@@ -11,13 +11,14 @@ Tlb::Tlb(stats::Group *parent, const std::string &name, unsigned entries)
 }
 
 bool
-Tlb::access(sim::Addr addr)
+Tlb::accessSlow(PageNum page)
 {
-    const PageNum page = pageOf(addr);
     auto it = map.find(page);
     if (it != map.end()) {
         ++hits;
         lru.splice(lru.begin(), lru, it->second);
+        mruPage = page;
+        mruValid = true;
         return true;
     }
     ++walks;
@@ -27,6 +28,8 @@ Tlb::access(sim::Addr addr)
     }
     lru.push_front(page);
     map[page] = lru.begin();
+    mruPage = page;
+    mruValid = true;
     return false;
 }
 
@@ -41,6 +44,7 @@ Tlb::flushAll()
 {
     lru.clear();
     map.clear();
+    mruValid = false;
 }
 
 } // namespace na::mem

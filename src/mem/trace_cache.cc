@@ -14,12 +14,15 @@ TraceCache::TraceCache(stats::Group *parent, const std::string &name,
 }
 
 unsigned
-TraceCache::access(std::uint16_t func_id, std::uint32_t footprint_bytes)
+TraceCache::accessSlow(std::uint16_t func_id,
+                       std::uint32_t footprint_bytes)
 {
     auto it = map.find(func_id);
     if (it != map.end()) {
         ++hits;
         lru.splice(lru.begin(), lru, it->second);
+        mruFunc = func_id;
+        mruValid = true;
         return 0;
     }
 
@@ -42,6 +45,8 @@ TraceCache::access(std::uint16_t func_id, std::uint32_t footprint_bytes)
     lru.push_front(Entry{func_id, footprint_bytes});
     map[func_id] = lru.begin();
     used += footprint_bytes;
+    mruFunc = func_id;
+    mruValid = true;
 
     const unsigned lines =
         static_cast<unsigned>((footprint_bytes + 63) / 64);
@@ -61,6 +66,7 @@ TraceCache::flushAll()
     lru.clear();
     map.clear();
     used = 0;
+    mruValid = false;
 }
 
 } // namespace na::mem

@@ -41,7 +41,17 @@ class TraceCache : public stats::Group
      * @return number of *misses* incurred: 0 on a resident hit, else the
      *         number of trace-line (64B) builds needed.
      */
-    unsigned access(std::uint16_t func_id, std::uint32_t footprint_bytes);
+    unsigned
+    access(std::uint16_t func_id, std::uint32_t footprint_bytes)
+    {
+        // A repeat of the most recent function is already at the LRU
+        // front: the map lookup and splice are both no-ops.
+        if (mruValid && func_id == mruFunc) {
+            ++hits;
+            return 0;
+        }
+        return accessSlow(func_id, footprint_bytes);
+    }
 
     /** @return true if the function's trace is resident. */
     bool resident(std::uint16_t func_id) const;
@@ -66,6 +76,17 @@ class TraceCache : public stats::Group
     std::uint64_t used = 0;
     std::list<Entry> lru; ///< front == most recent
     std::unordered_map<std::uint16_t, std::list<Entry>::iterator> map;
+
+    /**
+     * Memo of the most recently executed resident function. A repeat
+     * execution is already at the LRU front, so the map lookup and
+     * splice are no-ops and can be skipped without changing LRU order.
+     */
+    std::uint16_t mruFunc = 0;
+    bool mruValid = false;
+
+    unsigned accessSlow(std::uint16_t func_id,
+                        std::uint32_t footprint_bytes);
 };
 
 } // namespace na::mem

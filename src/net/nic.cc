@@ -8,6 +8,46 @@
 
 namespace na::net {
 
+Nic::TxDmaEvent::TxDmaEvent(Nic &nic_ref)
+    : sim::Event(nic_ref.groupName() + ".txdma"), nic(nic_ref)
+{
+}
+
+void
+Nic::TxDmaEvent::process()
+{
+    if (dataAddr && dmaLen)
+        nic.kernel.snoopDomain().dmaRead(dataAddr, dmaLen);
+    nic.wire.sendFromA(pkt);
+    nic.freeTxDmaEvents.push_back(this);
+}
+
+Nic::TxDoneEvent::TxDoneEvent(Nic &nic_ref)
+    : sim::Event(nic_ref.groupName() + ".txdone"), nic(nic_ref)
+{
+}
+
+void
+Nic::TxDoneEvent::process()
+{
+    nic.kernel.snoopDomain().dmaWrite(
+        nic.txDescBase + static_cast<sim::Addr>(descIdx) * 16, 16);
+    nic.pendingTxDone.push_back(PendingTxDone{pkt, descIdx});
+    nic.requestIrq();
+    nic.freeTxDoneEvents.push_back(this);
+}
+
+Nic::ModerationEvent::ModerationEvent(Nic &nic_ref)
+    : sim::Event(nic_ref.groupName() + ".moderation"), nic(nic_ref)
+{
+}
+
+void
+Nic::ModerationEvent::process()
+{
+    nic.onModerationExpired();
+}
+
 Nic::Nic(stats::Group *parent, const std::string &name, int index,
          os::Kernel &kernel_ref, SkbPool &pool_ref, Wire &wire_ref,
          const NicConfig &config)
@@ -24,7 +64,8 @@ Nic::Nic(stats::Group *parent, const std::string &name, int index,
       idx(index), kernel(kernel_ref), pool(pool_ref), wire(wire_ref),
       cfg(config),
       txLock(this, "tx_lock", prof::FuncId::LockDevQueue,
-             kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64))
+             kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64)),
+      moderationEvent(*this)
 {
     auto &aspace = kernel.addressSpace();
     mmio = aspace.alloc(mem::Region::Mmio, 4096);
@@ -51,7 +92,46 @@ Nic::Nic(stats::Group *parent, const std::string &name, int index,
     wire.attachA([this](const Packet &pkt) { onWirePacket(pkt); });
 }
 
-Nic::~Nic() = default;
+Nic::~Nic()
+{
+    // The event queue may outlive this NIC; take our member and pooled
+    // events off it so their destructors don't see them scheduled.
+    sim::EventQueue &eq = kernel.eventQueue();
+    if (moderationEvent.scheduled())
+        eq.deschedule(&moderationEvent);
+    for (auto &ev : txDmaEvents) {
+        if (ev->scheduled())
+            eq.deschedule(ev.get());
+    }
+    for (auto &ev : txDoneEvents) {
+        if (ev->scheduled())
+            eq.deschedule(ev.get());
+    }
+}
+
+Nic::TxDmaEvent *
+Nic::allocTxDmaEvent()
+{
+    if (!freeTxDmaEvents.empty()) {
+        TxDmaEvent *ev = freeTxDmaEvents.back();
+        freeTxDmaEvents.pop_back();
+        return ev;
+    }
+    txDmaEvents.push_back(std::make_unique<TxDmaEvent>(*this));
+    return txDmaEvents.back().get();
+}
+
+Nic::TxDoneEvent *
+Nic::allocTxDoneEvent()
+{
+    if (!freeTxDoneEvents.empty()) {
+        TxDoneEvent *ev = freeTxDoneEvents.back();
+        freeTxDoneEvents.pop_back();
+        return ev;
+    }
+    txDoneEvents.push_back(std::make_unique<TxDoneEvent>(*this));
+    return txDoneEvents.back().get();
+}
 
 bool
 Nic::xmitFrame(os::ExecContext &ctx, const Packet &pkt,
@@ -84,22 +164,16 @@ Nic::xmitFrame(os::ExecContext &ctx, const Packet &pkt,
         bits / wire.bitsPerSec() * kernel.config().freqHz));
     const sim::Tick start = kernel.now() + cfg.dmaDelayTicks;
 
-    const std::uint32_t dma_len = pkt.seg.len;
-    kernel.eventQueue().scheduleLambda(
-        start, groupName() + ".txdma",
-        [this, pkt, data_addr, dma_len] {
-            if (data_addr && dma_len)
-                kernel.snoopDomain().dmaRead(data_addr, dma_len);
-            wire.sendFromA(pkt);
-        });
-    kernel.eventQueue().scheduleLambda(
-        start + ser_ticks, groupName() + ".txdone",
-        [this, pkt, desc] {
-            kernel.snoopDomain().dmaWrite(
-                txDescBase + static_cast<sim::Addr>(desc) * 16, 16);
-            pendingTxDone.push_back(PendingTxDone{pkt, desc});
-            requestIrq();
-        });
+    TxDmaEvent *dma_ev = allocTxDmaEvent();
+    dma_ev->pkt = pkt;
+    dma_ev->dataAddr = data_addr;
+    dma_ev->dmaLen = pkt.seg.len;
+    kernel.eventQueue().schedule(dma_ev, start);
+
+    TxDoneEvent *done_ev = allocTxDoneEvent();
+    done_ev->pkt = pkt;
+    done_ev->descIdx = desc;
+    kernel.eventQueue().schedule(done_ev, start + ser_ticks);
     return true;
 }
 
@@ -143,16 +217,16 @@ Nic::requestIrq()
     const sim::Tick now = kernel.now();
     if (now >= nextIrqAllowed) {
         raiseNow();
-    } else if (!pendingRaise) {
-        pendingRaise = kernel.eventQueue().scheduleLambda(
-            nextIrqAllowed, groupName() + ".moderation", [this] {
-                pendingRaise = nullptr;
-                if (!masked &&
-                    (!pendingRx.empty() || !pendingTxDone.empty())) {
-                    raiseNow();
-                }
-            });
+    } else if (!moderationEvent.scheduled()) {
+        kernel.eventQueue().schedule(&moderationEvent, nextIrqAllowed);
     }
+}
+
+void
+Nic::onModerationExpired()
+{
+    if (!masked && (!pendingRx.empty() || !pendingTxDone.empty()))
+        raiseNow();
 }
 
 void

@@ -18,11 +18,14 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/net/segment.hh"
 #include "src/net/skb.hh"
 #include "src/net/wire.hh"
+#include "src/sim/event_queue.hh"
 #include "src/sim/types.hh"
 #include "src/stats/stats.hh"
 
@@ -118,6 +121,50 @@ class Nic : public stats::Group
         int descIdx;
     };
 
+    /**
+     * DMA pull from the doorbell to the wire handoff. Pooled per NIC so
+     * the steady-state TX path allocates nothing (the old scheduleLambda
+     * path built a name string and a closure per frame).
+     */
+    class TxDmaEvent : public sim::Event
+    {
+      public:
+        explicit TxDmaEvent(Nic &nic_ref);
+        void process() override;
+
+        Packet pkt;
+        sim::Addr dataAddr = 0;
+        std::uint32_t dmaLen = 0;
+
+      private:
+        Nic &nic;
+    };
+
+    /** Completion descriptor write-back after serialization. Pooled. */
+    class TxDoneEvent : public sim::Event
+    {
+      public:
+        explicit TxDoneEvent(Nic &nic_ref);
+        void process() override;
+
+        Packet pkt;
+        int descIdx = 0;
+
+      private:
+        Nic &nic;
+    };
+
+    /** Interrupt-moderation delay; at most one pending per NIC. */
+    class ModerationEvent : public sim::Event
+    {
+      public:
+        explicit ModerationEvent(Nic &nic_ref);
+        void process() override;
+
+      private:
+        Nic &nic;
+    };
+
     int idx;
     os::Kernel &kernel;
     SkbPool &pool;
@@ -140,13 +187,22 @@ class Nic : public stats::Group
 
     bool masked = false;       ///< ISR taken, softirq not yet done
     sim::Tick nextIrqAllowed = 0;
-    sim::Event *pendingRaise = nullptr; ///< moderation-delay event
+    ModerationEvent moderationEvent;
+
+    std::vector<std::unique_ptr<TxDmaEvent>> txDmaEvents;
+    std::vector<TxDmaEvent *> freeTxDmaEvents;
+    std::vector<std::unique_ptr<TxDoneEvent>> txDoneEvents;
+    std::vector<TxDoneEvent *> freeTxDoneEvents;
 
     RxDeliver rxDeliver;
     TxComplete txComplete;
     IsrHook isrHook;
 
+    TxDmaEvent *allocTxDmaEvent();
+    TxDoneEvent *allocTxDoneEvent();
+
     void onWirePacket(const Packet &pkt);
+    void onModerationExpired();
     void requestIrq();
     void raiseNow();
 };

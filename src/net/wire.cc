@@ -6,6 +6,21 @@
 
 namespace na::net {
 
+Wire::DeliverEvent::DeliverEvent(Wire &wire_ref)
+    : sim::Event(wire_ref.groupName() + ".deliver"), wire(wire_ref)
+{
+}
+
+void
+Wire::DeliverEvent::process()
+{
+    // The callback may send more packets through the wire (and thus
+    // allocate further deliver events); this one is returned to the
+    // pool only after it is done with its payload.
+    (fromA ? wire.deliverB : wire.deliverA)(pkt);
+    wire.recycle(this);
+}
+
 Wire::Wire(stats::Group *parent, const std::string &name,
            sim::EventQueue &eq_ref, double freq_hz, double bits_per_sec,
            sim::Tick latency_ticks, double loss_prob, std::uint64_t seed)
@@ -18,6 +33,34 @@ Wire::Wire(stats::Group *parent, const std::string &name,
       eq(eq_ref), freqHz(freq_hz), rate(bits_per_sec),
       latency(latency_ticks), lossProb(loss_prob), rng(seed)
 {
+}
+
+Wire::~Wire()
+{
+    // The queue may outlive us (System tears members down before its
+    // EventQueue member), so take in-flight deliveries off it first.
+    for (auto &ev : deliverEvents) {
+        if (ev->scheduled())
+            eq.deschedule(ev.get());
+    }
+}
+
+Wire::DeliverEvent *
+Wire::allocDeliverEvent()
+{
+    if (!freeDeliverEvents.empty()) {
+        DeliverEvent *ev = freeDeliverEvents.back();
+        freeDeliverEvents.pop_back();
+        return ev;
+    }
+    deliverEvents.push_back(std::make_unique<DeliverEvent>(*this));
+    return deliverEvents.back().get();
+}
+
+void
+Wire::recycle(DeliverEvent *ev)
+{
+    freeDeliverEvents.push_back(ev);
 }
 
 void
@@ -49,10 +92,10 @@ Wire::send(const Packet &pkt, bool from_a)
     if (!cb)
         sim::panic("wire %s: no receiver attached", groupName().c_str());
 
-    eq.scheduleLambda(done + latency, groupName() + ".deliver",
-                      [this, pkt, from_a] {
-                          (from_a ? deliverB : deliverA)(pkt);
-                      });
+    DeliverEvent *ev = allocDeliverEvent();
+    ev->pkt = pkt;
+    ev->fromA = from_a;
+    eq.schedule(ev, done + latency);
 }
 
 void

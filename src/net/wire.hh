@@ -11,7 +11,9 @@
 #define NETAFFINITY_NET_WIRE_HH
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/net/segment.hh"
 #include "src/sim/event_queue.hh"
@@ -36,6 +38,7 @@ class Wire : public stats::Group
          sim::EventQueue &eq, double freq_hz,
          double bits_per_sec = 1.0e9, sim::Tick latency_ticks = 10000,
          double loss_prob = 0.0, std::uint64_t seed = 7);
+    ~Wire();
 
     /** Attach side A's (SUT's) receive callback. */
     void attachA(Deliver cb) { deliverA = std::move(cb); }
@@ -61,6 +64,26 @@ class Wire : public stats::Group
     stats::Scalar losses;
 
   private:
+    /**
+     * One in-flight packet delivery. Pooled: the wire keeps every
+     * event it ever created and recycles them after they fire, so the
+     * steady-state per-packet path performs no heap allocation (the
+     * old scheduleLambda path built a name string plus a closure per
+     * delivery).
+     */
+    class DeliverEvent : public sim::Event
+    {
+      public:
+        explicit DeliverEvent(Wire &wire_ref);
+        void process() override;
+
+        Packet pkt;
+        bool fromA = false;
+
+      private:
+        Wire &wire;
+    };
+
     sim::EventQueue &eq;
     double freqHz;
     double rate;
@@ -71,6 +94,12 @@ class Wire : public stats::Group
     Deliver deliverB;
     sim::Tick busyUntilAB = 0;
     sim::Tick busyUntilBA = 0;
+
+    std::vector<std::unique_ptr<DeliverEvent>> deliverEvents;
+    std::vector<DeliverEvent *> freeDeliverEvents;
+
+    DeliverEvent *allocDeliverEvent();
+    void recycle(DeliverEvent *ev);
 
     void send(const Packet &pkt, bool from_a);
 };

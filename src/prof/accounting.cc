@@ -14,25 +14,6 @@ BinAccounting::BinAccounting(int num_cpus) : nCpus(num_cpus)
                   0);
 }
 
-void
-BinAccounting::add(sim::CpuId cpu, FuncId func, Event ev,
-                   std::uint64_t count)
-{
-    if (count == 0)
-        return;
-    if (cpu < 0 || cpu >= nCpus)
-        sim::panic("BinAccounting::add: bad cpu %d", cpu);
-    counts[index(cpu, func, ev)] += count;
-    if (listener)
-        listener->onEvents(cpu, func, ev, count);
-}
-
-std::uint64_t
-BinAccounting::get(sim::CpuId cpu, FuncId func, Event ev) const
-{
-    return counts[index(cpu, func, ev)];
-}
-
 std::uint64_t
 BinAccounting::byFunc(FuncId func, Event ev) const
 {

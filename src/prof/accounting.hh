@@ -17,6 +17,7 @@
 
 #include "src/prof/bins.hh"
 #include "src/prof/func_registry.hh"
+#include "src/sim/logging.hh"
 #include "src/sim/types.hh"
 
 namespace na::prof {
@@ -42,10 +43,24 @@ class BinAccounting
     explicit BinAccounting(int num_cpus);
 
     /** Post @p count occurrences of @p ev attributed to @p func. */
-    void add(sim::CpuId cpu, FuncId func, Event ev, std::uint64_t count);
+    void
+    add(sim::CpuId cpu, FuncId func, Event ev, std::uint64_t count)
+    {
+        if (count == 0)
+            return;
+        if (cpu < 0 || cpu >= nCpus)
+            sim::panic("BinAccounting::add: bad cpu %d", cpu);
+        counts[index(cpu, func, ev)] += count;
+        if (listener)
+            listener->onEvents(cpu, func, ev, count);
+    }
 
     /** @return exact count for one (cpu, func, event) cell. */
-    std::uint64_t get(sim::CpuId cpu, FuncId func, Event ev) const;
+    std::uint64_t
+    get(sim::CpuId cpu, FuncId func, Event ev) const
+    {
+        return counts[index(cpu, func, ev)];
+    }
 
     /** @return count summed over all CPUs for (func, event). */
     std::uint64_t byFunc(FuncId func, Event ev) const;

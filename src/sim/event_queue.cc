@@ -1,10 +1,18 @@
 #include "src/sim/event_queue.hh"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "src/sim/logging.hh"
+#include "src/sim/trace.hh"
 
 namespace na::sim {
+
+namespace {
+
+/** Interned fallback so unnamed events still panic readably. */
+const std::string anonymousEventName = "event";
+
+} // namespace
 
 Event::Event(std::string name, int priority)
     : _name(std::move(name)), _priority(priority)
@@ -17,7 +25,13 @@ Event::~Event()
     // into the queue from here (we do not know which queue), so just
     // flag the bug.
     if (_scheduled)
-        panic("event '%s' destroyed while scheduled", _name.c_str());
+        panic("event '%s' destroyed while scheduled", name().c_str());
+}
+
+const std::string &
+Event::name() const
+{
+    return _name.empty() ? anonymousEventName : _name;
 }
 
 LambdaEvent::LambdaEvent(std::string name, std::function<void()> fn,
@@ -32,34 +46,22 @@ LambdaEvent::process()
     fn();
 }
 
-namespace {
-
-/**
- * Owned (queue-allocated) one-shot events. Deleted after firing or on
- * deschedule. Kept as a wrapper so EventQueue can recognize them.
- */
-class OwnedLambdaEvent : public LambdaEvent
-{
-  public:
-    using LambdaEvent::LambdaEvent;
-};
-
-} // namespace
-
 EventQueue::EventQueue() = default;
 
 EventQueue::~EventQueue()
 {
-    // Free any owned events still pending.
-    while (!queue.empty()) {
-        Entry e = queue.top();
-        queue.pop();
-        if (e.ev->_scheduled && e.ev->_seq == e.seq) {
+    // Free any queue-owned events still pending or stale in the heap;
+    // releaseRef() parks them in the free list, which we then drain.
+    while (!heap.empty()) {
+        Entry e = popTop();
+        if (live(e)) {
             e.ev->_scheduled = false;
-            if (dynamic_cast<OwnedLambdaEvent *>(e.ev))
-                delete e.ev;
+            e.ev->_when = maxTick;
         }
+        releaseRef(e.ev);
     }
+    for (LambdaEvent *ev : lambdaPool)
+        delete ev;
 }
 
 void
@@ -74,7 +76,9 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->_scheduled = true;
     ev->_when = when;
     ev->_seq = nextSeq++;
-    queue.push(Entry{when, ev->priority(), ev->_seq, ev});
+    ++ev->_heapRefs;
+    heap.push_back(Entry{when, ev->priority(), ev->_seq, ev});
+    std::push_heap(heap.begin(), heap.end(), EntryCompare{});
 }
 
 void
@@ -84,11 +88,15 @@ EventQueue::deschedule(Event *ev)
         return;
     ev->_scheduled = false;
     ev->_when = maxTick;
-    ++numDescheduled;
+    ++numStale;
     // The heap entry stays and is skipped lazily on pop (seq mismatch /
-    // unscheduled flag). Owned one-shots are freed when their stale
-    // entry drains, so a descheduled owned event must stay alive until
-    // then — which it does, because only pop deletes it.
+    // unscheduled flag). Queue-owned one-shots stay alive until their
+    // last stale entry drains or is compacted away; releaseRef() then
+    // recycles them. Once stale entries outnumber live ones, rebuild
+    // the heap without them so churny callers (NIC moderation, TCP
+    // timers) cannot grow it without bound.
+    if (heap.size() >= compactMinEntries && numStale * 2 > heap.size())
+        compact();
 }
 
 void
@@ -102,28 +110,74 @@ Event *
 EventQueue::scheduleLambda(Tick when, std::string name,
                            std::function<void()> fn, int priority)
 {
-    auto *ev = new OwnedLambdaEvent(std::move(name), std::move(fn),
-                                    priority);
+    LambdaEvent *ev;
+    if (!lambdaPool.empty()) {
+        ev = lambdaPool.back();
+        lambdaPool.pop_back();
+        ev->fn = std::move(fn);
+        ev->_priority = priority;
+    } else {
+        ev = new LambdaEvent({}, std::move(fn), priority);
+        ev->_queueOwned = true;
+    }
+    // Names exist for tracing and panic messages; only pay for the
+    // string while event tracing is on.
+    if (traceEnabled(TraceFlag::Event))
+        ev->setName(std::move(name));
     schedule(ev, when);
     return ev;
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    std::pop_heap(heap.begin(), heap.end(), EntryCompare{});
+    Entry e = heap.back();
+    heap.pop_back();
+    return e;
+}
+
+void
+EventQueue::releaseRef(Event *ev)
+{
+    if (ev->_heapRefs == 0)
+        panic("event '%s' heap refcount underflow", ev->name().c_str());
+    --ev->_heapRefs;
+    if (ev->_queueOwned && !ev->_scheduled && ev->_heapRefs == 0) {
+        // One-shot fired (or was descheduled and fully drained):
+        // release the captured state now, reuse the object later.
+        auto *le = static_cast<LambdaEvent *>(ev);
+        le->fn = nullptr;
+        le->setName({});
+        lambdaPool.push_back(le);
+    }
+}
+
+void
+EventQueue::compact()
+{
+    auto stale = [](const Entry &e) { return !live(e); };
+    for (Entry &e : heap) {
+        if (stale(e))
+            releaseRef(e.ev);
+    }
+    heap.erase(std::remove_if(heap.begin(), heap.end(), stale),
+               heap.end());
+    std::make_heap(heap.begin(), heap.end(), EntryCompare{});
+    numStale = 0;
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!queue.empty()) {
-        Entry e = queue.top();
-        queue.pop();
+    while (!heap.empty()) {
+        Entry e = popTop();
         Event *ev = e.ev;
-        const bool live = ev->_scheduled && ev->_seq == e.seq;
-        if (!live) {
+        if (!live(e)) {
             // Stale entry from a deschedule/reschedule.
-            if (numDescheduled > 0)
-                --numDescheduled;
-            // Owned events are freed when their last stale entry drains
-            // and they are no longer scheduled.
-            if (!ev->_scheduled && dynamic_cast<OwnedLambdaEvent *>(ev))
-                delete ev;
+            if (numStale > 0)
+                --numStale;
+            releaseRef(ev);
             continue;
         }
         if (e.when < curTick)
@@ -133,8 +187,7 @@ EventQueue::runOne()
         ev->_when = maxTick;
         ev->process();
         ++numProcessed;
-        if (!ev->_scheduled && dynamic_cast<OwnedLambdaEvent *>(ev))
-            delete ev;
+        releaseRef(ev);
         return true;
     }
     return false;
@@ -143,19 +196,13 @@ EventQueue::runOne()
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!queue.empty()) {
-        const Entry &top = queue.top();
-        Event *ev = top.ev;
-        const bool live = ev->_scheduled && ev->_seq == top.seq;
-        if (!live) {
-            Entry e = top;
-            queue.pop();
-            if (numDescheduled > 0)
-                --numDescheduled;
-            if (!e.ev->_scheduled &&
-                dynamic_cast<OwnedLambdaEvent *>(e.ev)) {
-                delete e.ev;
-            }
+    while (!heap.empty()) {
+        const Entry &top = heap.front();
+        if (!live(top)) {
+            Entry e = popTop();
+            if (numStale > 0)
+                --numStale;
+            releaseRef(e.ev);
             continue;
         }
         if (top.when > until)

@@ -6,6 +6,18 @@
  * completions, timer ticks, scheduler balancing) is an Event scheduled on
  * one global EventQueue. Events at the same tick are delivered in
  * (priority, insertion-order) order so runs are deterministic.
+ *
+ * The queue is built for the per-packet hot path:
+ *  - scheduling is allocation-free (a binary heap over a plain vector);
+ *  - one-shot callbacks created through scheduleLambda() are drawn from
+ *    a free list and recycled after firing instead of new/delete'd;
+ *  - deschedule() is O(1) lazy deletion, and the heap is compacted in
+ *    place once stale entries outnumber live ones, so
+ *    deschedule/reschedule storms cannot grow the heap unboundedly.
+ *
+ * None of this can change delivery order: the (when, priority, seq)
+ * comparator is a strict total order (seq is unique), so any heap over
+ * the same live entries pops in the same sequence.
  */
 
 #ifndef NETAFFINITY_SIM_EVENT_QUEUE_HH
@@ -13,7 +25,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -45,7 +56,7 @@ class Event
         statsPrio = 30,    ///< sampling / statistics
     };
 
-    explicit Event(std::string name = "event", int priority = defaultPrio);
+    explicit Event(std::string name = {}, int priority = defaultPrio);
     virtual ~Event();
 
     Event(const Event &) = delete;
@@ -61,10 +72,14 @@ class Event
     Tick when() const { return _when; }
 
     /** @return descriptive name for tracing and panics. */
-    const std::string &name() const { return _name; }
+    const std::string &name() const;
 
     /** @return same-tick delivery priority. */
     int priority() const { return _priority; }
+
+  protected:
+    /** Rename (pooled events reuse one object for many callbacks). */
+    void setName(std::string name) { _name = std::move(name); }
 
   private:
     friend class EventQueue;
@@ -72,6 +87,8 @@ class Event
     std::string _name;
     int _priority;
     bool _scheduled = false;
+    bool _queueOwned = false;   ///< created (and recycled) by the queue
+    std::uint32_t _heapRefs = 0;///< entries (live + stale) in the heap
     Tick _when = maxTick;
     std::uint64_t _seq = 0; ///< insertion order for deterministic ties
 };
@@ -86,6 +103,7 @@ class LambdaEvent : public Event
     void process() override;
 
   private:
+    friend class EventQueue;
     std::function<void()> fn;
 };
 
@@ -93,8 +111,8 @@ class LambdaEvent : public Event
  * The global time-ordered event queue.
  *
  * Owns current simulated time. Does not own events, except those
- * scheduled through scheduleLambda(), which are deleted after firing
- * or at queue destruction.
+ * scheduled through scheduleLambda(), which are recycled into an
+ * internal free list after firing and freed at queue destruction.
  */
 class EventQueue
 {
@@ -121,19 +139,30 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /**
-     * Schedule a one-shot callback; the queue owns and frees the
-     * underlying event after it fires.
+     * Schedule a one-shot callback; the queue owns the underlying event
+     * and recycles it after it fires.
+     *
+     * The name is stored only while TraceFlag::Event tracing is enabled
+     * — hot-path callers should avoid building per-call name strings at
+     * all (see net::Wire/net::Nic, which use pooled typed events).
+     *
      * @return the created event (valid until it fires).
      */
     Event *scheduleLambda(Tick when, std::string name,
                           std::function<void()> fn,
                           int priority = Event::defaultPrio);
 
-    /** @return true if no events are pending. */
-    bool empty() const { return queue.empty(); }
+    /** @return true if no live events are pending. */
+    bool empty() const { return heap.size() == numStale; }
 
-    /** @return number of pending events. */
-    std::size_t size() const { return queue.size(); }
+    /** @return number of pending (live, not descheduled) events. */
+    std::size_t size() const { return heap.size() - numStale; }
+
+    /**
+     * @return raw heap slots, including stale lazily-deleted entries
+     *         (observability for compaction tests and stats).
+     */
+    std::size_t heapEntries() const { return heap.size(); }
 
     /** @return number of events processed since construction. */
     std::uint64_t processedCount() const { return numProcessed; }
@@ -160,6 +189,9 @@ class EventQueue
 
     struct EntryCompare
     {
+        // std::push_heap/pop_heap build a max-heap, so "greater"
+        // (later/lower-priority/younger) sorts away from the top —
+        // identical ordering to the std::priority_queue this replaces.
         bool
         operator()(const Entry &a, const Entry &b) const
         {
@@ -171,11 +203,32 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue;
+    std::vector<Entry> heap; ///< binary heap under EntryCompare
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numProcessed = 0;
-    std::size_t numDescheduled = 0; ///< stale entries still in the heap
+    std::size_t numStale = 0; ///< stale (descheduled) entries in heap
+
+    /** Free list of recycled queue-owned lambda events. */
+    std::vector<LambdaEvent *> lambdaPool;
+
+    /** Heap size below which compaction is never attempted. */
+    static constexpr std::size_t compactMinEntries = 64;
+
+    /** @return true if @p e still refers to a live scheduling. */
+    static bool live(const Entry &e)
+    {
+        return e.ev->_scheduled && e.ev->_seq == e.seq;
+    }
+
+    /** Pop the top heap entry (caller checked non-empty). */
+    Entry popTop();
+
+    /** Drop one heap reference; recycle idle queue-owned events. */
+    void releaseRef(Event *ev);
+
+    /** Rebuild the heap without its stale entries. */
+    void compact();
 };
 
 } // namespace na::sim

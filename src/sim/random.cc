@@ -21,41 +21,12 @@ Random::splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-Random::rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 void
 Random::seed(std::uint64_t seed_value)
 {
     std::uint64_t sm = seed_value;
     for (auto &word : s)
         word = splitmix64(sm);
-}
-
-std::uint64_t
-Random::next()
-{
-    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
-    const std::uint64_t t = s[1] << 17;
-
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl(s[3], 45);
-
-    return result;
-}
-
-double
-Random::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t
@@ -68,16 +39,6 @@ Random::range(std::uint64_t lo, std::uint64_t hi)
     if (span == 0) // full 64-bit range
         return next();
     return lo + next() % span;
-}
-
-bool
-Random::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
 }
 
 double

@@ -28,16 +28,43 @@ class Random
     void seed(std::uint64_t seed);
 
     /** @return next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+
+        return result;
+    }
 
     /** @return uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        // 53 high bits -> double in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** @return uniform integer in [lo, hi] inclusive. @pre lo <= hi */
     std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
 
     /** @return true with probability p (clamped to [0,1]). */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /** @return exponentially distributed value with the given mean. */
     double exponential(double mean);
@@ -46,7 +73,12 @@ class Random
     std::uint64_t s[4];
 
     static std::uint64_t splitmix64(std::uint64_t &state);
-    static std::uint64_t rotl(std::uint64_t x, int k);
+
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
 };
 
 } // namespace na::sim

@@ -149,6 +149,99 @@ TEST(CacheDeath, BadGeometryIsFatal)
                 ::testing::ExitedWithCode(1), "not divisible");
 }
 
+TEST_F(CacheTest, FindOrInsertMissFillsLine)
+{
+    const auto r = cache.findOrInsert(0x1000, LineState::Shared);
+    EXPECT_FALSE(r.hit());
+    EXPECT_EQ(r.prev, LineState::Invalid);
+    EXPECT_FALSE(r.victim.valid);
+    EXPECT_EQ(cache.misses.value(), 1.0);
+    EXPECT_EQ(cache.hits.value(), 0.0);
+    EXPECT_EQ(cache.probe(0x1000), LineState::Shared);
+}
+
+TEST_F(CacheTest, FindOrInsertHitReportsPreviousStateAndUpgrades)
+{
+    cache.insert(0x1000, LineState::Shared);
+    const auto r = cache.findOrInsert(0x1000, LineState::Modified);
+    EXPECT_TRUE(r.hit());
+    EXPECT_EQ(r.prev, LineState::Shared);
+    EXPECT_EQ(cache.hits.value(), 1.0);
+    EXPECT_EQ(cache.probe(0x1000), LineState::Modified);
+    // A Shared request on a Modified line must not downgrade.
+    const auto r2 = cache.findOrInsert(0x1000, LineState::Shared);
+    EXPECT_EQ(r2.prev, LineState::Modified);
+    EXPECT_EQ(cache.probe(0x1000), LineState::Modified);
+    EXPECT_EQ(cache.validLines(), 1u);
+}
+
+TEST_F(CacheTest, FindOrInsertEvictsExactlyLikeLookupPlusInsert)
+{
+    // Fill one set, touch line 0, then fill a fifth line: the single
+    // merged walk must pick the same LRU victim the split path did
+    // (see LruEvictsLeastRecentlyUsed) and count one eviction.
+    for (int i = 0; i < 4; ++i)
+        cache.insert(static_cast<sim::Addr>(i) * 1024, LineState::Shared);
+    cache.lookup(0);
+    const auto r = cache.findOrInsert(4 * 1024, LineState::Modified);
+    EXPECT_FALSE(r.hit());
+    ASSERT_TRUE(r.victim.valid);
+    EXPECT_EQ(r.victim.lineAddr, 1024u);
+    EXPECT_FALSE(r.victim.dirty);
+    EXPECT_EQ(cache.evictions.value(), 1.0);
+    EXPECT_EQ(cache.writebacks.value(), 0.0);
+    EXPECT_EQ(cache.probe(4 * 1024), LineState::Modified);
+}
+
+TEST_F(CacheTest, FindOrInsertDirtyVictimCountsWriteback)
+{
+    for (int i = 0; i < 4; ++i)
+        cache.insert(static_cast<sim::Addr>(i) * 1024,
+                     LineState::Modified);
+    const auto r = cache.findOrInsert(4 * 1024, LineState::Shared);
+    ASSERT_TRUE(r.victim.valid);
+    EXPECT_TRUE(r.victim.dirty);
+    EXPECT_EQ(cache.writebacks.value(), 1.0);
+}
+
+TEST_F(CacheTest, SetModifiedIfPresentReportsPresence)
+{
+    EXPECT_FALSE(cache.setModifiedIfPresent(0x6000)); // absent: no panic
+    cache.insert(0x6000, LineState::Shared);
+    EXPECT_TRUE(cache.setModifiedIfPresent(0x6000));
+    EXPECT_EQ(cache.probe(0x6000), LineState::Modified);
+    EXPECT_TRUE(cache.setModifiedIfPresent(0x6000)); // already Modified
+}
+
+TEST_F(CacheTest, MruMemoSurvivesInvalidationAndFlush)
+{
+    // The fast path memoizes the most recently touched line; an
+    // invalidation or flush must not let the memo report a stale hit.
+    cache.insert(0x2000, LineState::Shared);
+    EXPECT_EQ(cache.lookup(0x2000), LineState::Shared); // memo primed
+    cache.invalidate(0x2000);
+    EXPECT_EQ(cache.lookup(0x2000), LineState::Invalid);
+    EXPECT_EQ(cache.snoopInvalidations.value(), 1.0);
+
+    cache.insert(0x2000, LineState::Modified);
+    EXPECT_EQ(cache.lookup(0x2000), LineState::Modified);
+    cache.flushAll();
+    EXPECT_EQ(cache.probe(0x2000), LineState::Invalid);
+    EXPECT_EQ(cache.lookup(0x2000), LineState::Invalid);
+}
+
+TEST_F(CacheTest, MruMemoDistinguishesLinesInOneSet)
+{
+    // Two lines mapping to the same set: alternating lookups must each
+    // revalidate against the full tag, not just the memoized way.
+    cache.insert(0x0, LineState::Shared);
+    cache.insert(1024, LineState::Modified); // same set, different tag
+    EXPECT_EQ(cache.lookup(0x0), LineState::Shared);
+    EXPECT_EQ(cache.lookup(1024), LineState::Modified);
+    EXPECT_EQ(cache.lookup(0x0), LineState::Shared);
+    EXPECT_EQ(cache.hits.value(), 3.0);
+}
+
 TEST_F(CacheTest, DifferentSetsDoNotConflict)
 {
     // Fill way beyond one set's capacity across different sets.

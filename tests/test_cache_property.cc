@@ -159,6 +159,70 @@ TEST_P(CacheVsReference, InvalidationsAgree)
               static_cast<std::uint64_t>(sets) * assoc);
 }
 
+/**
+ * The merged findOrInsert fast path against the composed
+ * lookup -> insert -> setModified sequence it replaced: same hit/miss
+ * answers, same victims, same counters, on a mixed stream of reads,
+ * writes, snoop invalidations, and snoop downgrades. This is the
+ * equivalence the hierarchy's bit-identical results rest on.
+ */
+TEST_P(CacheVsReference, FindOrInsertMatchesComposedPath)
+{
+    const auto [assoc, line, seed] = GetParam();
+    const unsigned sets = 8;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(sets) * assoc * line;
+    stats::Group root(nullptr, "");
+    Cache merged(&root, "m", bytes, assoc, line);
+    Cache composed(&root, "c", bytes, assoc, line);
+    sim::Random rng(seed * 97 + 13);
+
+    for (int i = 0; i < 12000; ++i) {
+        const sim::Addr addr = rng.range(0, 1u << 16);
+        if (rng.chance(0.08)) {
+            ASSERT_EQ(merged.invalidate(addr), composed.invalidate(addr))
+                << "invalidate divergence at access " << i;
+            continue;
+        }
+        if (rng.chance(0.08)) {
+            ASSERT_EQ(merged.downgrade(addr), composed.downgrade(addr))
+                << "downgrade divergence at access " << i;
+            continue;
+        }
+        const bool write = rng.chance(0.3);
+        const LineState want =
+            write ? LineState::Modified : LineState::Shared;
+
+        // Composed legacy path (what CacheHierarchy::access used to do).
+        const LineState prev = composed.lookup(addr);
+        Cache::Victim victim;
+        if (prev == LineState::Invalid)
+            victim = composed.insert(addr, want);
+        else if (write && prev != LineState::Modified)
+            composed.setModified(addr);
+
+        const auto r = merged.findOrInsert(addr, want);
+        ASSERT_EQ(r.prev, prev) << "state divergence at access " << i
+                                << " addr " << addr;
+        ASSERT_EQ(r.victim.valid, victim.valid)
+            << "victim divergence at access " << i;
+        if (victim.valid) {
+            ASSERT_EQ(r.victim.lineAddr, victim.lineAddr)
+                << "victim address divergence at access " << i;
+            ASSERT_EQ(r.victim.dirty, victim.dirty)
+                << "victim dirtiness divergence at access " << i;
+        }
+    }
+
+    EXPECT_EQ(merged.hits.value(), composed.hits.value());
+    EXPECT_EQ(merged.misses.value(), composed.misses.value());
+    EXPECT_EQ(merged.evictions.value(), composed.evictions.value());
+    EXPECT_EQ(merged.writebacks.value(), composed.writebacks.value());
+    EXPECT_EQ(merged.snoopInvalidations.value(),
+              composed.snoopInvalidations.value());
+    EXPECT_EQ(merged.validLines(), composed.validLines());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Geometries, CacheVsReference,
     ::testing::Values(Geometry{1, 64, 1}, Geometry{2, 64, 2},

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <vector>
 
 #include "src/sim/event_queue.hh"
@@ -258,6 +259,90 @@ TEST(EventQueue, DrainedStaleEntriesDoNotDisturbOrder)
     eq.schedule(&a, 110);
     eq.runUntil(200);
     EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, DescheduleStormDoesNotGrowHeapUnboundedly)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    std::deque<Recorder> evs;
+    for (int i = 0; i < 128; ++i)
+        evs.emplace_back(log, i);
+
+    Tick when = 1000;
+    for (auto &ev : evs)
+        eq.schedule(&ev, when += 10);
+
+    // The Nic-moderation / Processor-tick pattern: every event is
+    // repeatedly pulled forward. Lazy deletion leaves a stale entry per
+    // deschedule; compaction must keep total heap slots bounded by a
+    // small multiple of the live count rather than the churn count.
+    for (int round = 0; round < 1000; ++round) {
+        for (auto &ev : evs)
+            eq.deschedule(&ev);
+        for (auto &ev : evs)
+            eq.schedule(&ev, when += 10);
+    }
+    EXPECT_EQ(eq.size(), evs.size());
+    EXPECT_LE(eq.heapEntries(), 4 * evs.size());
+
+    // All 128 still fire, in schedule order, exactly once.
+    eq.runUntil(when + 1);
+    EXPECT_EQ(log.size(), evs.size());
+    for (int i = 0; i < 128; ++i)
+        EXPECT_EQ(log[i], i);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, OrderAndProcessedCountSurviveCompaction)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    std::deque<Recorder> evs;
+    for (int i = 0; i < 200; ++i)
+        evs.emplace_back(log, i);
+
+    // Schedule everyone, then cancel the odd ids with enough churn on
+    // the evens to force at least one in-place compaction while the
+    // odd events' stale entries are still in the heap.
+    for (int i = 0; i < 200; ++i)
+        eq.schedule(&evs[i], 10'000 + static_cast<Tick>(i));
+    for (int i = 1; i < 200; i += 2)
+        eq.deschedule(&evs[i]);
+    for (int round = 0; round < 50; ++round)
+        for (int i = 0; i < 200; i += 2)
+            eq.reschedule(&evs[i], 10'000 + static_cast<Tick>(i));
+    EXPECT_EQ(eq.size(), 100u);
+
+    eq.runUntil(20'000);
+    ASSERT_EQ(log.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(log[i], 2 * i); // ascending evens, no odd fired
+    EXPECT_EQ(eq.processedCount(), 100u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.heapEntries(), 0u);
+}
+
+TEST(EventQueue, LambdaEventsAreRecycledThroughThePool)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event *first = eq.scheduleLambda(10, "a", [&fired] { ++fired; });
+    ASSERT_TRUE(eq.runOne());
+    // The fired event returns to the free list and the next
+    // scheduleLambda reuses it instead of allocating.
+    Event *second = eq.scheduleLambda(20, "b", [&fired] { ++fired; });
+    EXPECT_EQ(first, second);
+    ASSERT_TRUE(eq.runOne());
+    EXPECT_EQ(fired, 2);
+
+    // Pool recycling must not break same-tick FIFO ordering among
+    // equal-priority lambdas.
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleLambda(100, "seq", [&order, i] { order.push_back(i); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
 }
 
 TEST(Trace, FlagsGateEmission)
