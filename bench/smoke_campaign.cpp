@@ -61,8 +61,16 @@ main()
     core::Campaign::Options parallel;
     parallel.numThreads = 2;
 
-    const core::ResultSet a = core::Campaign::run(points, serial);
-    const core::ResultSet b = core::Campaign::run(points, parallel);
+    core::ResultSet a, b;
+    try {
+        a = core::Campaign::run(points, serial);
+        b = core::Campaign::run(points, parallel);
+    } catch (const std::exception &e) {
+        // Campaign errors name the failing point and its SystemConfig
+        // summary; print them instead of dying on an unlabeled throw.
+        std::fprintf(stderr, "smoke: %s\n", e.what());
+        return 1;
+    }
 
     if (a.size() != 2 || b.size() != 2) {
         std::fprintf(stderr, "smoke: expected 2 results, got %zu/%zu\n",

@@ -9,6 +9,8 @@
  *                                   [--size BYTES] [--loss P]
  *                                   [--threads N] [--seed S]
  *                                   [--json PATH]
+ *                                   [--steering static|rss|fd]
+ *                                   [--queues N]
  */
 
 #include <cstdio>
@@ -55,11 +57,30 @@ main(int argc, char **argv)
                 std::strtoull(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--steering") && i + 1 < argc) {
+            const char *kind = argv[++i];
+            if (!std::strcmp(kind, "static")) {
+                cfg.steering.kind = net::SteeringKind::StaticPaper;
+            } else if (!std::strcmp(kind, "rss")) {
+                cfg.steering.kind = net::SteeringKind::Rss;
+            } else if (!std::strcmp(kind, "fd") ||
+                       !std::strcmp(kind, "flow_director")) {
+                cfg.steering.kind = net::SteeringKind::FlowDirector;
+            } else {
+                std::fprintf(stderr,
+                             "unknown steering policy '%s' (want "
+                             "static, rss, or fd)\n",
+                             kind);
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--queues") && i + 1 < argc) {
+            cfg.steering.numQueues = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--rx] [--conns N] [--cpus N] "
                          "[--size BYTES] [--loss P] [--threads N] "
-                         "[--seed S] [--json PATH]\n",
+                         "[--seed S] [--json PATH] "
+                         "[--steering static|rss|fd] [--queues N]\n",
                          argv[0]);
             return 2;
         }
@@ -71,6 +92,14 @@ main(int argc, char **argv)
                     : "ttcp receive",
                 cfg.ttcp.msgSize, cfg.numConnections,
                 cfg.platform.numCpus);
+    if (cfg.steering.kind != net::SteeringKind::StaticPaper ||
+        cfg.steering.numQueues != 1) {
+        std::printf("steering: %s, %d RX queue(s) per NIC\n\n",
+                    std::string(
+                        net::steeringKindName(cfg.steering.kind))
+                        .c_str(),
+                    cfg.steering.numQueues);
+    }
 
     core::ResultSet results;
     try {

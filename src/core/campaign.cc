@@ -112,9 +112,10 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
         try {
             points[i].config.validate();
         } catch (const std::exception &e) {
-            throw std::runtime_error(
-                sim::format("campaign point %zu (%s): %s", i,
-                            points[i].label.c_str(), e.what()));
+            throw std::runtime_error(sim::format(
+                "campaign point %zu (%s) [%s]: %s", i,
+                points[i].label.c_str(),
+                points[i].config.summary().c_str(), e.what()));
         }
     }
 
@@ -134,6 +135,8 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
                     options.systemHook(system, points[i], i);
                 results[i] =
                     Experiment::measure(system, points[i].schedule);
+                if (options.resultHook)
+                    options.resultHook(system, points[i], i, results[i]);
             } catch (const std::exception &e) {
                 errors[i] = e.what();
             }
@@ -159,9 +162,10 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         if (!errors[i].empty()) {
-            throw std::runtime_error(
-                sim::format("campaign point %zu (%s) failed: %s", i,
-                            points[i].label.c_str(), errors[i].c_str()));
+            throw std::runtime_error(sim::format(
+                "campaign point %zu (%s) [%s] failed: %s", i,
+                points[i].label.c_str(),
+                points[i].config.summary().c_str(), errors[i].c_str()));
         }
     }
 

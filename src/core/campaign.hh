@@ -119,6 +119,17 @@ class Campaign
          */
         std::function<void(System &, const CampaignPoint &, std::size_t)>
             systemHook;
+
+        /**
+         * Optional hook invoked on the worker thread after the
+         * measurement protocol, while the System is still alive — e.g.
+         * to read steering-policy statistics or per-NIC counters that
+         * RunResult does not carry. May annotate the result. The same
+         * per-index-slot rule as systemHook applies.
+         */
+        std::function<void(System &, const CampaignPoint &, std::size_t,
+                           RunResult &)>
+            resultHook;
     };
 
     /**

@@ -96,6 +96,16 @@ Experiment::extract(System &system, double seconds,
     for (std::size_t e = 0; e < prof::numEvents; ++e)
         r.eventTotals[e] = acct.total(static_cast<prof::Event>(e));
 
+    r.steeringPolicy = std::string(system.steering().name());
+    r.rxFramesPerQueue.assign(
+        static_cast<std::size_t>(system.steering().numQueues()), 0);
+    for (int i = 0; i < system.numConnections(); ++i) {
+        const net::Nic &nic = system.nic(i);
+        for (int q = 0; q < nic.numRxQueues(); ++q)
+            r.rxFramesPerQueue[static_cast<std::size_t>(q)] +=
+                nic.rxFramesOnQueue(q);
+    }
+
     return r;
 }
 

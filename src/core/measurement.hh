@@ -8,6 +8,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/prof/bins.hh"
 
@@ -54,6 +56,14 @@ struct RunResult
     std::uint64_t ipis = 0;
     std::uint64_t migrations = 0;
     std::uint64_t contextSwitches = 0;
+
+    /**
+     * Frames received per NIC RX queue, summed across NICs (size =
+     * the steering policy's queue count; one entry pre-steering).
+     */
+    std::vector<std::uint64_t> rxFramesPerQueue;
+    /** Steering policy token this run used ("static", "rss", ...). */
+    std::string steeringPolicy = "static";
 
     /** @return events normalized per sink byte (work done). */
     double

@@ -364,7 +364,7 @@ void
 writeResultsJson(std::ostream &os, const ResultSet &results)
 {
     os << "{\n";
-    os << "  \"schema_version\": 1,\n";
+    os << "  \"schema_version\": 2,\n";
     os << "  \"campaign_seed\": " << results.campaignSeed << ",\n";
     os << "  \"threads\": " << results.threadsUsed << ",\n";
     os << "  \"points\": [";
@@ -380,7 +380,9 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
            << ", \"affinity\": \"" << affinityToken(c.affinity)
            << "\", \"connections\": " << c.numConnections
            << ", \"cpus\": " << c.platform.numCpus
-           << ", \"seed\": " << c.platform.seed << "},\n";
+           << ", \"seed\": " << c.platform.seed << ", \"steering\": \""
+           << steeringKindName(c.steering.kind) << "\", \"queues\": "
+           << c.steering.numQueues << "},\n";
         os << "      \"result\": {\n";
         os << "        \"seconds\": " << dbl(r.seconds) << ",\n";
         os << "        \"payload_bytes\": " << r.payloadBytes << ",\n";
@@ -397,6 +399,10 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
         os << "        \"irqs\": " << r.irqs << ", \"ipis\": " << r.ipis
            << ", \"migrations\": " << r.migrations
            << ", \"context_switches\": " << r.contextSwitches << ",\n";
+        os << "        \"rx_frames_per_queue\": [";
+        for (std::size_t q = 0; q < r.rxFramesPerQueue.size(); ++q)
+            os << (q ? ", " : "") << r.rxFramesPerQueue[q];
+        os << "],\n";
         os << "        \"event_totals\": {";
         for (std::size_t e = 0; e < prof::numEvents; ++e) {
             os << (e ? ", " : "") << '"'
@@ -429,7 +435,7 @@ readResultsJson(std::istream &is)
     const JsonValue root = parser.parse();
     if (root.kind != JsonValue::Kind::Object)
         throw std::runtime_error("results json: root is not an object");
-    if (static_cast<int>(root.num("schema_version")) != 1)
+    if (static_cast<int>(root.num("schema_version")) != 2)
         throw std::runtime_error(
             "results json: unsupported schema_version");
 
@@ -452,6 +458,9 @@ readResultsJson(std::istream &is)
         rec.connections = static_cast<int>(cfg.num("connections"));
         rec.cpus = static_cast<int>(cfg.num("cpus"));
         rec.seed = cfg.u64("seed");
+        rec.steering = cfg.str("steering");
+        rec.queues = static_cast<int>(cfg.num("queues"));
+        rec.result.steeringPolicy = rec.steering;
 
         const JsonValue &res = pv.field("result");
         rec.result.seconds = res.num("seconds");
@@ -469,6 +478,9 @@ readResultsJson(std::istream &is)
         rec.result.ipis = res.u64("ipis");
         rec.result.migrations = res.u64("migrations");
         rec.result.contextSwitches = res.u64("context_switches");
+        const JsonValue &per_queue = res.field("rx_frames_per_queue");
+        for (const JsonValue &qv : per_queue.items)
+            rec.result.rxFramesPerQueue.push_back(qv.asU64());
         const JsonValue &events = res.field("event_totals");
         for (std::size_t e = 0; e < prof::numEvents; ++e) {
             const auto ev = static_cast<prof::Event>(e);

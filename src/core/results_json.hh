@@ -2,10 +2,11 @@
  * @file
  * Campaign result export/import as JSON (campaign_results.json).
  *
- * Schema (version 1):
+ * Schema (version 2; v1 lacked the steering fields and
+ * rx_frames_per_queue):
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "campaign_seed": 42,
  *     "threads": 4,
  *     "points": [
@@ -17,7 +18,9 @@
  *           "affinity": "none" | "irq" | "proc" | "full",
  *           "connections": 8,
  *           "cpus": 2,
- *           "seed": 1234567
+ *           "seed": 1234567,
+ *           "steering": "static" | "rss" | "flow_director",
+ *           "queues": 1
  *         },
  *         "result": {
  *           "seconds": 0.05,
@@ -28,6 +31,7 @@
  *           "util_per_cpu": [0.99, 0.97],
  *           "irqs": 1000, "ipis": 12,
  *           "migrations": 3, "context_switches": 450,
+ *           "rx_frames_per_queue": [9000, 8800],
  *           "event_totals": { "cycles": ..., "instructions": ..., ... }
  *         }
  *       }, ...
@@ -66,6 +70,10 @@ struct JsonRunRecord
     int connections = 0;
     int cpus = 0;
     std::uint64_t seed = 0;
+    /** Steering policy token ("static", "rss", "flow_director"). */
+    std::string steering = "static";
+    /** RX queues per NIC the point was provisioned with. */
+    int queues = 1;
     /** Result fields the schema carries (bins stay zeroed). */
     RunResult result;
 };
@@ -79,7 +87,7 @@ struct JsonCampaign
 };
 
 /**
- * Parse a schema-version-1 results stream.
+ * Parse a schema-version-2 results stream.
  * @throws std::runtime_error on malformed input.
  */
 JsonCampaign readResultsJson(std::istream &is);

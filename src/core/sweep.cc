@@ -28,38 +28,59 @@ SweepBuilder::build() const
     const std::vector<AffinityMode> as =
         affinityAxis.empty() ? std::vector<AffinityMode>{baseCfg.affinity}
                              : affinityAxis;
+    const std::vector<net::SteeringConfig> sts =
+        steeringAxis.empty()
+            ? std::vector<net::SteeringConfig>{baseCfg.steering}
+            : steeringAxis;
     const std::vector<Variant> vs =
         variants.empty() ? std::vector<Variant>{{std::string(), nullptr}}
                          : variants;
 
     std::vector<CampaignPoint> points;
-    points.reserve(vs.size() * ms.size() * ss.size() * as.size());
+    points.reserve(vs.size() * ms.size() * ss.size() * as.size() *
+                   sts.size());
     for (const Variant &v : vs) {
         for (workload::TtcpMode m : ms) {
             for (std::uint32_t size : ss) {
                 for (AffinityMode a : as) {
-                    CampaignPoint p;
-                    p.config = baseCfg;
-                    p.config.ttcp.mode = m;
-                    p.config.ttcp.msgSize = size;
-                    p.config.affinity = a;
-                    if (v.mutate)
-                        v.mutate(p.config);
-                    p.schedule = sched;
-                    // Label from the *final* config, so variant
-                    // overrides stay truthful.
-                    p.label = sim::format(
-                        "%s %uB %s",
-                        p.config.ttcp.mode ==
-                                workload::TtcpMode::Transmit
-                            ? "TX"
-                            : "RX",
-                        p.config.ttcp.msgSize,
-                        std::string(affinityName(p.config.affinity))
-                            .c_str());
-                    if (!v.label.empty())
-                        p.label += " [" + v.label + "]";
-                    points.push_back(std::move(p));
+                    for (const net::SteeringConfig &st : sts) {
+                        CampaignPoint p;
+                        p.config = baseCfg;
+                        p.config.ttcp.mode = m;
+                        p.config.ttcp.msgSize = size;
+                        p.config.affinity = a;
+                        p.config.steering = st;
+                        if (v.mutate)
+                            v.mutate(p.config);
+                        p.schedule = sched;
+                        // Label from the *final* config, so variant
+                        // overrides stay truthful.
+                        p.label = sim::format(
+                            "%s %uB %s",
+                            p.config.ttcp.mode ==
+                                    workload::TtcpMode::Transmit
+                                ? "TX"
+                                : "RX",
+                            p.config.ttcp.msgSize,
+                            std::string(affinityName(p.config.affinity))
+                                .c_str());
+                        // The paper's own policy stays unlabelled so
+                        // existing label-keyed lookups keep working.
+                        if (p.config.steering.kind !=
+                                net::SteeringKind::StaticPaper ||
+                            p.config.steering.numQueues != 1) {
+                            p.label += sim::format(
+                                " %s:%dq",
+                                std::string(
+                                    net::steeringKindName(
+                                        p.config.steering.kind))
+                                    .c_str(),
+                                p.config.steering.numQueues);
+                        }
+                        if (!v.label.empty())
+                            p.label += " [" + v.label + "]";
+                        points.push_back(std::move(p));
+                    }
                 }
             }
         }

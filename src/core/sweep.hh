@@ -2,9 +2,9 @@
  * @file
  * Fluent construction of campaign point lists.
  *
- * A SweepBuilder crosses up to four axes — ttcp mode, transaction
- * size, affinity mode, and free-form config variants — over a base
- * SystemConfig and a shared RunSchedule:
+ * A SweepBuilder crosses up to five axes — ttcp mode, transaction
+ * size, affinity mode, steering policy, and free-form config variants
+ * — over a base SystemConfig and a shared RunSchedule:
  *
  *   auto points = core::SweepBuilder()
  *                     .modes({TtcpMode::Transmit, TtcpMode::Receive})
@@ -13,9 +13,10 @@
  *                     .build();
  *
  * Point order is deterministic: variants outermost, then mode, size,
- * and affinity innermost. Axes left unset contribute the base config's
- * value. Variant mutators run last, so a variant may override any
- * field the other axes set (ablation sweeps rely on this).
+ * affinity, and steering innermost. Axes left unset contribute the
+ * base config's value. Variant mutators run last, so a variant may
+ * override any field the other axes set (ablation sweeps rely on
+ * this).
  */
 
 #ifndef NETAFFINITY_CORE_SWEEP_HH
@@ -116,6 +117,36 @@ class SweepBuilder
     /** @} */
 
     /**
+     * @name steering policy axis (innermost)
+     * Non-default policies are reflected in the point label as
+     * " rss:4q"-style suffixes; the default StaticPaper single-queue
+     * config leaves labels untouched.
+     * @{
+     */
+    SweepBuilder &
+    steerings(std::initializer_list<net::SteeringConfig> cs)
+    {
+        steeringAxis.assign(cs.begin(), cs.end());
+        return *this;
+    }
+
+    template <typename Range>
+    SweepBuilder &
+    steerings(const Range &range)
+    {
+        steeringAxis.assign(std::begin(range), std::end(range));
+        return *this;
+    }
+
+    SweepBuilder &
+    steering(const net::SteeringConfig &c)
+    {
+        steeringAxis.assign(1, c);
+        return *this;
+    }
+    /** @} */
+
+    /**
      * Append a free-form variant: @p mutate runs on each generated
      * config after the other axes applied, and @p label is appended to
      * the point label as " [label]". Calling variant() at least once
@@ -139,6 +170,7 @@ class SweepBuilder
     std::vector<workload::TtcpMode> modeAxis;
     std::vector<std::uint32_t> sizeAxis;
     std::vector<AffinityMode> affinityAxis;
+    std::vector<net::SteeringConfig> steeringAxis;
     std::vector<Variant> variants;
 };
 

@@ -47,6 +47,84 @@ SystemConfig::validate() const
             "SystemConfig: ttcp.msgSize must be nonzero (ttcp would "
             "spin on empty read()/write() calls)");
     }
+
+    if (steering.numQueues < 1 ||
+        steering.numQueues > maxModelCpus) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: steering.numQueues must be in [1, %d], got "
+            "%d (one MSI-like vector per queue, bounded by the CPU "
+            "model)",
+            maxModelCpus, steering.numQueues));
+    }
+    if (steering.kind == net::SteeringKind::StaticPaper) {
+        if (steering.numQueues != 1) {
+            throw std::runtime_error(sim::format(
+                "SystemConfig: the static (paper) steering policy is "
+                "single-queue by definition, got numQueues=%d — use "
+                "rss or flow_director for multi-queue",
+                steering.numQueues));
+        }
+        if (!steering.queueCpus.empty()) {
+            throw std::runtime_error(
+                "SystemConfig: steering.queueCpus is meaningless under "
+                "the static (paper) policy (queue 0 follows the "
+                "affinity mode); leave it empty");
+        }
+    }
+    if (steering.rssTableSize < 1 ||
+        (steering.rssTableSize & (steering.rssTableSize - 1)) != 0) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: steering.rssTableSize must be a positive "
+            "power of two (the hash is masked, not divided), got %d",
+            steering.rssTableSize));
+    }
+    if (steering.flowTableSize < 1) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: steering.flowTableSize must be positive, "
+            "got %d",
+            steering.flowTableSize));
+    }
+    if (!steering.queueCpus.empty() &&
+        static_cast<int>(steering.queueCpus.size()) !=
+            steering.numQueues) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: steering.queueCpus must map every queue "
+            "(size %d), got %zu entries",
+            steering.numQueues, steering.queueCpus.size()));
+    }
+    for (std::size_t q = 0; q < steering.queueCpus.size(); ++q) {
+        if (steering.queueCpus[q] < 0 ||
+            steering.queueCpus[q] >= platform.numCpus) {
+            throw std::runtime_error(sim::format(
+                "SystemConfig: steering.queueCpus[%zu] = %d references "
+                "a CPU outside [0, %d) — the interrupt would target a "
+                "CPU that does not exist",
+                q, steering.queueCpus[q], platform.numCpus));
+        }
+    }
+    for (std::size_t i = 0; i < steering.pinCpus.size(); ++i) {
+        if (steering.pinCpus[i] < 0 ||
+            steering.pinCpus[i] >= platform.numCpus) {
+            throw std::runtime_error(sim::format(
+                "SystemConfig: steering.pinCpus[%zu] = %d references a "
+                "CPU outside [0, %d) — the process could never be "
+                "scheduled",
+                i, steering.pinCpus[i], platform.numCpus));
+        }
+    }
+}
+
+std::string
+SystemConfig::summary() const
+{
+    return sim::format(
+        "%s %uB %s x%d, %d cpus, steering=%s q=%d, rot=%llu",
+        ttcp.mode == workload::TtcpMode::Transmit ? "TX" : "RX",
+        ttcp.msgSize, std::string(affinityName(affinity)).c_str(),
+        numConnections, platform.numCpus,
+        std::string(net::steeringKindName(steering.kind)).c_str(),
+        steering.numQueues,
+        static_cast<unsigned long long>(irqRotationTicks));
 }
 
 System::System(const SystemConfig &config)
@@ -58,10 +136,23 @@ System::System(const SystemConfig &config)
     if (cfg.irqRotationTicks > 0)
         kern->irqController().setRotation(cfg.irqRotationTicks);
 
+    // The steering policy decides flow -> queue, queue vector -> CPU,
+    // and process -> CPU for every layer below; the paper's four
+    // affinity modes are the StaticPaper instance of it.
+    net::SteeringTopology topo;
+    topo.numCpus = cfg.platform.numCpus;
+    topo.numNics = cfg.numConnections;
+    topo.paperCpu = [this](int conn) { return cpuForConn(conn); };
+    topo.rotationEnabled = cfg.irqRotationTicks > 0;
+    steerPolicy =
+        net::makeSteeringPolicy(cfg.steering, cfg.affinity, topo);
+
     int pool_slots = cfg.skbPoolSlots;
     if (pool_slots == 0) {
-        // RX rings pin one buffer per descriptor; sndbufs bound TX use.
-        pool_slots = cfg.numConnections * cfg.nic.rxRingSize +
+        // RX rings pin one buffer per descriptor (per queue); sndbufs
+        // bound TX use.
+        pool_slots = cfg.numConnections * cfg.nic.rxRingSize *
+                         cfg.steering.numQueues +
                      cfg.numConnections *
                          (static_cast<int>(cfg.tcp.sndBufBytes /
                                            cfg.tcp.mss) +
@@ -70,8 +161,12 @@ System::System(const SystemConfig &config)
     }
     pool = std::make_unique<net::SkbPool>(this, *kern, pool_slots);
     drv = std::make_unique<net::Driver>(this, *kern, *pool);
+    drv->setSteering(steerPolicy.get());
 
     const workload::TtcpMode mode = cfg.ttcp.mode;
+
+    net::NicConfig nic_cfg = cfg.nic;
+    nic_cfg.numRxQueues = cfg.steering.numQueues;
 
     for (int i = 0; i < cfg.numConnections; ++i) {
         wires.push_back(std::make_unique<net::Wire>(
@@ -80,7 +175,8 @@ System::System(const SystemConfig &config)
             cfg.platform.seed * 131 + static_cast<std::uint64_t>(i)));
         nics.push_back(std::make_unique<net::Nic>(
             this, sim::format("nic%d", i), i, *kern, *pool, *wires[i],
-            cfg.nic));
+            nic_cfg));
+        nics[i]->setSteering(steerPolicy.get());
         drv->attachNic(*nics[i]);
 
         sockets.push_back(std::make_unique<net::Socket>(
@@ -96,24 +192,24 @@ System::System(const SystemConfig &config)
         peers[i]->start();
     }
 
-    // Affinity plumbing: interrupts via smp_affinity, processes via
-    // sched_setaffinity (paper Section 4).
+    // Steering plumbing: per-queue interrupt masks via smp_affinity,
+    // process pins via sched_setaffinity — both provisioned from the
+    // policy (paper Section 4 under StaticPaper).
     for (int i = 0; i < cfg.numConnections; ++i) {
-        if (pinsIrqs(cfg.affinity)) {
+        for (int q = 0; q < nics[i]->numRxQueues(); ++q) {
             kern->irqController().setSmpAffinity(
-                nics[i]->irqVector(), 1u << cpuForConn(i));
+                nics[i]->queueVector(q),
+                steerPolicy->vectorAffinity(i, q));
         }
-        // else: Linux 2.4 default, everything to CPU0 (mask 0x1).
     }
 
     for (int i = 0; i < cfg.numConnections; ++i) {
         apps.push_back(std::make_unique<workload::TtcpApp>(
             this, sim::format("ttcp%d", i), *kern, *sockets[i],
             cfg.ttcp));
-        const std::uint32_t mask =
-            pinsProcs(cfg.affinity) ? (1u << cpuForConn(i)) : 0xffffffffu;
         tasks.push_back(kern->createTask(sim::format("ttcp%d", i),
-                                         apps[i].get(), mask));
+                                         apps[i].get(),
+                                         steerPolicy->taskAffinity(i)));
     }
 
     kern->start();

@@ -19,6 +19,7 @@
 #include "src/cpu/platform_config.hh"
 #include "src/net/driver.hh"
 #include "src/net/nic.hh"
+#include "src/net/steering.hh"
 #include "src/net/peer.hh"
 #include "src/net/skb.hh"
 #include "src/net/socket.hh"
@@ -45,9 +46,17 @@ struct SystemConfig
     /**
      * Linux-2.6-style rotating IRQ distribution interval (0 = static
      * smp_affinity, the paper's setup). Nonzero re-targets every
-     * vector to the next CPU each interval.
+     * vector to the next CPU each interval, within its smp_affinity
+     * mask.
      */
     sim::Tick irqRotationTicks = 0;
+    /**
+     * Flow-steering policy: how flows map to NIC RX queues, queues to
+     * CPUs, and processes to CPUs. The default (StaticPaper, 1 queue)
+     * reproduces the paper's static setup bit-identically; `affinity`
+     * above parameterizes that policy and is ignored by the others.
+     */
+    net::SteeringConfig steering{};
 
     /**
      * Sanity-check the configuration.
@@ -57,6 +66,9 @@ struct SystemConfig
      * produces a half-built simulation.
      */
     void validate() const;
+
+    /** @return compact one-line description for diagnostics. */
+    std::string summary() const;
 };
 
 /** The assembled simulation. */
@@ -82,6 +94,10 @@ class System : public stats::Group
     /** The CPU connection @p i is affined to (under Irq/Proc/Full). */
     sim::CpuId cpuForConn(int i) const;
 
+    /** The steering policy this system was provisioned from. */
+    net::SteeringPolicy &steering() { return *steerPolicy; }
+    const net::SteeringPolicy &steering() const { return *steerPolicy; }
+
     /**
      * Run until every connection's handshake completes.
      * @return true on success before @p deadline.
@@ -106,6 +122,7 @@ class System : public stats::Group
     sim::EventQueue eq;
 
     std::unique_ptr<os::Kernel> kern;
+    std::unique_ptr<net::SteeringPolicy> steerPolicy;
     std::unique_ptr<net::SkbPool> pool;
     std::unique_ptr<net::Driver> drv;
     std::vector<std::unique_ptr<net::Wire>> wires;

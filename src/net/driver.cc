@@ -1,6 +1,7 @@
 #include "src/net/driver.hh"
 
 #include "src/net/socket.hh"
+#include "src/net/steering.hh"
 #include "src/os/exec_context.hh"
 #include "src/os/kernel.hh"
 #include "src/sim/logging.hh"
@@ -26,8 +27,8 @@ Driver::Driver(stats::Group *parent, os::Kernel &kernel_ref,
 void
 Driver::attachNic(Nic &nic)
 {
-    nic.setIsrHook([this](os::ExecContext &ctx, Nic &n) {
-        onIsr(ctx, n);
+    nic.setIsrHook([this](os::ExecContext &ctx, Nic &n, int queue) {
+        onIsr(ctx, n, queue);
     });
     nic.setRxDeliver([this](os::ExecContext &ctx, const Packet &pkt,
                             const SkBuff &skb) {
@@ -65,15 +66,19 @@ Driver::transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
         sim::panic("driver: transmit on unbound connection %d", conn_id);
     // dev_queue_xmit: each device's own queue lock serializes TX
     // submitters (taken inside xmitFrame).
-    it->second.nic->xmitFrame(ctx, pkt, data_addr);
+    if (it->second.nic->xmitFrame(ctx, pkt, data_addr) && steer) {
+        // Flow Director samples posted descriptors to learn
+        // flow -> (transmitting CPU's) queue.
+        steer->noteTransmit(it->second.nic->index(), pkt, ctx.cpuId());
+    }
 }
 
 void
-Driver::onIsr(os::ExecContext &ctx, Nic &nic)
+Driver::onIsr(os::ExecContext &ctx, Nic &nic, int queue)
 {
     const auto cpu = static_cast<std::size_t>(ctx.cpuId());
-    if (queued.insert(&nic).second)
-        pollList[cpu].push_back(&nic);
+    if (queued.insert(pollKey(nic, queue)).second)
+        pollList[cpu].push_back(PollRef{&nic, queue});
     ctx.proc.raiseSoftirq(os::Softirq::NetRx);
 }
 
@@ -87,14 +92,14 @@ Driver::netRxAction(os::ExecContext &ctx)
     const std::size_t rounds = list.size();
     bool more_work = false;
     for (std::size_t i = 0; i < rounds && !list.empty(); ++i) {
-        Nic *nic = list.front();
+        const PollRef ref = list.front();
         list.pop_front();
-        const bool more = nic->clean(ctx, pollBudget);
+        const bool more = ref.nic->clean(ctx, ref.queue, pollBudget);
         if (more) {
-            list.push_back(nic); // stay in the poll rotation
+            list.push_back(ref); // stay in the poll rotation
             more_work = true;
         } else {
-            queued.erase(nic);
+            queued.erase(pollKey(*ref.nic, ref.queue));
         }
     }
     if (more_work)

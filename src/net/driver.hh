@@ -31,6 +31,7 @@ class Kernel;
 namespace na::net {
 
 class Socket;
+class SteeringPolicy;
 
 /** Softirq glue + demux table for the whole stack. */
 class Driver : public stats::Group
@@ -46,6 +47,13 @@ class Driver : public stats::Group
 
     /** Bind a socket (connection) to the NIC that carries it. */
     void bindSocket(Socket &socket, Nic &nic);
+
+    /**
+     * Install the system's steering policy (may be nullptr). The
+     * driver feeds it transmit-side flow observations — the signal
+     * Flow Director's learn-on-transmit path consumes.
+     */
+    void setSteering(SteeringPolicy *policy) { steer = policy; }
 
     /** TX entry used by sockets: route the packet out its NIC. */
     void transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
@@ -68,11 +76,29 @@ class Driver : public stats::Group
         sim::Addr hashBucket = 0; ///< ehash chain head line
     };
 
-    std::unordered_map<int, Binding> bindings;
-    std::vector<std::deque<Nic *>> pollList; ///< per CPU
-    std::unordered_set<Nic *> queued;
+    /** One NET_RX poll-list entry: a NIC RX queue awaiting service. */
+    struct PollRef
+    {
+        Nic *nic = nullptr;
+        int queue = 0;
+    };
 
-    void onIsr(os::ExecContext &ctx, Nic &nic);
+    std::unordered_map<int, Binding> bindings;
+    std::vector<std::deque<PollRef>> pollList; ///< per CPU
+    /** (nic index << 8 | queue) of entries already on some poll list. */
+    std::unordered_set<std::uint64_t> queued;
+    SteeringPolicy *steer = nullptr;
+
+    static std::uint64_t
+    pollKey(const Nic &nic, int queue)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(nic.index()))
+                << 8) |
+               static_cast<std::uint32_t>(queue);
+    }
+
+    void onIsr(os::ExecContext &ctx, Nic &nic, int queue);
     void netRxAction(os::ExecContext &ctx);
     void deliver(os::ExecContext &ctx, const Packet &pkt,
                  const SkBuff &skb);

@@ -2,11 +2,26 @@
 
 #include <cmath>
 
+#include "src/net/steering.hh"
 #include "src/os/exec_context.hh"
 #include "src/os/kernel.hh"
 #include "src/sim/logging.hh"
 
 namespace na::net {
+
+namespace {
+
+std::vector<std::string>
+queueBucketNames(int num_queues)
+{
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(num_queues));
+    for (int q = 0; q < num_queues; ++q)
+        names.push_back(sim::format("q%d", q));
+    return names;
+}
+
+} // namespace
 
 Nic::TxDmaEvent::TxDmaEvent(Nic &nic_ref)
     : sim::Event(nic_ref.groupName() + ".txdma"), nic(nic_ref)
@@ -33,19 +48,25 @@ Nic::TxDoneEvent::process()
     nic.kernel.snoopDomain().dmaWrite(
         nic.txDescBase + static_cast<sim::Addr>(descIdx) * 16, 16);
     nic.pendingTxDone.push_back(PendingTxDone{pkt, descIdx});
-    nic.requestIrq();
+    // TX completions always signal through queue 0's vector (one TX
+    // ring, legacy e1000 wiring).
+    nic.requestIrq(0);
     nic.freeTxDoneEvents.push_back(this);
 }
 
-Nic::ModerationEvent::ModerationEvent(Nic &nic_ref)
-    : sim::Event(nic_ref.groupName() + ".moderation"), nic(nic_ref)
+Nic::ModerationEvent::ModerationEvent(Nic &nic_ref, int queue_idx)
+    : sim::Event(queue_idx == 0
+                     ? nic_ref.groupName() + ".moderation"
+                     : nic_ref.groupName() +
+                           sim::format(".moderation-q%d", queue_idx)),
+      nic(nic_ref), queue(queue_idx)
 {
 }
 
 void
 Nic::ModerationEvent::process()
 {
-    nic.onModerationExpired();
+    nic.onModerationExpired(queue);
 }
 
 Nic::Nic(stats::Group *parent, const std::string &name, int index,
@@ -61,33 +82,57 @@ Nic::Nic(stats::Group *parent, const std::string &name, int index,
       irqsRaised(this, "irqs_raised", "interrupts raised"),
       rxReplenishFailures(this, "rx_replenish_failures",
                           "skb pool empty at RX replenish"),
+      rxFramesPerQueue(this, "rx_frames_per_queue",
+                       "frames received per RX queue",
+                       queueBucketNames(config.numRxQueues)),
       idx(index), kernel(kernel_ref), pool(pool_ref), wire(wire_ref),
       cfg(config),
       txLock(this, "tx_lock", prof::FuncId::LockDevQueue,
-             kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64)),
-      moderationEvent(*this)
+             kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64))
 {
+    if (cfg.numRxQueues < 1)
+        sim::fatal("NIC %d: numRxQueues must be >= 1, got %d", index,
+                   cfg.numRxQueues);
+
+    // Address-space layout and skb-pool draw order below must reduce,
+    // at numRxQueues == 1, to exactly the single-queue sequence (mmio,
+    // rx ring, tx ring, ring priming, vector registration): the
+    // StaticPaper equivalence regression depends on it.
     auto &aspace = kernel.addressSpace();
     mmio = aspace.alloc(mem::Region::Mmio, 4096);
-    rxDescBase = aspace.alloc(mem::Region::NicRings,
-                              static_cast<std::uint64_t>(cfg.rxRingSize) *
-                                  16);
+
+    queues.resize(static_cast<std::size_t>(cfg.numRxQueues));
+    for (auto &q : queues) {
+        q.descBase = aspace.alloc(
+            mem::Region::NicRings,
+            static_cast<std::uint64_t>(cfg.rxRingSize) * 16);
+    }
     txDescBase = aspace.alloc(mem::Region::NicRings,
                               static_cast<std::uint64_t>(cfg.txRingSize) *
                                   16);
 
-    rxRingSkbs.reserve(static_cast<std::size_t>(cfg.rxRingSize));
-    for (int i = 0; i < cfg.rxRingSize; ++i) {
-        SkBuff skb = pool.allocRaw();
-        if (!skb.valid())
-            sim::fatal("skb pool too small to prime NIC %d RX ring",
-                       index);
-        rxRingSkbs.push_back(skb);
+    for (auto &q : queues) {
+        q.ringSkbs.reserve(static_cast<std::size_t>(cfg.rxRingSize));
+        for (int i = 0; i < cfg.rxRingSize; ++i) {
+            SkBuff skb = pool.allocRaw();
+            if (!skb.valid())
+                sim::fatal("skb pool too small to prime NIC %d RX ring",
+                           index);
+            q.ringSkbs.push_back(skb);
+        }
     }
 
-    vector = kernel.irqController().registerVector(
-        name, [this](os::ExecContext &ctx) { isr(ctx); },
-        prof::nicIrqFunc(index));
+    for (int q = 0; q < cfg.numRxQueues; ++q) {
+        // Queue 0 keeps the NIC's own name so single-queue vector
+        // naming (and trace output) matches the pre-steering code.
+        queues[static_cast<std::size_t>(q)].vector =
+            kernel.irqController().registerVector(
+                q == 0 ? name : sim::format("%s-q%d", name.c_str(), q),
+                [this, q](os::ExecContext &ctx) { isr(ctx, q); },
+                prof::nicIrqFunc(index));
+        queues[static_cast<std::size_t>(q)].moderation =
+            std::make_unique<ModerationEvent>(*this, q);
+    }
 
     wire.attachA([this](const Packet &pkt) { onWirePacket(pkt); });
 }
@@ -97,8 +142,10 @@ Nic::~Nic()
     // The event queue may outlive this NIC; take our member and pooled
     // events off it so their destructors don't see them scheduled.
     sim::EventQueue &eq = kernel.eventQueue();
-    if (moderationEvent.scheduled())
-        eq.deschedule(&moderationEvent);
+    for (auto &q : queues) {
+        if (q.moderation->scheduled())
+            eq.deschedule(q.moderation.get());
+    }
     for (auto &ev : txDmaEvents) {
         if (ev->scheduled())
             eq.deschedule(ev.get());
@@ -131,6 +178,15 @@ Nic::allocTxDoneEvent()
     }
     txDoneEvents.push_back(std::make_unique<TxDoneEvent>(*this));
     return txDoneEvents.back().get();
+}
+
+int
+Nic::rxPending() const
+{
+    int total = 0;
+    for (const auto &q : queues)
+        total += static_cast<int>(q.pendingRx.size());
+    return total;
 }
 
 bool
@@ -180,13 +236,19 @@ Nic::xmitFrame(os::ExecContext &ctx, const Packet &pkt,
 void
 Nic::onWirePacket(const Packet &pkt)
 {
-    if (static_cast<int>(pendingRx.size()) >= cfg.rxRingSize) {
+    const int qi = steer ? steer->rxQueue(idx, pkt) : 0;
+    if (qi < 0 || qi >= static_cast<int>(queues.size()))
+        sim::panic("NIC %d: steering chose RX queue %d of %zu", idx, qi,
+                   queues.size());
+    RxQueue &rxq = queues[static_cast<std::size_t>(qi)];
+
+    if (static_cast<int>(rxq.pendingRx.size()) >= cfg.rxRingSize) {
         ++rxDropsRingFull;
         return;
     }
-    const int desc = rxNextDesc;
-    rxNextDesc = (rxNextDesc + 1) % cfg.rxRingSize;
-    const SkBuff &skb = rxRingSkbs[static_cast<std::size_t>(desc)];
+    const int desc = rxq.nextDesc;
+    rxq.nextDesc = (rxq.nextDesc + 1) % cfg.rxRingSize;
+    const SkBuff &skb = rxq.ringSkbs[static_cast<std::size_t>(desc)];
 
     // DMA the frame into the posted buffer and write the descriptor
     // back: every cached copy of those lines dies here, which is why
@@ -196,7 +258,7 @@ Nic::onWirePacket(const Packet &pkt)
     mem::DmaResult dma =
         kernel.snoopDomain().dmaWrite(skb.dataAddr, frame_bytes);
     const mem::DmaResult dma2 = kernel.snoopDomain().dmaWrite(
-        rxDescBase + static_cast<sim::Addr>(desc) * 16, 16);
+        rxq.descBase + static_cast<sim::Addr>(desc) * 16, 16);
     for (int c = 0; c < kernel.numCpus(); ++c) {
         const auto ci = static_cast<std::size_t>(c);
         dma.stolenFrom[ci] += dma2.stolenFrom[ci];
@@ -205,41 +267,48 @@ Nic::onWirePacket(const Packet &pkt)
     }
 
     ++rxFrames;
-    pendingRx.push_back(PendingRx{pkt, skb, desc});
-    requestIrq();
+    rxFramesPerQueue[static_cast<std::size_t>(qi)] += 1;
+    rxq.pendingRx.push_back(PendingRx{pkt, skb, desc});
+    requestIrq(qi);
 }
 
 void
-Nic::requestIrq()
+Nic::requestIrq(int queue)
 {
-    if (masked)
+    RxQueue &rxq = queues[static_cast<std::size_t>(queue)];
+    if (rxq.masked)
         return; // the pending softirq will notice the new work
     const sim::Tick now = kernel.now();
-    if (now >= nextIrqAllowed) {
-        raiseNow();
-    } else if (!moderationEvent.scheduled()) {
-        kernel.eventQueue().schedule(&moderationEvent, nextIrqAllowed);
+    if (now >= rxq.nextIrqAllowed) {
+        raiseNow(queue);
+    } else if (!rxq.moderation->scheduled()) {
+        kernel.eventQueue().schedule(rxq.moderation.get(),
+                                     rxq.nextIrqAllowed);
     }
 }
 
 void
-Nic::onModerationExpired()
+Nic::onModerationExpired(int queue)
 {
-    if (!masked && (!pendingRx.empty() || !pendingTxDone.empty()))
-        raiseNow();
+    RxQueue &rxq = queues[static_cast<std::size_t>(queue)];
+    if (!rxq.masked &&
+        (!rxq.pendingRx.empty() ||
+         (queue == 0 && !pendingTxDone.empty())))
+        raiseNow(queue);
 }
 
 void
-Nic::raiseNow()
+Nic::raiseNow(int queue)
 {
-    masked = true;
-    nextIrqAllowed = kernel.now() + cfg.irqGapTicks;
+    RxQueue &rxq = queues[static_cast<std::size_t>(queue)];
+    rxq.masked = true;
+    rxq.nextIrqAllowed = kernel.now() + cfg.irqGapTicks;
     ++irqsRaised;
-    kernel.irqController().raise(vector);
+    kernel.irqController().raise(rxq.vector);
 }
 
 void
-Nic::isr(os::ExecContext &ctx)
+Nic::isr(os::ExecContext &ctx, int queue)
 {
     // Read ICR (uncached), ack, leave the device masked; the clear for
     // the hardware interrupt is booked to this ISR symbol.
@@ -247,34 +316,39 @@ Nic::isr(os::ExecContext &ctx)
                {cpu::MemTouch{mmio + 0xc0, 4, false}},
                /*overlap=*/1.0, /*async_clears=*/1);
     if (isrHook)
-        isrHook(ctx, *this);
+        isrHook(ctx, *this, queue);
 }
 
 bool
-Nic::clean(os::ExecContext &ctx, int budget)
+Nic::clean(os::ExecContext &ctx, int queue, int budget)
 {
-    // TX completions: descriptor write-backs arrived by DMA.
-    while (!pendingTxDone.empty()) {
-        const PendingTxDone done = pendingTxDone.front();
-        pendingTxDone.pop_front();
-        ctx.charge(prof::FuncId::E1000CleanTx, 100,
-                   {cpu::MemTouch{txDescBase +
-                                      static_cast<sim::Addr>(
-                                          done.descIdx) *
-                                          16,
-                                  16, false}});
-        --txInFlight;
-        if (txComplete)
-            txComplete(ctx, done.pkt);
+    RxQueue &rxq = queues[static_cast<std::size_t>(queue)];
+
+    // TX completions: descriptor write-backs arrived by DMA. They
+    // signal through queue 0, so only its poll pass drains them.
+    if (queue == 0) {
+        while (!pendingTxDone.empty()) {
+            const PendingTxDone done = pendingTxDone.front();
+            pendingTxDone.pop_front();
+            ctx.charge(prof::FuncId::E1000CleanTx, 100,
+                       {cpu::MemTouch{txDescBase +
+                                          static_cast<sim::Addr>(
+                                              done.descIdx) *
+                                              16,
+                                      16, false}});
+            --txInFlight;
+            if (txComplete)
+                txComplete(ctx, done.pkt);
+        }
     }
 
     int processed = 0;
-    while (processed < budget && !pendingRx.empty()) {
-        const PendingRx rx = pendingRx.front();
-        pendingRx.pop_front();
+    while (processed < budget && !rxq.pendingRx.empty()) {
+        const PendingRx rx = rxq.pendingRx.front();
+        rxq.pendingRx.pop_front();
 
         ctx.charge(prof::FuncId::E1000CleanRx, 260,
-                   {cpu::MemTouch{rxDescBase +
+                   {cpu::MemTouch{rxq.descBase +
                                       static_cast<sim::Addr>(rx.descIdx) *
                                           16,
                                   16, true},
@@ -287,7 +361,7 @@ Nic::clean(os::ExecContext &ctx, int budget)
             ++rxReplenishFailures;
             continue;
         }
-        rxRingSkbs[static_cast<std::size_t>(rx.descIdx)] = fresh;
+        rxq.ringSkbs[static_cast<std::size_t>(rx.descIdx)] = fresh;
 
         ctx.charge(prof::FuncId::NetifRx, 60, {});
         if (rxDeliver)
@@ -295,12 +369,13 @@ Nic::clean(os::ExecContext &ctx, int budget)
         ++processed;
     }
 
-    const bool more = !pendingRx.empty();
+    const bool more = !rxq.pendingRx.empty();
     if (!more) {
-        masked = false;
+        rxq.masked = false;
         // Work may have arrived between the last pop and the unmask.
-        if (!pendingRx.empty() || !pendingTxDone.empty())
-            requestIrq();
+        if (!rxq.pendingRx.empty() ||
+            (queue == 0 && !pendingTxDone.empty()))
+            requestIrq(queue);
     }
     return more;
 }

@@ -1,16 +1,19 @@
 /**
  * @file
- * Gigabit NIC model (e1000-flavoured).
+ * Gigabit NIC model (e1000-flavoured), multi-queue capable.
  *
- * RX: arriving frames are DMA-written into pre-posted ring buffers —
- * invalidating any cached copies, which is why receive-side payload is
- * always cache-cold — and an interrupt is raised subject to moderation
- * (min gap between interrupts; the line stays masked until the softirq
- * drains the ring, NAPI-style).
+ * RX: arriving frames are steered to an RX queue by the system's
+ * SteeringPolicy (queue 0 when none is installed), DMA-written into
+ * that queue's pre-posted ring buffers — invalidating any cached
+ * copies, which is why receive-side payload is always cache-cold — and
+ * the queue's MSI-like vector is raised subject to per-queue moderation
+ * (min gap between interrupts; the vector stays masked until the
+ * softirq drains the queue, NAPI-style).
  *
  * TX: the driver posts descriptors; the NIC DMA-reads payloads (snoop
  * downgrade, no CPU cost) and serializes onto the wire; completions are
- * written back by DMA and signaled through the same moderated vector.
+ * written back by DMA and signaled through queue 0's moderated vector
+ * (legacy e1000 behaviour — there is one TX ring).
  */
 
 #ifndef NETAFFINITY_NET_NIC_HH
@@ -36,11 +39,15 @@ class Kernel;
 
 namespace na::net {
 
+class SteeringPolicy;
+
 /** NIC tunables. */
 struct NicConfig
 {
-    int rxRingSize = 256;
+    int rxRingSize = 256; ///< descriptors per RX queue
     int txRingSize = 256;
+    /** RX queues (each with its own ring, vector, moderation). */
+    int numRxQueues = 1;
     /** Minimum ticks between interrupts (moderation / ITR). */
     sim::Tick irqGapTicks = 32'000; ///< 16 us at 2 GHz
     /** DMA engine latency from doorbell to wire handoff. */
@@ -64,16 +71,30 @@ class Nic : public stats::Group
     ~Nic();
 
     int index() const { return idx; }
-    int irqVector() const { return vector; }
+    /** Vector of queue 0 (the only vector for single-queue NICs). */
+    int irqVector() const { return queues[0].vector; }
+    /** Vector registered for RX queue @p q. */
+    int queueVector(int q) const
+    {
+        return queues[static_cast<std::size_t>(q)].vector;
+    }
+    int numRxQueues() const { return static_cast<int>(queues.size()); }
     sim::Addr mmioAddr() const { return mmio; }
 
-    /** ISR tail hook: the Driver queues this NIC for NET_RX polling. */
-    using IsrHook = std::function<void(os::ExecContext &, Nic &)>;
+    /** ISR tail hook: the Driver queues (NIC, queue) for NET_RX. */
+    using IsrHook =
+        std::function<void(os::ExecContext &, Nic &, int queue)>;
 
     /** Install the softirq-side handlers (done by the Driver). */
     void setRxDeliver(RxDeliver cb) { rxDeliver = std::move(cb); }
     void setTxComplete(TxComplete cb) { txComplete = std::move(cb); }
     void setIsrHook(IsrHook cb) { isrHook = std::move(cb); }
+
+    /**
+     * Install the flow-steering policy consulted per arriving frame
+     * (nullptr: everything lands on queue 0, the pre-steering model).
+     */
+    void setSteering(SteeringPolicy *policy) { steer = policy; }
 
     /**
      * Driver TX entry (e1000_xmit_frame context, already charged by the
@@ -84,21 +105,38 @@ class Nic : public stats::Group
     bool xmitFrame(os::ExecContext &ctx, const Packet &pkt,
                    sim::Addr data_addr);
 
-    /** ISR top half: ack/mask the device, schedule the bottom half. */
-    void isr(os::ExecContext &ctx);
+    /** ISR top half: ack/mask the queue's vector, schedule bottom half. */
+    void isr(os::ExecContext &ctx, int queue);
 
     /**
-     * Softirq bottom half: clean TX completions and deliver up to
-     * @p budget received frames upstack, replenishing the ring.
+     * Softirq bottom half for one queue: clean TX completions (queue 0
+     * only) and deliver up to @p budget received frames upstack,
+     * replenishing the ring.
      * @return true if work remains (caller should re-poll).
      */
-    bool clean(os::ExecContext &ctx, int budget);
+    bool clean(os::ExecContext &ctx, int queue, int budget);
 
-    /** @return frames waiting in the RX ring. */
-    int rxPending() const { return static_cast<int>(pendingRx.size()); }
+    /** @return frames waiting across all RX queues. */
+    int rxPending() const;
 
-    /** @return true if the device currently has its interrupt masked. */
-    bool irqMasked() const { return masked; }
+    /** @return frames waiting in RX queue @p q. */
+    int
+    rxPending(int q) const
+    {
+        return static_cast<int>(
+            queues[static_cast<std::size_t>(q)].pendingRx.size());
+    }
+
+    /** @return true if queue 0's vector is currently masked. */
+    bool irqMasked() const { return queues[0].masked; }
+
+    /** @return frames received on queue @p q (steering diagnostics). */
+    std::uint64_t
+    rxFramesOnQueue(int q) const
+    {
+        return static_cast<std::uint64_t>(
+            rxFramesPerQueue[static_cast<std::size_t>(q)]);
+    }
 
     stats::Scalar rxFrames;
     stats::Scalar txFrames;
@@ -106,6 +144,7 @@ class Nic : public stats::Group
     stats::Scalar txDropsRingFull;
     stats::Scalar irqsRaised;
     stats::Scalar rxReplenishFailures;
+    stats::Vector rxFramesPerQueue;
 
   private:
     struct PendingRx
@@ -154,15 +193,29 @@ class Nic : public stats::Group
         Nic &nic;
     };
 
-    /** Interrupt-moderation delay; at most one pending per NIC. */
+    /** Interrupt-moderation delay; at most one pending per queue. */
     class ModerationEvent : public sim::Event
     {
       public:
-        explicit ModerationEvent(Nic &nic_ref);
+        ModerationEvent(Nic &nic_ref, int queue_idx);
         void process() override;
 
       private:
         Nic &nic;
+        int queue;
+    };
+
+    /** Per-RX-queue ring, vector, and moderation state. */
+    struct RxQueue
+    {
+        int vector = -1;
+        sim::Addr descBase = 0;
+        std::vector<SkBuff> ringSkbs; ///< pre-posted buffers per desc
+        std::deque<PendingRx> pendingRx;
+        int nextDesc = 0;
+        bool masked = false; ///< ISR taken, softirq not yet done
+        sim::Tick nextIrqAllowed = 0;
+        std::unique_ptr<ModerationEvent> moderation;
     };
 
     int idx;
@@ -170,24 +223,16 @@ class Nic : public stats::Group
     SkbPool &pool;
     Wire &wire;
     NicConfig cfg;
-    int vector = -1;
     /** Per-device TX queue lock (dev->queue_lock). */
     os::SpinLock txLock;
 
     sim::Addr mmio = 0;
-    sim::Addr rxDescBase = 0;
     sim::Addr txDescBase = 0;
 
-    std::vector<SkBuff> rxRingSkbs; ///< pre-posted buffers per desc
-    std::deque<PendingRx> pendingRx;
+    std::vector<RxQueue> queues;
     std::deque<PendingTxDone> pendingTxDone;
-    int rxNextDesc = 0;
     int txNextDesc = 0;
     int txInFlight = 0;
-
-    bool masked = false;       ///< ISR taken, softirq not yet done
-    sim::Tick nextIrqAllowed = 0;
-    ModerationEvent moderationEvent;
 
     std::vector<std::unique_ptr<TxDmaEvent>> txDmaEvents;
     std::vector<TxDmaEvent *> freeTxDmaEvents;
@@ -197,14 +242,15 @@ class Nic : public stats::Group
     RxDeliver rxDeliver;
     TxComplete txComplete;
     IsrHook isrHook;
+    SteeringPolicy *steer = nullptr;
 
     TxDmaEvent *allocTxDmaEvent();
     TxDoneEvent *allocTxDoneEvent();
 
     void onWirePacket(const Packet &pkt);
-    void onModerationExpired();
-    void requestIrq();
-    void raiseNow();
+    void onModerationExpired(int queue);
+    void requestIrq(int queue);
+    void raiseNow(int queue);
 };
 
 } // namespace na::net

@@ -42,6 +42,13 @@ InterruptController::setSmpAffinity(int vector, std::uint32_t mask)
 {
     if (mask == 0)
         sim::fatal("smp_affinity mask for vector %d is empty", vector);
+    if (!processors.empty() &&
+        processors.size() < 32 &&
+        (mask & ((1u << processors.size()) - 1u)) == 0) {
+        sim::fatal("smp_affinity mask 0x%x for vector %d names no "
+                   "installed CPU (%zu installed)",
+                   mask, vector, processors.size());
+    }
     vectors.at(static_cast<std::size_t>(vector)).affinity = mask;
 }
 
@@ -54,22 +61,37 @@ InterruptController::smpAffinity(int vector) const
 sim::CpuId
 InterruptController::routeOf(int vector) const
 {
+    const std::uint32_t mask =
+        vectors.at(static_cast<std::size_t>(vector)).affinity;
+
     if (rotationInterval > 0) {
         // Linux-2.6-style delayed rotation: park on one CPU for a
         // while, then hop (staggered per vector so vectors do not move
-        // in lockstep).
+        // in lockstep). The walk stays inside the vector's
+        // smp_affinity mask — a policy-pinned per-queue vector must
+        // never be balanced onto a CPU its policy excluded. With the
+        // full mask this degenerates to the plain modulo walk over all
+        // installed CPUs.
+        std::uint32_t allowed[32];
+        std::uint64_t count = 0;
+        for (std::size_t c = 0; c < processors.size(); ++c) {
+            if ((mask >> c) & 1u)
+                allowed[count++] = static_cast<std::uint32_t>(c);
+        }
+        if (count == 0) {
+            sim::fatal("vector %d smp_affinity 0x%x matches no CPU",
+                       vector, mask);
+        }
         const auto epoch = eq->now() / rotationInterval;
-        const auto n = static_cast<std::uint64_t>(processors.size());
         return static_cast<sim::CpuId>(
-            (epoch * 2654435761ULL + static_cast<std::uint64_t>(vector)) %
-            n);
+            allowed[(epoch * 2654435761ULL +
+                     static_cast<std::uint64_t>(vector)) %
+                    count]);
     }
 
     // Static routing: the lowest allowed CPU gets the interrupt, like
     // a fixed-delivery IO-APIC entry. Mask bits beyond the installed
     // CPUs are ignored.
-    const std::uint32_t mask =
-        vectors.at(static_cast<std::size_t>(vector)).affinity;
     for (std::size_t c = 0; c < processors.size(); ++c) {
         if ((mask >> c) & 1u)
             return static_cast<sim::CpuId>(c);

@@ -50,15 +50,16 @@ EventQueue::EventQueue() = default;
 
 EventQueue::~EventQueue()
 {
-    // Free any queue-owned events still pending or stale in the heap;
-    // releaseRef() parks them in the free list, which we then drain.
+    // Unschedule live events (parking queue-owned ones in the free
+    // list) and drain the free list. Stale entries may point at events
+    // their owners already destroyed — never dereference those.
     while (!heap.empty()) {
         Entry e = popTop();
         if (live(e)) {
             e.ev->_scheduled = false;
             e.ev->_when = maxTick;
+            releaseRef(e.ev);
         }
-        releaseRef(e.ev);
     }
     for (LambdaEvent *ev : lambdaPool)
         delete ev;
@@ -88,13 +89,16 @@ EventQueue::deschedule(Event *ev)
         return;
     ev->_scheduled = false;
     ev->_when = maxTick;
+    staleSeqs.insert(ev->_seq);
     ++numStale;
-    // The heap entry stays and is skipped lazily on pop (seq mismatch /
-    // unscheduled flag). Queue-owned one-shots stay alive until their
-    // last stale entry drains or is compacted away; releaseRef() then
-    // recycles them. Once stale entries outnumber live ones, rebuild
-    // the heap without them so churny callers (NIC moderation, TCP
-    // timers) cannot grow it without bound.
+    // The heap entry stays and is skipped lazily on pop (its seq is in
+    // staleSeqs). The heap ref is dropped NOW, while the event is
+    // certainly alive — after this call the owner may destroy the
+    // event even though a stale entry still names its seq. Once stale
+    // entries outnumber live ones, rebuild the heap without them so
+    // churny callers (NIC moderation, TCP timers) cannot grow it
+    // without bound.
+    releaseRef(ev);
     if (heap.size() >= compactMinEntries && numStale * 2 > heap.size())
         compact();
 }
@@ -102,7 +106,22 @@ EventQueue::deschedule(Event *ev)
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
-    deschedule(ev);
+    if (ev->_scheduled) {
+        // Like deschedule(), but dropping the heap ref by hand: the
+        // releaseRef() path would recycle a queue-owned one-shot into
+        // the free list, and this event is about to be live again.
+        ev->_scheduled = false;
+        ev->_when = maxTick;
+        staleSeqs.insert(ev->_seq);
+        ++numStale;
+        if (ev->_heapRefs == 0)
+            panic("event '%s' heap refcount underflow",
+                  ev->name().c_str());
+        --ev->_heapRefs;
+        if (heap.size() >= compactMinEntries &&
+            numStale * 2 > heap.size())
+            compact();
+    }
     schedule(ev, when);
 }
 
@@ -156,14 +175,15 @@ EventQueue::releaseRef(Event *ev)
 void
 EventQueue::compact()
 {
-    auto stale = [](const Entry &e) { return !live(e); };
-    for (Entry &e : heap) {
-        if (stale(e))
-            releaseRef(e.ev);
-    }
-    heap.erase(std::remove_if(heap.begin(), heap.end(), stale),
+    // Stale entries' refs were dropped at deschedule time; just drop
+    // the entries themselves (without reading their Event pointers).
+    heap.erase(std::remove_if(heap.begin(), heap.end(),
+                              [this](const Entry &e) {
+                                  return !live(e);
+                              }),
                heap.end());
     std::make_heap(heap.begin(), heap.end(), EntryCompare{});
+    staleSeqs.clear();
     numStale = 0;
 }
 
@@ -174,10 +194,11 @@ EventQueue::runOne()
         Entry e = popTop();
         Event *ev = e.ev;
         if (!live(e)) {
-            // Stale entry from a deschedule/reschedule.
+            // Stale entry from a deschedule/reschedule; its event may
+            // already be destroyed, so only the seq record is touched.
+            staleSeqs.erase(e.seq);
             if (numStale > 0)
                 --numStale;
-            releaseRef(ev);
             continue;
         }
         if (e.when < curTick)
@@ -200,9 +221,9 @@ EventQueue::runUntil(Tick until)
         const Entry &top = heap.front();
         if (!live(top)) {
             Entry e = popTop();
+            staleSeqs.erase(e.seq);
             if (numStale > 0)
                 --numStale;
-            releaseRef(e.ev);
             continue;
         }
         if (top.when > until)

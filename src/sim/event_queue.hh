@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/sim/types.hh"
@@ -209,6 +210,15 @@ class EventQueue
     std::uint64_t numProcessed = 0;
     std::size_t numStale = 0; ///< stale (descheduled) entries in heap
 
+    /**
+     * Seqs of descheduled-but-not-yet-drained heap entries. Staleness
+     * is recorded here, keyed by the entry's unique seq, so draining a
+     * stale entry never dereferences its Event pointer — the owner is
+     * free to destroy a descheduled event immediately (destructors
+     * rely on this; the queue member typically outlives the owners).
+     */
+    std::unordered_set<std::uint64_t> staleSeqs;
+
     /** Free list of recycled queue-owned lambda events. */
     std::vector<LambdaEvent *> lambdaPool;
 
@@ -216,9 +226,9 @@ class EventQueue
     static constexpr std::size_t compactMinEntries = 64;
 
     /** @return true if @p e still refers to a live scheduling. */
-    static bool live(const Entry &e)
+    bool live(const Entry &e) const
     {
-        return e.ev->_scheduled && e.ev->_seq == e.seq;
+        return staleSeqs.find(e.seq) == staleSeqs.end();
     }
 
     /** Pop the top heap entry (caller checked non-empty). */

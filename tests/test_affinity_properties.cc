@@ -129,6 +129,44 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
+TEST(AffinityProperty, RotationNeverLeavesProvisionedMask)
+{
+    // 2.6-style IRQ rotation walks the *allowed* set, not all CPUs: a
+    // vector must never be routed to a CPU outside the mask its
+    // steering policy provisioned, no matter how long rotation runs.
+    SystemConfig cfg;
+    cfg.numConnections = 2;
+    cfg.platform.numCpus = 4;
+    cfg.ttcp.mode = workload::TtcpMode::Receive;
+    cfg.ttcp.msgSize = 65536;
+    cfg.affinity = AffinityMode::None;
+    cfg.irqRotationTicks = 500'000;
+    cfg.steering.kind = net::SteeringKind::Rss;
+    cfg.steering.numQueues = 2;
+    cfg.steering.queueCpus = {1, 3}; // deliberately not CPU0
+
+    System sys(cfg);
+    sys.runFor(2'000'000); // let traffic and rotation epochs start
+
+    for (int step = 0; step < 12; ++step) {
+        sys.runFor(750'000); // deliberately not a multiple of the epoch
+        for (int i = 0; i < sys.numConnections(); ++i) {
+            for (int q = 0; q < sys.nic(i).numRxQueues(); ++q) {
+                const int vec = sys.nic(i).queueVector(q);
+                const std::uint32_t mask =
+                    sys.steering().vectorAffinity(i, q);
+                const sim::CpuId cpu =
+                    sys.kernel().irqController().routeOf(vec);
+                EXPECT_NE(mask & (1u << cpu), 0u)
+                    << "nic " << i << " queue " << q << " routed to CPU "
+                    << static_cast<int>(cpu) << " outside mask 0x"
+                    << std::hex << mask << " at step " << std::dec
+                    << step;
+            }
+        }
+    }
+}
+
 TEST(AffinityOrdering, PaperHeadlinesAt64KbTx)
 {
     // The paper's central result: Full > IRQ > {Proc ~ None} on

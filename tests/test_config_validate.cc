@@ -89,6 +89,81 @@ TEST(ConfigValidate, ErrorMessagesNameTheField)
     }
 }
 
+TEST(ConfigValidate, RejectsQueueCpusOutsideInstalledRange)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.platform.numCpus = 2;
+    cfg.steering.kind = net::SteeringKind::Rss;
+    cfg.steering.numQueues = 2;
+    cfg.steering.queueCpus = {0, 2}; // CPU 2 does not exist
+    try {
+        cfg.validate();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("queueCpus[1]"),
+                  std::string::npos)
+            << e.what();
+    }
+    cfg.steering.queueCpus = {0, -1};
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg.steering.queueCpus = {0, 1};
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, RejectsPinCpusOutsideInstalledRange)
+{
+    core::SystemConfig cfg = goodConfig();
+    cfg.platform.numCpus = 2;
+    cfg.steering.pinCpus = {1, 5}; // CPU 5 does not exist
+    try {
+        cfg.validate();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("pinCpus[1]"),
+                  std::string::npos)
+            << e.what();
+    }
+    cfg.steering.pinCpus = {1, 0};
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, RejectsMalformedSteeringShapes)
+{
+    // The paper policy is single-queue by definition.
+    core::SystemConfig cfg = goodConfig();
+    cfg.steering.numQueues = 2;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    // Queue count must fit the CPU model's vector budget.
+    cfg = goodConfig();
+    cfg.steering.kind = net::SteeringKind::Rss;
+    cfg.steering.numQueues = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg.steering.numQueues = 9;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    // Indirection table is masked, so it must be a power of two.
+    cfg = goodConfig();
+    cfg.steering.kind = net::SteeringKind::Rss;
+    cfg.steering.rssTableSize = 48;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg.steering.rssTableSize = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    // Partial queue->CPU maps are rejected rather than guessed at.
+    cfg = goodConfig();
+    cfg.platform.numCpus = 4;
+    cfg.steering.kind = net::SteeringKind::Rss;
+    cfg.steering.numQueues = 4;
+    cfg.steering.queueCpus = {0, 1};
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    cfg = goodConfig();
+    cfg.steering.kind = net::SteeringKind::FlowDirector;
+    cfg.steering.flowTableSize = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
 TEST(ConfigValidate, SystemConstructorRejectsBadConfig)
 {
     core::SystemConfig cfg = goodConfig();

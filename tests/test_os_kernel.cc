@@ -292,6 +292,9 @@ TEST_F(OsTest, RotatingIrqDistributionMovesTargets)
 {
     const int vec = kernel.irqController().registerVector(
         "rot", [](ExecContext &) {}, prof::FuncId::IrqNic1);
+    // Rotation walks within the smp_affinity mask; open it up to both
+    // CPUs so the balancer actually has somewhere to go.
+    kernel.irqController().setSmpAffinity(vec, 0x3);
     kernel.irqController().setRotation(1'000'000);
     std::set<sim::CpuId> seen;
     for (int i = 0; i < 10; ++i) {
@@ -299,6 +302,20 @@ TEST_F(OsTest, RotatingIrqDistributionMovesTargets)
         eq.runUntil(eq.now() + 1'500'000);
     }
     EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST_F(OsTest, RotatingIrqDistributionRespectsMask)
+{
+    // A vector whose policy confines it to CPU1 must stay on CPU1 no
+    // matter how long rotation runs.
+    const int vec = kernel.irqController().registerVector(
+        "rot-pinned", [](ExecContext &) {}, prof::FuncId::IrqNic2);
+    kernel.irqController().setSmpAffinity(vec, 0x2);
+    kernel.irqController().setRotation(1'000'000);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(kernel.irqController().routeOf(vec), 1);
+        eq.runUntil(eq.now() + 1'500'000);
+    }
 }
 
 TEST_F(OsTest, SoftirqRunsOnRaisingCpu)
