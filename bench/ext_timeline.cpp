@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Extension: time-resolved observability demo + self-check.
+ *
+ * Runs TX/RX 4096B under no vs full affinity with interval stats and a
+ * Chrome-trace tracer armed, then:
+ *
+ *  1. prints per-mode ASCII timelines of machine clears and RX frame
+ *     rate per snapshot window (the transient view the paper's
+ *     aggregate tables hide);
+ *  2. verifies, for every point and every hardware event, that the
+ *     interval windows sum *exactly* to the aggregate totals
+ *     (telescoping-delta invariant);
+ *  3. writes the first point's Chrome trace, re-parses it with
+ *     core::json, and validates the trace-event contract: one
+ *     traceEvents array, known phase letters, and monotonically
+ *     non-decreasing ts per tid.
+ *
+ * Exits nonzero on any violation, so CI can run it as a test.
+ * NA_BENCH_FAST=1 or --smoke shrinks the workload.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "src/core/json.hh"
+#include "src/sim/timeline.hh"
+
+using namespace na;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+/** One ASCII bar, scaled so the per-point maximum fills the width. */
+std::string
+bar(std::uint64_t value, std::uint64_t max, int width)
+{
+    const int n =
+        max ? static_cast<int>(static_cast<std::uint64_t>(width) *
+                               value / max)
+            : 0;
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+void
+printTimeline(const core::CampaignPoint &point, const core::RunResult &r)
+{
+    const prof::IntervalSeries &s = r.intervals;
+    std::printf("\n%s %uB, %s — %zu windows of %llu ticks\n",
+                bench::modeLabel(point.config.ttcp.mode),
+                point.config.ttcp.msgSize,
+                std::string(core::affinityName(point.config.affinity))
+                    .c_str(),
+                s.windows.size(),
+                static_cast<unsigned long long>(s.intervalTicks));
+
+    std::uint64_t max_clears = 1;
+    std::uint64_t max_frames = 1;
+    for (std::size_t w = 0; w < s.windows.size(); ++w) {
+        max_clears = std::max(
+            max_clears, s.windowEvent(w, prof::Event::MachineClears));
+        std::uint64_t frames = 0;
+        for (std::uint64_t q : s.windows[w].rxFramesPerQueue)
+            frames += q;
+        max_frames = std::max(max_frames, frames);
+    }
+
+    std::printf("  %-8s %-28s %s\n", "window", "machine clears",
+                "rx frames");
+    constexpr std::size_t maxRows = 40;
+    if (s.windows.size() > maxRows) {
+        std::printf("  (showing first %zu of %zu windows)\n", maxRows,
+                    s.windows.size());
+    }
+    for (std::size_t w = 0;
+         w < s.windows.size() && w < maxRows; ++w) {
+        const std::uint64_t clears =
+            s.windowEvent(w, prof::Event::MachineClears);
+        std::uint64_t frames = 0;
+        for (std::uint64_t q : s.windows[w].rxFramesPerQueue)
+            frames += q;
+        std::printf("  w%-7zu %6llu %-21s %6llu %s\n", w,
+                    static_cast<unsigned long long>(clears),
+                    bar(clears, max_clears, 20).c_str(),
+                    static_cast<unsigned long long>(frames),
+                    bar(frames, max_frames, 20).c_str());
+    }
+}
+
+void
+verifySums(const core::CampaignPoint &point, const core::RunResult &r)
+{
+    check(!r.intervals.empty(),
+          "point recorded at least one interval window");
+    for (std::size_t e = 0; e < prof::numEvents; ++e) {
+        const auto ev = static_cast<prof::Event>(e);
+        if (r.intervals.totalEvent(ev) != r.eventTotals[e]) {
+            std::fprintf(
+                stderr,
+                "FAIL: %s: interval windows for %s sum to %llu, "
+                "aggregate says %llu\n",
+                point.label.c_str(),
+                std::string(prof::eventName(ev)).c_str(),
+                static_cast<unsigned long long>(
+                    r.intervals.totalEvent(ev)),
+                static_cast<unsigned long long>(r.eventTotals[e]));
+            ++failures;
+        }
+    }
+}
+
+void
+verifyTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    check(in.good(), "timeline file opens");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    core::json::Value root;
+    try {
+        root = core::json::parse(buf.str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "FAIL: timeline does not parse: %s\n",
+                     e.what());
+        ++failures;
+        return;
+    }
+
+    check(root.isObject() && root.has("traceEvents"),
+          "trace has a traceEvents array");
+    const core::json::Value &evs = root.field("traceEvents");
+    check(evs.isArray(), "traceEvents is an array");
+    check(!evs.items.empty(), "trace recorded events");
+
+    std::map<int, double> last_ts;
+    std::size_t spans = 0;
+    for (const core::json::Value &e : evs.items) {
+        const std::string ph = e.str("ph");
+        check(ph == "M" || ph == "i" || ph == "X" || ph == "b" ||
+                  ph == "e",
+              "known phase letter");
+        if (ph == "M")
+            continue;
+        if (ph == "b")
+            ++spans;
+        const int tid = static_cast<int>(e.num("tid"));
+        const double ts = e.num("ts");
+        auto it = last_ts.find(tid);
+        if (it != last_ts.end() && ts < it->second) {
+            std::fprintf(stderr,
+                         "FAIL: tid %d ts went backwards (%f < %f)\n",
+                         tid, ts, it->second);
+            ++failures;
+        }
+        last_ts[tid] = ts;
+    }
+    check(spans > 0, "trace contains packet lifecycle spans");
+    std::printf("\ntimeline: %zu events across %zu rows in %s\n",
+                evs.items.size(), last_ts.size(), path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+    bool fast = std::getenv("NA_BENCH_FAST") != nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            fast = true;
+    }
+
+    bench::banner("Extension: interval timelines + Chrome trace export",
+                  "Section 5's counter methodology, time-resolved");
+
+    core::SystemConfig base;
+    base.ttcp.msgSize = 4096;
+    if (fast) {
+        base.numConnections = 2;
+        base.platform.numCpus = 2;
+    }
+    // ~20 windows over the default measurement schedule.
+    base.statsIntervalUs = 2500.0;
+
+    std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .base(base)
+            .modes({workload::TtcpMode::Transmit,
+                    workload::TtcpMode::Receive})
+            .affinities({core::AffinityMode::None,
+                         core::AffinityMode::Full})
+            .build();
+
+    const std::string trace_path = "BENCH_timeline_trace.json";
+    // Per-index slots: each worker writes only its own tracer.
+    std::vector<std::unique_ptr<sim::TimelineTracer>> tracers(
+        points.size());
+    core::Campaign::Options options;
+    options.systemHook = [&tracers](core::System &system,
+                                    const core::CampaignPoint &,
+                                    std::size_t index) {
+        if (index != 0)
+            return;
+        tracers[index] = std::make_unique<sim::TimelineTracer>();
+        system.setTimelineTracer(tracers[index].get());
+    };
+    options.resultHook = [&tracers, &trace_path](
+                             core::System &system,
+                             const core::CampaignPoint &,
+                             std::size_t index, core::RunResult &) {
+        if (index != 0)
+            return;
+        if (!tracers[index]->writeJsonFile(
+                trace_path, system.config().platform.freqHz)) {
+            std::fprintf(stderr, "FAIL: could not write %s\n",
+                         trace_path.c_str());
+            ++failures;
+        }
+    };
+
+    const core::ResultSet results =
+        bench::runCampaign(std::move(points), options);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        printTimeline(results.point(i), results.result(i));
+        verifySums(results.point(i), results.result(i));
+    }
+    verifyTrace(trace_path);
+
+    if (failures) {
+        std::fprintf(stderr, "\n%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("\nall interval sums match aggregates; trace is valid\n");
+    return 0;
+}

@@ -82,6 +82,14 @@ main()
         system.kernel().accounting().setListener(p.get());
         profilers[index] = std::move(p);
     };
+    // Samples held for skid delivery have no "next function" once the
+    // run ends; flush them before the tables are read.
+    options.resultHook = [&profilers](core::System &,
+                                      const core::CampaignPoint &,
+                                      std::size_t index,
+                                      core::RunResult &) {
+        profilers[index]->finalize();
+    };
 
     const core::ResultSet results =
         bench::runCampaign(std::move(points), options);

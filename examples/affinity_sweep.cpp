@@ -11,6 +11,13 @@
  *                                   [--json PATH]
  *                                   [--steering static|rss|fd]
  *                                   [--queues N]
+ *                                   [--interval-stats US]
+ *                                   [--timeline PATH]
+ *
+ * --interval-stats US records per-CPU per-bin counter deltas every US
+ * simulated microseconds (exported in the --json file, schema v3).
+ * --timeline PATH writes a Chrome trace-event JSON of the first sweep
+ * point (load in chrome://tracing or Perfetto).
  */
 
 #include <cstdio>
@@ -23,6 +30,7 @@
 #include "src/core/results_json.hh"
 #include "src/core/sweep.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/timeline.hh"
 
 using namespace na;
 
@@ -37,6 +45,7 @@ main(int argc, char **argv)
 
     core::Campaign::Options options;
     const char *json_path = nullptr;
+    const char *timeline_path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--rx")) {
@@ -75,15 +84,50 @@ main(int argc, char **argv)
             }
         } else if (!std::strcmp(argv[i], "--queues") && i + 1 < argc) {
             cfg.steering.numQueues = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--interval-stats") &&
+                   i + 1 < argc) {
+            cfg.statsIntervalUs = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--timeline") && i + 1 < argc) {
+            timeline_path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--rx] [--conns N] [--cpus N] "
                          "[--size BYTES] [--loss P] [--threads N] "
                          "[--seed S] [--json PATH] "
-                         "[--steering static|rss|fd] [--queues N]\n",
+                         "[--steering static|rss|fd] [--queues N] "
+                         "[--interval-stats US] [--timeline PATH]\n",
                          argv[0]);
             return 2;
         }
+    }
+
+    // Chrome-trace capture of the first point: the tracer is attached
+    // post-construction and the file written post-measurement, both on
+    // the worker thread that owns the point.
+    sim::TimelineTracer tracer;
+    double tracer_freq = cfg.platform.freqHz;
+    if (timeline_path) {
+        options.systemHook = [&tracer, &tracer_freq](
+                                 core::System &system,
+                                 const core::CampaignPoint &,
+                                 std::size_t index) {
+            if (index != 0)
+                return;
+            tracer_freq = system.config().platform.freqHz;
+            system.setTimelineTracer(&tracer);
+        };
+        options.resultHook = [&tracer, &tracer_freq, timeline_path](
+                                 core::System &,
+                                 const core::CampaignPoint &,
+                                 std::size_t index, core::RunResult &) {
+            if (index != 0)
+                return;
+            if (!tracer.writeJsonFile(timeline_path, tracer_freq)) {
+                std::fprintf(stderr,
+                             "warning: could not write timeline %s\n",
+                             timeline_path);
+            }
+        };
     }
 
     std::printf("%s, %u-byte transactions, %d connections, %d CPUs\n\n",

@@ -96,7 +96,11 @@ spearmanTest(std::span<const double> x, std::span<const double> y)
     SpearmanResult r;
     r.rho = spearman(x, y);
     r.critical = spearmanCriticalValue(std::min(x.size(), y.size()));
-    r.significant = r.rho > r.critical;
+    // >=, not >: the tabulated value is itself the boundary of the
+    // rejection region, and at n=4 the critical value is 1.000 — a
+    // perfectly monotone 4-point series (rho == 1.0) is significant,
+    // which a strict > can never report.
+    r.significant = r.rho >= r.critical;
     return r;
 }
 

@@ -96,6 +96,9 @@ Experiment::extract(System &system, double seconds,
     for (std::size_t e = 0; e < prof::numEvents; ++e)
         r.eventTotals[e] = acct.total(static_cast<prof::Event>(e));
 
+    if (const prof::IntervalRecorder *rec = system.intervalRecorder())
+        r.intervals = rec->series();
+
     r.steeringPolicy = std::string(system.steering().name());
     r.rxFramesPerQueue.assign(
         static_cast<std::size_t>(system.steering().numQueues()), 0);

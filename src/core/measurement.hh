@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/prof/bins.hh"
+#include "src/prof/interval.hh"
 
 namespace na::core {
 
@@ -64,6 +65,14 @@ struct RunResult
     std::vector<std::uint64_t> rxFramesPerQueue;
     /** Steering policy token this run used ("static", "rss", ...). */
     std::string steeringPolicy = "static";
+
+    /**
+     * Per-window counter deltas over the measurement window; empty
+     * unless the run's SystemConfig::statsIntervalUs was nonzero.
+     * Summing any counter across all windows reproduces the
+     * corresponding aggregate above exactly.
+     */
+    prof::IntervalSeries intervals;
 
     /** @return events normalized per sink byte (work done). */
     double

@@ -1,20 +1,20 @@
 #include "src/core/results_json.hh"
 
-#include <cctype>
-#include <cstdio>
+#include <charconv>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/core/json.hh"
 #include "src/prof/bins.hh"
 #include "src/sim/logging.hh"
 
 namespace na::core {
 
 namespace {
+
+using json::Value;
 
 const char *
 modeToken(workload::TtcpMode m)
@@ -55,286 +55,68 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** %.17g keeps doubles bit-exact across a write/read round trip. */
+/**
+ * Shortest round-trip representation via std::to_chars. The previous
+ * %.17g printf path was both longer and locale-dependent (LC_NUMERIC
+ * could emit a comma decimal point, silently corrupting the file).
+ */
 std::string
 dbl(double v)
 {
-    return sim::format("%.17g", v);
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        return "0";
+    return std::string(buf, ptr);
 }
 
-// ---------------------------------------------------------------------
-// Minimal recursive-descent JSON reader: just enough for the schema
-// this file writes (objects, arrays, strings, numbers, bools, null).
-// ---------------------------------------------------------------------
-
-struct JsonValue
+void
+writeIntervals(std::ostream &os, const prof::IntervalSeries &s)
 {
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0;
-    std::string text;
-    std::vector<JsonValue> items;
-    std::map<std::string, JsonValue> fields;
-
-    const JsonValue &
-    field(const std::string &name) const
-    {
-        auto it = fields.find(name);
-        if (it == fields.end())
-            throw std::runtime_error("results json: missing field '" +
-                                     name + "'");
-        return it->second;
+    os << "        \"intervals\": {\n";
+    os << "          \"interval_ticks\": " << s.intervalTicks
+       << ", \"num_cpus\": " << s.numCpus << ", \"num_queues\": "
+       << s.numQueues << ",\n";
+    os << "          \"windows\": [";
+    for (std::size_t w = 0; w < s.windows.size(); ++w) {
+        const prof::IntervalWindow &win = s.windows[w];
+        os << (w ? ",\n" : "\n");
+        os << "            {\"start\": " << win.start << ", \"end\": "
+           << win.end << ", \"rx_frames_per_queue\": [";
+        for (std::size_t q = 0; q < win.rxFramesPerQueue.size(); ++q)
+            os << (q ? ", " : "") << win.rxFramesPerQueue[q];
+        os << "], \"deltas\": [";
+        for (std::size_t i = 0; i < win.binDeltas.size(); ++i)
+            os << (i ? ", " : "") << win.binDeltas[i];
+        os << "]}";
     }
+    os << "\n          ]\n";
+    os << "        },\n";
+}
 
-    double
-    num(const std::string &name) const
-    {
-        const JsonValue &v = field(name);
-        if (v.kind != Kind::Number)
-            throw std::runtime_error("results json: field '" + name +
-                                     "' is not a number");
-        return v.number;
-    }
-
-    /**
-     * Unsigned integers are re-parsed from the raw token: doubles only
-     * hold 53 mantissa bits, not enough for 64-bit seeds and counters.
-     */
-    std::uint64_t
-    u64(const std::string &name) const
-    {
-        const JsonValue &v = field(name);
-        if (v.kind != Kind::Number)
-            throw std::runtime_error("results json: field '" + name +
-                                     "' is not a number");
-        return v.asU64();
-    }
-
-    std::uint64_t
-    asU64() const
-    {
-        if (text.find_first_not_of("0123456789") == std::string::npos &&
-            !text.empty()) {
-            return std::stoull(text);
-        }
-        return static_cast<std::uint64_t>(number);
-    }
-
-    const std::string &
-    str(const std::string &name) const
-    {
-        const JsonValue &v = field(name);
-        if (v.kind != Kind::String)
-            throw std::runtime_error("results json: field '" + name +
-                                     "' is not a string");
-        return v.text;
-    }
-};
-
-class JsonParser
+prof::IntervalSeries
+readIntervals(const Value &iv)
 {
-  public:
-    explicit JsonParser(std::string text) : src(std::move(text)) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = parseValue();
-        skipWs();
-        if (pos != src.size())
-            fail("trailing characters");
-        return v;
-    }
-
-  private:
-    std::string src;
-    std::size_t pos = 0;
-
-    [[noreturn]] void
-    fail(const std::string &why) const
-    {
+    prof::IntervalSeries s;
+    s.intervalTicks = iv.u64("interval_ticks");
+    s.numCpus = static_cast<int>(iv.num("num_cpus"));
+    s.numQueues = static_cast<int>(iv.num("num_queues"));
+    const Value &windows = iv.field("windows");
+    if (!windows.isArray())
         throw std::runtime_error(
-            sim::format("results json: %s at offset %zu", why.c_str(),
-                        pos));
+            "results json: intervals 'windows' is not a list");
+    for (const Value &wv : windows.items) {
+        prof::IntervalWindow w;
+        w.start = wv.u64("start");
+        w.end = wv.u64("end");
+        for (const Value &qv : wv.field("rx_frames_per_queue").items)
+            w.rxFramesPerQueue.push_back(qv.asU64());
+        for (const Value &dv : wv.field("deltas").items)
+            w.binDeltas.push_back(dv.asU64());
+        s.windows.push_back(std::move(w));
     }
-
-    void
-    skipWs()
-    {
-        while (pos < src.size() &&
-               std::isspace(static_cast<unsigned char>(src[pos]))) {
-            ++pos;
-        }
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos >= src.size())
-            fail("unexpected end of input");
-        return src[pos];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(sim::format("expected '%c'", c));
-        ++pos;
-    }
-
-    bool
-    consumeLiteral(const char *lit)
-    {
-        const std::size_t n = std::string(lit).size();
-        if (src.compare(pos, n, lit) == 0) {
-            pos += n;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"') {
-            JsonValue v;
-            v.kind = JsonValue::Kind::String;
-            v.text = parseString();
-            return v;
-        }
-        if (consumeLiteral("true")) {
-            JsonValue v;
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = true;
-            return v;
-        }
-        if (consumeLiteral("false")) {
-            JsonValue v;
-            v.kind = JsonValue::Kind::Bool;
-            return v;
-        }
-        if (consumeLiteral("null"))
-            return JsonValue{};
-        return parseNumber();
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos >= src.size())
-                fail("unterminated string");
-            const char c = src[pos++];
-            if (c == '"')
-                return out;
-            if (c == '\\') {
-                if (pos >= src.size())
-                    fail("unterminated escape");
-                const char e = src[pos++];
-                switch (e) {
-                  case '"':  out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/':  out += '/'; break;
-                  case 'n':  out += '\n'; break;
-                  case 't':  out += '\t'; break;
-                  case 'r':  out += '\r'; break;
-                  case 'b':  out += '\b'; break;
-                  case 'f':  out += '\f'; break;
-                  case 'u': {
-                    if (pos + 4 > src.size())
-                        fail("truncated \\u escape");
-                    const unsigned code = static_cast<unsigned>(
-                        std::stoul(src.substr(pos, 4), nullptr, 16));
-                    pos += 4;
-                    // The writer only emits \u00xx control codes.
-                    out += static_cast<char>(code & 0xff);
-                    break;
-                  }
-                  default: fail("bad escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        const std::size_t start = pos;
-        while (pos < src.size() &&
-               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
-                src[pos] == '-' || src[pos] == '+' || src[pos] == '.' ||
-                src[pos] == 'e' || src[pos] == 'E')) {
-            ++pos;
-        }
-        if (pos == start)
-            fail("expected a value");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.text = src.substr(start, pos - start);
-        try {
-            v.number = std::stod(v.text);
-        } catch (const std::exception &) {
-            fail("malformed number");
-        }
-        return v;
-    }
-
-    JsonValue
-    parseArray()
-    {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        if (peek() == ']') {
-            ++pos;
-            return v;
-        }
-        while (true) {
-            v.items.push_back(parseValue());
-            const char c = peek();
-            ++pos;
-            if (c == ']')
-                return v;
-            if (c != ',')
-                fail("expected ',' or ']'");
-        }
-    }
-
-    JsonValue
-    parseObject()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        if (peek() == '}') {
-            ++pos;
-            return v;
-        }
-        while (true) {
-            const std::string key = parseString();
-            expect(':');
-            v.fields.emplace(key, parseValue());
-            const char c = peek();
-            ++pos;
-            if (c == '}')
-                return v;
-            if (c != ',')
-                fail("expected ',' or '}'");
-        }
-    }
-};
+    return s;
+}
 
 workload::TtcpMode
 parseModeToken(const std::string &tok)
@@ -364,7 +146,7 @@ void
 writeResultsJson(std::ostream &os, const ResultSet &results)
 {
     os << "{\n";
-    os << "  \"schema_version\": 2,\n";
+    os << "  \"schema_version\": 3,\n";
     os << "  \"campaign_seed\": " << results.campaignSeed << ",\n";
     os << "  \"threads\": " << results.threadsUsed << ",\n";
     os << "  \"points\": [";
@@ -403,6 +185,8 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
         for (std::size_t q = 0; q < r.rxFramesPerQueue.size(); ++q)
             os << (q ? ", " : "") << r.rxFramesPerQueue[q];
         os << "],\n";
+        if (!r.intervals.empty())
+            writeIntervals(os, r.intervals);
         os << "        \"event_totals\": {";
         for (std::size_t e = 0; e < prof::numEvents; ++e) {
             os << (e ? ", " : "") << '"'
@@ -431,11 +215,13 @@ readResultsJson(std::istream &is)
 {
     std::ostringstream buf;
     buf << is.rdbuf();
-    JsonParser parser(buf.str());
-    const JsonValue root = parser.parse();
-    if (root.kind != JsonValue::Kind::Object)
+    const Value root = json::parse(buf.str());
+    if (!root.isObject())
         throw std::runtime_error("results json: root is not an object");
-    if (static_cast<int>(root.num("schema_version")) != 2)
+    const int version = static_cast<int>(root.num("schema_version"));
+    // v2 is v3 minus the optional per-point intervals block, so one
+    // reader serves both.
+    if (version != 2 && version != 3)
         throw std::runtime_error(
             "results json: unsupported schema_version");
 
@@ -443,15 +229,15 @@ readResultsJson(std::istream &is)
     campaign.campaignSeed = root.u64("campaign_seed");
     campaign.threads = static_cast<int>(root.num("threads"));
 
-    const JsonValue &points = root.field("points");
-    if (points.kind != JsonValue::Kind::Array)
+    const Value &points = root.field("points");
+    if (!points.isArray())
         throw std::runtime_error("results json: 'points' is not a list");
 
-    for (const JsonValue &pv : points.items) {
+    for (const Value &pv : points.items) {
         JsonRunRecord rec;
         rec.label = pv.str("label");
 
-        const JsonValue &cfg = pv.field("config");
+        const Value &cfg = pv.field("config");
         rec.mode = parseModeToken(cfg.str("mode"));
         rec.msgSize = static_cast<std::uint32_t>(cfg.num("msg_size"));
         rec.affinity = parseAffinityToken(cfg.str("affinity"));
@@ -462,13 +248,13 @@ readResultsJson(std::istream &is)
         rec.queues = static_cast<int>(cfg.num("queues"));
         rec.result.steeringPolicy = rec.steering;
 
-        const JsonValue &res = pv.field("result");
+        const Value &res = pv.field("result");
         rec.result.seconds = res.num("seconds");
         rec.result.payloadBytes = res.u64("payload_bytes");
         rec.result.throughputMbps = res.num("throughput_mbps");
         rec.result.cpuUtil = res.num("cpu_util");
         rec.result.ghzPerGbps = res.num("ghz_per_gbps");
-        const JsonValue &util = res.field("util_per_cpu");
+        const Value &util = res.field("util_per_cpu");
         for (std::size_t c = 0;
              c < util.items.size() && c < rec.result.utilPerCpu.size();
              ++c) {
@@ -478,10 +264,12 @@ readResultsJson(std::istream &is)
         rec.result.ipis = res.u64("ipis");
         rec.result.migrations = res.u64("migrations");
         rec.result.contextSwitches = res.u64("context_switches");
-        const JsonValue &per_queue = res.field("rx_frames_per_queue");
-        for (const JsonValue &qv : per_queue.items)
+        const Value &per_queue = res.field("rx_frames_per_queue");
+        for (const Value &qv : per_queue.items)
             rec.result.rxFramesPerQueue.push_back(qv.asU64());
-        const JsonValue &events = res.field("event_totals");
+        if (res.has("intervals"))
+            rec.result.intervals = readIntervals(res.field("intervals"));
+        const Value &events = res.field("event_totals");
         for (std::size_t e = 0; e < prof::numEvents; ++e) {
             const auto ev = static_cast<prof::Event>(e);
             auto it =

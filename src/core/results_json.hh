@@ -2,11 +2,12 @@
  * @file
  * Campaign result export/import as JSON (campaign_results.json).
  *
- * Schema (version 2; v1 lacked the steering fields and
- * rx_frames_per_queue):
+ * Schema (version 3; v1 lacked the steering fields and
+ * rx_frames_per_queue, v2 lacked the optional per-point "intervals"
+ * block — the reader accepts both 2 and 3):
  *
  *   {
- *     "schema_version": 2,
+ *     "schema_version": 3,
  *     "campaign_seed": 42,
  *     "threads": 4,
  *     "points": [
@@ -32,14 +33,25 @@
  *           "irqs": 1000, "ipis": 12,
  *           "migrations": 3, "context_switches": 450,
  *           "rx_frames_per_queue": [9000, 8800],
+ *           "intervals": {            // only when interval stats ran
+ *             "interval_ticks": 200000,
+ *             "num_cpus": 2, "num_queues": 1,
+ *             "windows": [
+ *               {"start": 0, "end": 200000,
+ *                "rx_frames_per_queue": [312],
+ *                "deltas": [ ...cpu-major bin/event flat matrix... ]},
+ *               ...
+ *             ]
+ *           },
  *           "event_totals": { "cycles": ..., "instructions": ..., ... }
  *         }
  *       }, ...
  *     ]
  *   }
  *
- * Doubles are printed with %.17g so values survive a write/read
- * round-trip bit-exactly.
+ * Doubles are printed with std::to_chars (shortest round-trip form)
+ * and parsed with std::from_chars, so values survive a write/read
+ * round-trip bit-exactly regardless of the process locale.
  */
 
 #ifndef NETAFFINITY_CORE_RESULTS_JSON_HH
@@ -87,7 +99,7 @@ struct JsonCampaign
 };
 
 /**
- * Parse a schema-version-2 results stream.
+ * Parse a schema-version-2 or -3 results stream.
  * @throws std::runtime_error on malformed input.
  */
 JsonCampaign readResultsJson(std::istream &is);

@@ -47,6 +47,20 @@ SystemConfig::validate() const
             "SystemConfig: ttcp.msgSize must be nonzero (ttcp would "
             "spin on empty read()/write() calls)");
     }
+    if (std::isnan(statsIntervalUs) || statsIntervalUs < 0.0) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: statsIntervalUs must be >= 0 (0 disables "
+            "interval stats), got %g",
+            statsIntervalUs));
+    }
+    if (statsIntervalUs > 0.0 &&
+        sim::secondsToTicks(statsIntervalUs * 1.0e-6, platform.freqHz) <
+            1) {
+        throw std::runtime_error(sim::format(
+            "SystemConfig: statsIntervalUs = %g is below one CPU cycle "
+            "at %g Hz — the snapshot event would never advance time",
+            statsIntervalUs, platform.freqHz));
+    }
 
     if (steering.numQueues < 1 ||
         steering.numQueues > maxModelCpus) {
@@ -212,7 +226,28 @@ System::System(const SystemConfig &config)
                                          steerPolicy->taskAffinity(i)));
     }
 
+    if (cfg.statsIntervalUs > 0.0) {
+        const sim::Tick interval = sim::secondsToTicks(
+            cfg.statsIntervalUs * 1.0e-6, cfg.platform.freqHz);
+        recorder = std::make_unique<prof::IntervalRecorder>(
+            eq, kern->accounting(), interval, cfg.steering.numQueues,
+            [this](int q) {
+                std::uint64_t sum = 0;
+                for (const auto &n : nics) {
+                    if (q < n->numRxQueues())
+                        sum += n->rxFramesOnQueue(q);
+                }
+                return sum;
+            });
+    }
+
     kern->start();
+}
+
+void
+System::setTimelineTracer(sim::TimelineTracer *tracer)
+{
+    kern->setTimeline(tracer);
 }
 
 sim::CpuId
@@ -258,12 +293,29 @@ System::beginMeasurement()
     // ...and drop what finalizeIdle just accumulated.
     for (int c = 0; c < kern->numCpus(); ++c)
         kern->core(c).counters.idleCycles.reset();
+    if (recorder)
+        recorder->start();
+    if (sim::TimelineTracer *tl = kern->timeline())
+        tl->clear();
 }
 
 void
 System::endMeasurement()
 {
     kern->finalizeIdle(eq.now());
+    if (recorder) {
+        recorder->finalize();
+        // beginMeasurement's resetStats() cleared the series, so the
+        // windows recorded here cover exactly one measurement.
+        for (const prof::IntervalWindow &w :
+             recorder->series().windows) {
+            std::uint64_t frames = 0;
+            for (std::uint64_t q : w.rxFramesPerQueue)
+                frames += q;
+            rxFrameTimeline.record(w.start, w.end,
+                                   static_cast<double>(frames));
+        }
+    }
 }
 
 std::uint64_t

@@ -25,7 +25,10 @@
 #include "src/net/socket.hh"
 #include "src/net/wire.hh"
 #include "src/os/kernel.hh"
+#include "src/prof/interval.hh"
 #include "src/sim/event_queue.hh"
+#include "src/stats/stats.hh"
+#include "src/sim/timeline.hh"
 #include "src/workload/ttcp.hh"
 
 namespace na::core {
@@ -57,6 +60,14 @@ struct SystemConfig
      * above parameterizes that policy and is ignored by the others.
      */
     net::SteeringConfig steering{};
+    /**
+     * Interval-stats window in simulated microseconds (0 = off, the
+     * default — bit-identical to a build without the observability
+     * layer). Nonzero arms a prof::IntervalRecorder over the
+     * measurement window, snapshotting per-CPU per-bin counter deltas
+     * and per-queue RX frame rates every interval.
+     */
+    double statsIntervalUs = 0.0;
 
     /**
      * Sanity-check the configuration.
@@ -99,6 +110,20 @@ class System : public stats::Group
     const net::SteeringPolicy &steering() const { return *steerPolicy; }
 
     /**
+     * Interval recorder armed by beginMeasurement() when
+     * statsIntervalUs > 0 (nullptr otherwise).
+     */
+    prof::IntervalRecorder *intervalRecorder() { return recorder.get(); }
+
+    /**
+     * Attach a caller-owned timeline tracer (nullptr detaches). The
+     * buffer is cleared at beginMeasurement() so written traces cover
+     * the measurement window, not warmup.
+     */
+    void setTimelineTracer(sim::TimelineTracer *tracer);
+    sim::TimelineTracer *timelineTracer() { return kern->timeline(); }
+
+    /**
      * Run until every connection's handshake completes.
      * @return true on success before @p deadline.
      */
@@ -131,6 +156,15 @@ class System : public stats::Group
     std::vector<std::unique_ptr<net::RemotePeer>> peers;
     std::vector<std::unique_ptr<workload::TtcpApp>> apps;
     std::vector<os::Task *> tasks;
+    /** RX frames per interval window, all queues — the interval
+     *  recorder's headline series surfaced through the stats tree
+     *  (sysdump shows it). Populated at endMeasurement. */
+    stats::TimeSeries rxFrameTimeline{
+        this, "rx_frame_timeline",
+        "frames received per interval-stats window"};
+    /** Declared after eq/kern/nics: destroyed first, deschedules off
+     *  eq while it is still alive, reads counters from live NICs. */
+    std::unique_ptr<prof::IntervalRecorder> recorder;
 };
 
 } // namespace na::core

@@ -86,6 +86,9 @@ void
 Driver::netRxAction(os::ExecContext &ctx)
 {
     ++softirqRuns;
+    sim::TimelineTracer *tl = kernel.timeline();
+    const bool tracing = tl && tl->wants(sim::TraceFlag::Irq);
+    const sim::Tick run_start = tracing ? ctx.estimatedNow() : 0;
     ctx.charge(prof::FuncId::NetRxAction, 80, {});
 
     auto &list = pollList[static_cast<std::size_t>(ctx.cpuId())];
@@ -104,6 +107,10 @@ Driver::netRxAction(os::ExecContext &ctx)
     }
     if (more_work)
         ctx.proc.raiseSoftirq(os::Softirq::NetRx);
+    if (tracing) {
+        tl->complete(sim::TraceFlag::Irq, ctx.cpuId(), run_start,
+                     ctx.estimatedNow() - run_start, "softirq:net_rx");
+    }
 }
 
 void
@@ -123,6 +130,12 @@ Driver::deliver(os::ExecContext &ctx, const Packet &pkt,
                {cpu::MemTouch{skb.dataAddr, 34, false}});
     ctx.charge(prof::FuncId::TcpV4Rcv, 100,
                {cpu::MemTouch{it->second.hashBucket, 32, false}});
+    if (sim::TimelineTracer *tl = kernel.timeline();
+        tl && tl->wants(sim::TraceFlag::Tcp)) {
+        tl->asyncEnd(sim::TraceFlag::Tcp, packetSpanId(pkt),
+                     ctx.estimatedNow(),
+                     sim::format("pkt:conn%d", pkt.connId));
+    }
     it->second.socket->onSegmentSoftirq(ctx, pkt, skb);
 }
 

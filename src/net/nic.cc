@@ -268,6 +268,12 @@ Nic::onWirePacket(const Packet &pkt)
 
     ++rxFrames;
     rxFramesPerQueue[static_cast<std::size_t>(qi)] += 1;
+    if (sim::TimelineTracer *tl = kernel.timeline();
+        tl && tl->wants(sim::TraceFlag::Tcp)) {
+        tl->asyncBegin(sim::TraceFlag::Tcp, packetSpanId(pkt),
+                       kernel.now(),
+                       sim::format("pkt:conn%d", pkt.connId));
+    }
     rxq.pendingRx.push_back(PendingRx{pkt, skb, desc});
     requestIrq(qi);
 }
@@ -323,6 +329,9 @@ bool
 Nic::clean(os::ExecContext &ctx, int queue, int budget)
 {
     RxQueue &rxq = queues[static_cast<std::size_t>(queue)];
+    sim::TimelineTracer *tl = kernel.timeline();
+    const bool tracing = tl && tl->wants(sim::TraceFlag::Nic);
+    const sim::Tick poll_start = tracing ? ctx.estimatedNow() : 0;
 
     // TX completions: descriptor write-backs arrived by DMA. They
     // signal through queue 0, so only its poll pass drains them.
@@ -376,6 +385,11 @@ Nic::clean(os::ExecContext &ctx, int queue, int budget)
         if (!rxq.pendingRx.empty() ||
             (queue == 0 && !pendingTxDone.empty()))
             requestIrq(queue);
+    }
+    if (tracing) {
+        tl->complete(sim::TraceFlag::Nic, ctx.cpuId(), poll_start,
+                     ctx.estimatedNow() - poll_start,
+                     groupName() + sim::format(".napi-q%d", queue));
     }
     return more;
 }

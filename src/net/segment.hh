@@ -69,6 +69,21 @@ struct Packet
     }
 };
 
+/**
+ * @return correlation id tying a packet's timeline span (NIC arrival
+ *         to socket delivery) across async begin/end events:
+ *         connection in the high half, sequence number (truncated) in
+ *         the low half.
+ */
+inline std::uint64_t
+packetSpanId(const Packet &pkt)
+{
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(pkt.connId))
+            << 32) |
+           (pkt.seg.seq & 0xffffffffu);
+}
+
 } // namespace na::net
 
 #endif // NETAFFINITY_NET_SEGMENT_HH

@@ -128,4 +128,10 @@ InterruptController::isrFunc(int vector) const
     return vectors.at(static_cast<std::size_t>(vector)).func;
 }
 
+const std::string &
+InterruptController::vectorName(int vector) const
+{
+    return vectors.at(static_cast<std::size_t>(vector)).name;
+}
+
 } // namespace na::os

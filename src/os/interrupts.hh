@@ -85,6 +85,9 @@ class InterruptController : public stats::Group
     /** @return ISR function of @p vector (for charging). */
     prof::FuncId isrFunc(int vector) const;
 
+    /** @return registered name of @p vector (timeline labels). */
+    const std::string &vectorName(int vector) const;
+
     stats::Scalar raises;
 
   private:

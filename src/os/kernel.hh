@@ -28,6 +28,7 @@
 #include "src/prof/accounting.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/random.hh"
+#include "src/sim/timeline.hh"
 #include "src/stats/stats.hh"
 
 namespace na::os {
@@ -95,6 +96,16 @@ class Kernel : public stats::Group
     void wakeUpAll(ExecContext &ctx, WaitQueue &wq);
     /** @} */
 
+    /** @name Timeline tracing @{ */
+    /**
+     * Attach a structured timeline backend (caller-owned, may be
+     * nullptr to detach). Hook sites across the kernel and the network
+     * stack feed it; with none attached they pay one null check.
+     */
+    void setTimeline(sim::TimelineTracer *tracer) { timelineTracer = tracer; }
+    sim::TimelineTracer *timeline() const { return timelineTracer; }
+    /** @} */
+
     /** @name Time @{ */
     sim::Tick now() const { return eq.now(); }
     double seconds(sim::Tick t) const
@@ -134,6 +145,7 @@ class Kernel : public stats::Group
     sim::Addr xtime = 0;
     int nextTaskId = 1;
     std::vector<std::unique_ptr<Task>> taskList;
+    sim::TimelineTracer *timelineTracer = nullptr;
 };
 
 } // namespace na::os

@@ -172,14 +172,23 @@ Processor::serviceInterrupts(ExecContext &ctx)
         handleTimerWork(ctx);
     }
 
+    sim::TimelineTracer *tl = kernel.timeline();
+    const bool trace_irqs = tl && tl->wants(sim::TraceFlag::Irq);
     while (!pendingIrqs.empty()) {
         const int vector = pendingIrqs.front();
         pendingIrqs.pop_front();
         any = true;
         coreRef.countIrq();
+        const sim::Tick irq_start = trace_irqs ? estimatedNow() : 0;
         // The device interrupt flushes the pipeline; the clear is
         // booked to the ISR symbol (paper Table 4 shows exactly that).
         kernel.irqController().runHandler(vector, ctx);
+        if (trace_irqs) {
+            tl->complete(
+                sim::TraceFlag::Irq, cpu, irq_start,
+                estimatedNow() - irq_start,
+                "irq:" + kernel.irqController().vectorName(vector));
+        }
     }
 
     while (pendingIpis > 0) {
@@ -243,6 +252,11 @@ Processor::runTaskStep()
                                        .structAddr(),
                                    64, true}});
         coreRef.noteContextSwitch();
+        if (sim::TimelineTracer *tl = kernel.timeline();
+            tl && tl->wants(sim::TraceFlag::Sched)) {
+            tl->instant(sim::TraceFlag::Sched, cpu, estimatedNow(),
+                        "switch:" + next->name);
+        }
         if (next->lastRanCpu != cpu &&
             next->lastRanCpu != sim::invalidCpu) {
             coreRef.noteMigrationIn();

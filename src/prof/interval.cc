@@ -1,0 +1,124 @@
+#include "src/prof/interval.hh"
+
+#include "src/sim/logging.hh"
+
+namespace na::prof {
+
+std::uint64_t
+IntervalSeries::totalEvent(Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t w = 0; w < windows.size(); ++w)
+        sum += windowEvent(w, ev);
+    return sum;
+}
+
+std::uint64_t
+IntervalSeries::windowEvent(std::size_t window, Event ev) const
+{
+    std::uint64_t sum = 0;
+    for (int c = 0; c < numCpus; ++c) {
+        for (Bin b : allBins)
+            sum += windows[window].binDeltas[cellIndex(c, b, ev)];
+    }
+    return sum;
+}
+
+IntervalRecorder::SnapshotEvent::SnapshotEvent(IntervalRecorder &rec)
+    : sim::Event("interval.snapshot", statsPrio), recorder(rec)
+{
+}
+
+void
+IntervalRecorder::SnapshotEvent::process()
+{
+    recorder.closeWindow(recorder.eq.now());
+    recorder.eq.schedule(this,
+                         recorder.eq.now() + recorder.data.intervalTicks);
+}
+
+IntervalRecorder::IntervalRecorder(sim::EventQueue &eq_ref,
+                                   BinAccounting &acct_ref,
+                                   sim::Tick interval_ticks,
+                                   int num_queues, RxFramesFn rx_frames)
+    : eq(eq_ref), acct(acct_ref), rxFrames(std::move(rx_frames)),
+      snapshotEvent(*this)
+{
+    if (interval_ticks == 0)
+        sim::fatal("IntervalRecorder: interval must be nonzero");
+    data.intervalTicks = interval_ticks;
+    data.numCpus = acct.numCpus();
+    data.numQueues = num_queues;
+}
+
+IntervalRecorder::~IntervalRecorder()
+{
+    // The queue may outlive us; take the member event off it so its
+    // destructor does not see it scheduled.
+    if (snapshotEvent.scheduled())
+        eq.deschedule(&snapshotEvent);
+}
+
+void
+IntervalRecorder::capture(std::vector<std::uint64_t> &cells,
+                          std::vector<std::uint64_t> &queues) const
+{
+    cells.resize(static_cast<std::size_t>(data.numCpus) * numBins *
+                 numEvents);
+    std::size_t i = 0;
+    for (int c = 0; c < data.numCpus; ++c) {
+        for (Bin b : allBins) {
+            for (Event ev : allEvents)
+                cells[i++] = acct.byBinCpu(c, b, ev);
+        }
+    }
+
+    queues.resize(static_cast<std::size_t>(data.numQueues));
+    for (int q = 0; q < data.numQueues; ++q)
+        queues[static_cast<std::size_t>(q)] = rxFrames ? rxFrames(q) : 0;
+}
+
+void
+IntervalRecorder::start()
+{
+    data.windows.clear();
+    windowStart = eq.now();
+    capture(baseCells, baseQueues);
+    if (snapshotEvent.scheduled())
+        eq.deschedule(&snapshotEvent);
+    eq.schedule(&snapshotEvent, eq.now() + data.intervalTicks);
+}
+
+void
+IntervalRecorder::closeWindow(sim::Tick now)
+{
+    capture(curCells, curQueues);
+
+    IntervalWindow w;
+    w.start = windowStart;
+    w.end = now;
+    w.binDeltas.resize(curCells.size());
+    for (std::size_t i = 0; i < curCells.size(); ++i)
+        w.binDeltas[i] = curCells[i] - baseCells[i];
+    w.rxFramesPerQueue.resize(curQueues.size());
+    for (std::size_t q = 0; q < curQueues.size(); ++q)
+        w.rxFramesPerQueue[q] = curQueues[q] - baseQueues[q];
+    data.windows.push_back(std::move(w));
+
+    windowStart = now;
+    baseCells.swap(curCells);
+    baseQueues.swap(curQueues);
+}
+
+void
+IntervalRecorder::finalize()
+{
+    if (snapshotEvent.scheduled())
+        eq.deschedule(&snapshotEvent);
+    // Close the trailing partial window; skip a zero-length remainder
+    // (the run ended exactly on a snapshot boundary).
+    if (eq.now() > windowStart)
+        closeWindow(eq.now());
+}
+
+} // namespace na::prof

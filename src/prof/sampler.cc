@@ -13,6 +13,7 @@ SampleProfiler::SampleProfiler(int num_cpus, std::uint64_t seed)
         sim::fatal("SampleProfiler: num_cpus must be positive");
     residual.assign(static_cast<std::size_t>(nCpus) * numEvents, 0);
     pendingSkid.assign(static_cast<std::size_t>(nCpus) * numEvents, 0);
+    lastFunc.assign(static_cast<std::size_t>(nCpus) * numEvents, -1);
     sampleCounts.assign(
         static_cast<std::size_t>(nCpus) * numFuncs * numEvents, 0);
 }
@@ -38,6 +39,7 @@ SampleProfiler::onEvents(sim::CpuId cpu, FuncId func, Event ev,
         sampleCounts[cellIndex(cpu, func, ev)] += pendingSkid[ce];
         pendingSkid[ce] = 0;
     }
+    lastFunc[ce] = static_cast<int>(func);
 
     // Jittered sampling: the gap to the next sample is uniform in
     // [0.5n, 1.5n) (mean n). A fixed gap aliases badly against the
@@ -100,11 +102,30 @@ SampleProfiler::topFunctions(sim::CpuId cpu, Event ev,
 }
 
 void
+SampleProfiler::finalize()
+{
+    for (int c = 0; c < nCpus; ++c) {
+        for (std::size_t e = 0; e < numEvents; ++e) {
+            const auto cpu = static_cast<sim::CpuId>(c);
+            const auto ev = static_cast<Event>(e);
+            const std::size_t ce = cpuEventIndex(cpu, ev);
+            if (!pendingSkid[ce] || lastFunc[ce] < 0)
+                continue;
+            sampleCounts[cellIndex(
+                cpu, static_cast<FuncId>(lastFunc[ce]), ev)] +=
+                pendingSkid[ce];
+            pendingSkid[ce] = 0;
+        }
+    }
+}
+
+void
 SampleProfiler::reset()
 {
     std::fill(residual.begin(), residual.end(), 0);
     std::fill(pendingSkid.begin(), pendingSkid.end(), 0);
     std::fill(sampleCounts.begin(), sampleCounts.end(), 0);
+    std::fill(lastFunc.begin(), lastFunc.end(), -1);
 }
 
 } // namespace na::prof

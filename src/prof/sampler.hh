@@ -72,6 +72,18 @@ class SampleProfiler : public Listener
     std::vector<SampleRow> topFunctions(sim::CpuId cpu, Event ev,
                                         std::size_t n) const;
 
+    /**
+     * Flush samples still pending skid delivery. A skidded sample is
+     * normally booked to the *next* function that runs on its CPU; at
+     * the end of a run there is no next function, and without this
+     * call those samples silently vanish (undercounting totals versus
+     * the number of overflows that fired). Books them to the last
+     * function seen on that (cpu, event) instead, which is where a
+     * real overflow interrupt landing at shutdown would attribute.
+     * Idempotent; call once measurement ends, before reading samples.
+     */
+    void finalize();
+
     /** Zero all samples and residuals. */
     void reset();
 
@@ -86,6 +98,8 @@ class SampleProfiler : public Listener
     std::vector<std::uint64_t> sampleCounts;
     /** pending skid samples per (cpu, event), booked to next function */
     std::vector<std::uint64_t> pendingSkid;
+    /** last function observed per (cpu, event); -1 = none yet */
+    std::vector<int> lastFunc;
 
     std::size_t
     cellIndex(sim::CpuId cpu, FuncId func, Event ev) const

@@ -1,0 +1,164 @@
+#include "src/sim/timeline.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+namespace na::sim {
+
+namespace {
+
+const char *
+categoryToken(TraceFlag flag)
+{
+    switch (flag) {
+      case TraceFlag::Event:  return "event";
+      case TraceFlag::Cache:  return "cache";
+      case TraceFlag::Sched:  return "sched";
+      case TraceFlag::Irq:    return "irq";
+      case TraceFlag::Tcp:    return "tcp";
+      case TraceFlag::Nic:    return "nic";
+      case TraceFlag::Socket: return "socket";
+      default:                return "other";
+    }
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    return out;
+}
+
+/**
+ * Microseconds with std::to_chars: printf("%f") honours LC_NUMERIC and
+ * a comma decimal point would corrupt the JSON.
+ */
+std::string
+microseconds(Tick ticks, double freq_hz)
+{
+    const double us = static_cast<double>(ticks) / freq_hz * 1.0e6;
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(
+        buf, buf + sizeof(buf), us, std::chars_format::fixed, 6);
+    return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+} // namespace
+
+TimelineTracer::TimelineTracer(std::uint32_t category_mask)
+    : catMask(category_mask)
+{
+}
+
+void
+TimelineTracer::push(char ph, TraceFlag cat, int tid, Tick ts, Tick dur,
+                     std::uint64_t id, std::string name)
+{
+    if (!wants(cat))
+        return;
+    events.push_back(Ev{ph, cat, tid, ts, dur, id, std::move(name)});
+}
+
+void
+TimelineTracer::instant(TraceFlag cat, int tid, Tick ts, std::string name)
+{
+    push('i', cat, tid, ts, 0, 0, std::move(name));
+}
+
+void
+TimelineTracer::complete(TraceFlag cat, int tid, Tick ts, Tick dur,
+                         std::string name)
+{
+    push('X', cat, tid, ts, dur, 0, std::move(name));
+}
+
+void
+TimelineTracer::asyncBegin(TraceFlag cat, std::uint64_t id, Tick ts,
+                           std::string name)
+{
+    push('b', cat, flowTidBase + static_cast<int>(id >> 32), ts, 0, id,
+         std::move(name));
+}
+
+void
+TimelineTracer::asyncEnd(TraceFlag cat, std::uint64_t id, Tick ts,
+                         std::string name)
+{
+    push('e', cat, flowTidBase + static_cast<int>(id >> 32), ts, 0, id,
+         std::move(name));
+}
+
+void
+TimelineTracer::writeJson(std::ostream &os, double freq_hz) const
+{
+    // Producers stamp with ExecContext::estimatedNow(), which runs
+    // ahead of the queue clock within a dispatch, so buffered order is
+    // not time order. Sort (stably, preserving same-tick causality) so
+    // every tid's ts column is monotonic in the file.
+    std::vector<const Ev *> order;
+    order.reserve(events.size());
+    for (const Ev &e : events)
+        order.push_back(&e);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Ev *a, const Ev *b) { return a->ts < b->ts; });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+
+    // Name the rows so chrome://tracing shows cpuN / flow labels
+    // instead of bare tids.
+    std::set<int> tids;
+    for (const Ev &e : events)
+        tids.insert(e.tid);
+    for (int tid : tids) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        std::string label =
+            tid >= flowTidBase
+                ? "flow " + std::to_string(tid - flowTidBase)
+                : "cpu" + std::to_string(tid);
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << escape(label) << "\"}}";
+    }
+
+    for (const Ev *e : order) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "{\"ph\":\"" << e->ph << "\",\"pid\":0,\"tid\":" << e->tid
+           << ",\"ts\":" << microseconds(e->ts, freq_hz) << ",\"cat\":\""
+           << categoryToken(e->cat) << "\",\"name\":\""
+           << escape(e->name) << '"';
+        if (e->ph == 'X')
+            os << ",\"dur\":" << microseconds(e->dur, freq_hz);
+        if (e->ph == 'b' || e->ph == 'e')
+            os << ",\"id\":" << e->id;
+        os << '}';
+    }
+    os << "\n]}\n";
+}
+
+bool
+TimelineTracer::writeJsonFile(const std::string &path,
+                              double freq_hz) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJson(out, freq_hz);
+    return out.good();
+}
+
+} // namespace na::sim

@@ -16,8 +16,10 @@ namespace {
 // toggle categories at the same time.
 std::atomic<std::uint64_t> lineCount{0};
 
+} // namespace
+
 std::uint32_t
-parseSpec(const char *spec)
+parseTraceFlags(const char *spec)
 {
     std::uint32_t mask = 0;
     std::string s(spec ? spec : "");
@@ -51,12 +53,14 @@ parseSpec(const char *spec)
     return mask;
 }
 
+namespace {
+
 /** Lazily seeded from the NA_TRACE environment variable. */
 std::atomic<std::uint32_t> &
 mask()
 {
     static std::atomic<std::uint32_t> m{
-        parseSpec(std::getenv("NA_TRACE"))};
+        parseTraceFlags(std::getenv("NA_TRACE"))};
     return m;
 }
 
@@ -83,7 +87,7 @@ setTraceFlag(TraceFlag flag, bool enabled)
 void
 setTraceFlagsFromString(const char *spec)
 {
-    mask().store(parseSpec(spec), std::memory_order_relaxed);
+    mask().store(parseTraceFlags(spec), std::memory_order_relaxed);
 }
 
 void

@@ -43,6 +43,14 @@ void setTraceFlag(TraceFlag flag, bool enabled);
 /** Parse a comma-separated category list ("tcp,irq" or "all"). */
 void setTraceFlagsFromString(const char *spec);
 
+/**
+ * @return the category bit-mask for a spec like "tcp,irq" or "all"
+ *         (what setTraceFlagsFromString installs). Consumers that keep
+ *         their own mask — the TimelineTracer — parse through this so
+ *         category spellings stay in one place.
+ */
+std::uint32_t parseTraceFlags(const char *spec);
+
 /** Emit one trace line (already gated by the macro). */
 void traceLine(TraceFlag flag, Tick now, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));

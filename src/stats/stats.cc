@@ -81,8 +81,9 @@ Distribution::sample(double v)
         _max = std::max(_max, v);
     }
     ++n;
-    sum += v;
-    sumSq += v * v;
+    const double delta = v - runningMean;
+    runningMean += delta / static_cast<double>(n);
+    m2 += delta * (v - runningMean);
 }
 
 double
@@ -90,11 +91,7 @@ Distribution::variance() const
 {
     if (n < 2)
         return 0.0;
-    const double m = mean();
-    // Sample variance; guard tiny negative values from rounding.
-    const double var =
-        (sumSq - static_cast<double>(n) * m * m) /
-        static_cast<double>(n - 1);
+    const double var = m2 / static_cast<double>(n - 1);
     return var > 0.0 ? var : 0.0;
 }
 
@@ -119,10 +116,32 @@ void
 Distribution::reset()
 {
     n = 0;
-    sum = 0;
-    sumSq = 0;
+    runningMean = 0;
+    m2 = 0;
     _min = 0;
     _max = 0;
+}
+
+double
+TimeSeries::total() const
+{
+    double t = 0;
+    for (const Window &w : series)
+        t += w.value;
+    return t;
+}
+
+void
+TimeSeries::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Window &w = series[i];
+        std::ostringstream label;
+        label << name() << "::w" << i << '[' << w.start << ',' << w.end
+              << ')';
+        emitLine(os, prefix, label.str(), w.value, desc());
+    }
+    emitLine(os, prefix, name() + "::total", total(), desc());
 }
 
 void

@@ -99,7 +99,7 @@ class Distribution : public StatBase
     void sample(double v);
 
     std::uint64_t count() const { return n; }
-    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double mean() const { return n ? runningMean : 0.0; }
     double variance() const;
     double stddev() const;
     double min() const { return n ? _min : 0.0; }
@@ -109,11 +109,55 @@ class Distribution : public StatBase
     void reset() override;
 
   private:
+    // Welford's online moments: the textbook sumSq - n*m^2 form
+    // cancels catastrophically for large-mean/small-spread samples
+    // (tick timestamps), yielding variance 0 or garbage.
     std::uint64_t n = 0;
-    double sum = 0;
-    double sumSq = 0;
+    double runningMean = 0;
+    double m2 = 0; ///< sum of squared deviations from the running mean
     double _min = 0;
     double _max = 0;
+};
+
+/**
+ * A sequence of per-window values over simulated time: the interval
+ * recorder's building block. Each record() closes one window
+ * [start, end) with its value; windows are appended in time order and
+ * kept verbatim (analysis happens offline).
+ */
+class TimeSeries : public StatBase
+{
+  public:
+    /** One closed observation window. */
+    struct Window
+    {
+        std::uint64_t start = 0; ///< tick the window opened
+        std::uint64_t end = 0;   ///< tick the window closed
+        double value = 0;
+    };
+
+    TimeSeries(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {
+    }
+
+    /** Append the window [start, end) holding @p value. */
+    void
+    record(std::uint64_t start, std::uint64_t end, double value)
+    {
+        series.push_back(Window{start, end, value});
+    }
+
+    const std::vector<Window> &windows() const { return series; }
+
+    /** @return sum over all windows (must equal the aggregate stat). */
+    double total() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { series.clear(); }
+
+  private:
+    std::vector<Window> series;
 };
 
 /** A derived statistic evaluated at dump time. */

@@ -118,6 +118,29 @@ TEST(SampleProfiler, SkidAttributesToNextFunction)
     EXPECT_GE(prof.samples(0, FuncId::CopyToUser, Event::Cycles), 1u);
 }
 
+TEST(SampleProfiler, FinalizeFlushesPendingSkidToLastFunction)
+{
+    SampleProfiler prof(1, /*seed=*/5);
+    prof.setSamplingInterval(Event::Cycles, 10);
+    prof.setSkidProbability(1.0); // every sample skids
+    BinAccounting acct(1);
+    acct.setListener(&prof);
+    // Plenty of events, but no later function ever runs: every sample
+    // sits in the skid queue and the totals read zero — the bug this
+    // guards against is those samples silently vanishing at run end.
+    acct.add(0, FuncId::TcpAck, Event::Cycles, 1000);
+    EXPECT_EQ(prof.totalSamples(0, Event::Cycles), 0u);
+
+    prof.finalize();
+    const std::uint64_t flushed = prof.totalSamples(0, Event::Cycles);
+    EXPECT_GT(flushed, 0u);
+    EXPECT_EQ(prof.samples(0, FuncId::TcpAck, Event::Cycles), flushed);
+
+    // Idempotent: a second finalize has nothing left to book.
+    prof.finalize();
+    EXPECT_EQ(prof.totalSamples(0, Event::Cycles), flushed);
+}
+
 TEST(SampleProfiler, SampledDistributionTracksExact)
 {
     SampleProfiler prof(1, 42);

@@ -83,6 +83,20 @@ TEST(Spearman, TestVerdict)
     EXPECT_FALSE(bad.significant);
 }
 
+TEST(Spearman, MonotoneFourPointSeriesIsSignificant)
+{
+    // At n=4 the one-tailed p=0.05 critical value is exactly 1.000, so
+    // only a perfectly monotone series can reach it — and it must:
+    // reaching the tabulated boundary IS significance (the old strict
+    // `rho > critical` comparison could never fire for n=4).
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{10, 20, 30, 40};
+    const SpearmanResult r = spearmanTest(x, y);
+    EXPECT_DOUBLE_EQ(r.rho, 1.0);
+    EXPECT_DOUBLE_EQ(r.critical, 1.0);
+    EXPECT_TRUE(r.significant);
+}
+
 core::RunResult
 mkRun(std::uint64_t work, std::vector<std::uint64_t> bin_cycles,
       std::vector<std::uint64_t> bin_llc)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <clocale>
 #include <sstream>
 
 #include "src/core/campaign.hh"
@@ -320,6 +321,96 @@ TEST(SweepBuilder, SteeringAxisLabelsNonDefaultPolicies)
     EXPECT_EQ(points[1].label, "TX 1024B No Aff rss:4q");
     EXPECT_EQ(points[1].config.steering.kind, net::SteeringKind::Rss);
     EXPECT_EQ(points[1].config.steering.numQueues, 4);
+}
+
+TEST(ResultsJson, RoundTripsIntervalSeries)
+{
+    // One point with interval stats armed: the v3 "intervals" block
+    // must survive the write/read cycle window for window.
+    core::SystemConfig base;
+    base.numConnections = 2;
+    base.statsIntervalUs = 500.0;
+
+    std::vector<core::CampaignPoint> points =
+        core::SweepBuilder()
+            .base(base)
+            .schedule(tinySchedule())
+            .mode(workload::TtcpMode::Transmit)
+            .size(4096)
+            .affinity(core::AffinityMode::Full)
+            .build();
+
+    core::Campaign::Options opts;
+    opts.numThreads = 1;
+    const core::ResultSet rs = core::Campaign::run(points, opts);
+    const prof::IntervalSeries &orig = rs.result(0).intervals;
+    ASSERT_FALSE(orig.empty());
+
+    std::stringstream ss;
+    core::writeResultsJson(ss, rs);
+    const core::JsonCampaign parsed = core::readResultsJson(ss);
+    ASSERT_EQ(parsed.points.size(), 1u);
+    const prof::IntervalSeries &got = parsed.points[0].result.intervals;
+
+    EXPECT_EQ(got.intervalTicks, orig.intervalTicks);
+    EXPECT_EQ(got.numCpus, orig.numCpus);
+    EXPECT_EQ(got.numQueues, orig.numQueues);
+    ASSERT_EQ(got.windows.size(), orig.windows.size());
+    for (std::size_t w = 0; w < orig.windows.size(); ++w) {
+        EXPECT_EQ(got.windows[w].start, orig.windows[w].start);
+        EXPECT_EQ(got.windows[w].end, orig.windows[w].end);
+        EXPECT_EQ(got.windows[w].binDeltas, orig.windows[w].binDeltas);
+        EXPECT_EQ(got.windows[w].rxFramesPerQueue,
+                  orig.windows[w].rxFramesPerQueue);
+    }
+
+    // A v2 document (no intervals block) still parses, with an empty
+    // series.
+    std::stringstream v2(
+        "{\"schema_version\": 2, \"campaign_seed\": 1, \"threads\": 1, "
+        "\"points\": []}");
+    EXPECT_EQ(core::readResultsJson(v2).points.size(), 0u);
+}
+
+TEST(ResultsJson, RoundTripSurvivesCommaDecimalLocale)
+{
+    // Under a comma-decimal LC_NUMERIC, printf("%.17g") writes "0,5"
+    // and std::stod reads it back as 0 — the old implementation
+    // corrupted every double in the file. std::to_chars/from_chars
+    // ignore the locale entirely.
+    const char *old = std::setlocale(LC_NUMERIC, nullptr);
+    const std::string saved = old ? old : "C";
+    if (!std::setlocale(LC_NUMERIC, "de_DE.UTF-8") &&
+        !std::setlocale(LC_NUMERIC, "de_DE")) {
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+
+    core::Campaign::Options opts;
+    opts.numThreads = 1;
+    opts.seed = 7;
+    std::vector<core::CampaignPoint> points = tinyPoints();
+    points.resize(1);
+    const core::ResultSet rs = core::Campaign::run(points, opts);
+
+    std::stringstream ss;
+    core::writeResultsJson(ss, rs);
+    core::JsonCampaign parsed;
+    try {
+        parsed = core::readResultsJson(ss);
+    } catch (...) {
+        std::setlocale(LC_NUMERIC, saved.c_str());
+        throw;
+    }
+    std::setlocale(LC_NUMERIC, saved.c_str());
+
+    ASSERT_EQ(parsed.points.size(), 1u);
+    const core::RunResult &r = rs.result(0);
+    const core::RunResult &got = parsed.points[0].result;
+    EXPECT_EQ(got.seconds, r.seconds);
+    EXPECT_EQ(got.throughputMbps, r.throughputMbps);
+    EXPECT_EQ(got.cpuUtil, r.cpuUtil);
+    EXPECT_EQ(got.ghzPerGbps, r.ghzPerGbps);
+    ASSERT_GT(r.cpuUtil, 0.0); // a zero would mask the stod failure
 }
 
 TEST(ResultsJson, RejectsMalformedInput)

@@ -65,6 +65,21 @@ TEST(Distribution, MomentsAndExtrema)
     EXPECT_NEAR(d.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
 }
 
+TEST(Distribution, LargeMeanSmallSpreadIsNumericallyStable)
+{
+    // Tick-magnitude samples with unit spread: the textbook
+    // sumSq - n*m^2 formulation cancels catastrophically here (sumSq
+    // and n*m^2 agree in their top ~17 digits), reporting variance 0
+    // or garbage. Welford's update must recover stddev ~= 1 exactly.
+    Group root(nullptr, "");
+    Distribution d(&root, "d", "test dist");
+    for (double off : {-1.0, 0.0, 1.0})
+        d.sample(1.0e9 + off);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.0e9);
+    EXPECT_NEAR(d.variance(), 1.0, 1e-9);
+    EXPECT_NEAR(d.stddev(), 1.0, 1e-9);
+}
+
 TEST(Distribution, SingleSampleHasZeroVariance)
 {
     Group root(nullptr, "");

@@ -10,9 +10,13 @@
 #include <cstring>
 #include <set>
 
+#include <memory>
+#include <vector>
+
 #include "src/core/campaign.hh"
 #include "src/core/sweep.hh"
 #include "src/net/steering.hh"
+#include "src/sim/timeline.hh"
 
 using namespace na;
 
@@ -133,16 +137,19 @@ doubleBits(double d)
     return bits;
 }
 
-TEST(SteeringStaticPaper, BitIdenticalToPreSteeringGolden)
+core::ResultSet
+runGoldenCampaign(double stats_interval_us,
+                  core::Campaign::Options opts = {})
 {
     core::SystemConfig base;
     base.numConnections = 2;
+    base.statsIntervalUs = stats_interval_us;
 
     core::RunSchedule sched;
     sched.warmup = 2'000'000;
     sched.measure = 10'000'000;
 
-    const std::vector<core::CampaignPoint> points =
+    std::vector<core::CampaignPoint> points =
         core::SweepBuilder()
             .base(base)
             .schedule(sched)
@@ -151,14 +158,17 @@ TEST(SteeringStaticPaper, BitIdenticalToPreSteeringGolden)
             .sizes({4096u, 65536u})
             .affinities(core::allAffinityModes)
             .build();
-    ASSERT_EQ(points.size(), 16u);
+    EXPECT_EQ(points.size(), 16u);
 
-    core::Campaign::Options opts;
     opts.numThreads = 2;
     opts.seed = 42;
-    const core::ResultSet rs = core::Campaign::run(points, opts);
-    ASSERT_EQ(rs.size(), 16u);
+    return core::Campaign::run(std::move(points), opts);
+}
 
+void
+expectGolden(const core::ResultSet &rs)
+{
+    ASSERT_EQ(rs.size(), 16u);
     for (std::size_t i = 0; i < 16; ++i) {
         SCOPED_TRACE(rs.point(i).label);
         const core::RunResult &r = rs.result(i);
@@ -175,6 +185,57 @@ TEST(SteeringStaticPaper, BitIdenticalToPreSteeringGolden)
         // queue carrying every frame.
         EXPECT_EQ(r.steeringPolicy, "static");
         ASSERT_EQ(r.rxFramesPerQueue.size(), 1u);
+    }
+}
+
+TEST(SteeringStaticPaper, BitIdenticalToPreSteeringGolden)
+{
+    const core::ResultSet rs = runGoldenCampaign(0.0);
+    expectGolden(rs);
+    // statsIntervalUs = 0: no recorder exists and results carry no
+    // interval series.
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        EXPECT_TRUE(rs.result(i).intervals.empty());
+}
+
+// The observability layer armed (interval snapshots every 100 us plus
+// a timeline tracer on every point) must not perturb the simulation:
+// the snapshot event reads counters but mutates no state and draws no
+// random numbers, and the tracer only buffers. Identical goldens, and
+// every counter's window deltas must telescope back to its aggregate.
+TEST(SteeringStaticPaper, GoldenUnchangedWithObservabilityArmed)
+{
+    std::vector<std::unique_ptr<sim::TimelineTracer>> tracers(16);
+    core::Campaign::Options opts;
+    opts.systemHook = [&tracers](core::System &system,
+                                 const core::CampaignPoint &,
+                                 std::size_t index) {
+        tracers[index] = std::make_unique<sim::TimelineTracer>();
+        system.setTimelineTracer(tracers[index].get());
+    };
+
+    const core::ResultSet rs = runGoldenCampaign(100.0, opts);
+    expectGolden(rs);
+
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        SCOPED_TRACE(rs.point(i).label);
+        const core::RunResult &r = rs.result(i);
+        ASSERT_FALSE(r.intervals.empty());
+        for (std::size_t e = 0; e < prof::numEvents; ++e) {
+            EXPECT_EQ(
+                r.intervals.totalEvent(static_cast<prof::Event>(e)),
+                r.eventTotals[e])
+                << "event " << e;
+        }
+        // Per-queue frame deltas telescope too.
+        std::uint64_t frames = 0;
+        for (const prof::IntervalWindow &w : r.intervals.windows) {
+            ASSERT_EQ(w.rxFramesPerQueue.size(), 1u);
+            frames += w.rxFramesPerQueue[0];
+        }
+        EXPECT_EQ(frames, r.rxFramesPerQueue[0]);
+        // The tracer saw traffic on every point.
+        EXPECT_GT(tracers[i]->eventCount(), 0u);
     }
 }
 
