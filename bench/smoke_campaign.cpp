@@ -77,6 +77,30 @@ main()
                      a.size(), b.size());
         return 1;
     }
+    // Degraded points no longer abort the campaign; they come back as
+    // structured PointFailure records. Print each one in full — the
+    // reason carries the complete message, not a truncated first line.
+    bool degraded = false;
+    for (const core::ResultSet *set : {&a, &b}) {
+        for (std::size_t i = 0; i < set->size(); ++i) {
+            const core::RunResult &r = set->result(i);
+            if (!r.failed)
+                continue;
+            degraded = true;
+            std::fprintf(stderr,
+                         "smoke: point %zu (%s) [%s] failed after %d "
+                         "attempts at tick %llu:\n  %s\n",
+                         i, set->point(i).label.c_str(),
+                         r.failure.configSummary.c_str(),
+                         r.failure.attempts,
+                         static_cast<unsigned long long>(
+                             r.failure.ticksReached),
+                         r.failure.reason.c_str());
+        }
+    }
+    if (degraded)
+        return 1;
+
     for (std::size_t i = 0; i < a.size(); ++i) {
         if (a.result(i).payloadBytes == 0) {
             std::fprintf(stderr, "smoke: point %zu (%s) moved no data\n",

@@ -13,11 +13,18 @@
  *                                   [--queues N]
  *                                   [--interval-stats US]
  *                                   [--timeline PATH]
+ *                                   [--fault-loss P] [--fault-corrupt P]
+ *                                   [--fault-dup P] [--fault-reorder P]
+ *                                   [--fault-irq-loss P] [--retries N]
  *
  * --interval-stats US records per-CPU per-bin counter deltas every US
  * simulated microseconds (exported in the --json file, schema v3).
  * --timeline PATH writes a Chrome trace-event JSON of the first sweep
  * point (load in chrome://tracing or Perfetto).
+ * The --fault-* flags configure the seeded fault injector (both
+ * directions for loss/dup/reorder, SUT-bound for corruption); --retries
+ * bounds re-runs of a failing point before it is recorded as a
+ * degraded PointFailure instead of aborting the sweep.
  */
 
 #include <cstdio>
@@ -89,13 +96,39 @@ main(int argc, char **argv)
             cfg.statsIntervalUs = std::atof(argv[++i]);
         } else if (!std::strcmp(argv[i], "--timeline") && i + 1 < argc) {
             timeline_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--fault-loss") &&
+                   i + 1 < argc) {
+            const double p = std::atof(argv[++i]);
+            cfg.faults.toPeer.lossProb = p;
+            cfg.faults.toSut.lossProb = p;
+        } else if (!std::strcmp(argv[i], "--fault-corrupt") &&
+                   i + 1 < argc) {
+            cfg.faults.toSut.corruptProb = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--fault-dup") &&
+                   i + 1 < argc) {
+            const double p = std::atof(argv[++i]);
+            cfg.faults.toPeer.dupProb = p;
+            cfg.faults.toSut.dupProb = p;
+        } else if (!std::strcmp(argv[i], "--fault-reorder") &&
+                   i + 1 < argc) {
+            const double p = std::atof(argv[++i]);
+            cfg.faults.toPeer.reorderProb = p;
+            cfg.faults.toSut.reorderProb = p;
+        } else if (!std::strcmp(argv[i], "--fault-irq-loss") &&
+                   i + 1 < argc) {
+            cfg.faults.irqLossProb = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--retries") && i + 1 < argc) {
+            options.maxAttempts = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--rx] [--conns N] [--cpus N] "
                          "[--size BYTES] [--loss P] [--threads N] "
                          "[--seed S] [--json PATH] "
                          "[--steering static|rss|fd] [--queues N] "
-                         "[--interval-stats US] [--timeline PATH]\n",
+                         "[--interval-stats US] [--timeline PATH] "
+                         "[--fault-loss P] [--fault-corrupt P] "
+                         "[--fault-dup P] [--fault-reorder P] "
+                         "[--fault-irq-loss P] [--retries N]\n",
                          argv[0]);
             return 2;
         }
@@ -144,6 +177,15 @@ main(int argc, char **argv)
                         .c_str(),
                     cfg.steering.numQueues);
     }
+    if (cfg.faults.enabled()) {
+        std::printf("fault injection: loss=%g corrupt=%g dup=%g "
+                    "reorder=%g irq-loss=%g (max %d attempts/point)\n\n",
+                    cfg.faults.toSut.lossProb,
+                    cfg.faults.toSut.corruptProb,
+                    cfg.faults.toSut.dupProb,
+                    cfg.faults.toSut.reorderProb, cfg.faults.irqLossProb,
+                    options.maxAttempts);
+    }
 
     core::ResultSet results;
     try {
@@ -178,6 +220,25 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
+    // Degraded points come back as structured records (their table rows
+    // above read zero); surface each full failure, untruncated.
+    if (results.failureCount() != 0) {
+        std::printf("\n%zu point(s) degraded:\n", results.failureCount());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const core::RunResult &r = results.result(i);
+            if (!r.failed)
+                continue;
+            std::printf("  %s [%s]\n    after %d attempts, tick %llu: "
+                        "%s\n",
+                        results.point(i).label.c_str(),
+                        r.failure.configSummary.c_str(),
+                        r.failure.attempts,
+                        static_cast<unsigned long long>(
+                            r.failure.ticksReached),
+                        r.failure.reason.c_str());
+        }
+    }
+
     if (json_path) {
         if (!core::writeResultsJsonFile(json_path, results)) {
             std::fprintf(stderr, "error: could not write %s\n",
@@ -186,5 +247,5 @@ main(int argc, char **argv)
         }
         std::printf("\nresults written to %s\n", json_path);
     }
-    return 0;
+    return results.failureCount() == 0 ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -64,6 +65,31 @@ ResultSet::at(std::string_view label) const
                     static_cast<int>(label.size()), label.data()));
 }
 
+namespace {
+
+/**
+ * Derive the platform seed for retry @p attempt from a point's base
+ * seed. Attempt 0 is the base seed itself — a campaign whose points
+ * all succeed first try is bit-identical to one run without retries.
+ */
+std::uint64_t
+mixRetrySeed(std::uint64_t base, int attempt)
+{
+    if (attempt == 0)
+        return base;
+    std::uint64_t z =
+        base ^ (0xd1342543de82ef95ULL *
+                static_cast<std::uint64_t>(attempt));
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z ? z : 0x9e3779b97f4a7c15ULL;
+}
+
+} // namespace
+
 std::uint64_t
 Campaign::pointSeed(std::uint64_t campaign_seed, std::size_t index)
 {
@@ -78,6 +104,13 @@ Campaign::pointSeed(std::uint64_t campaign_seed, std::size_t index)
     z *= 0x94d049bb133111ebULL;
     z ^= z >> 31;
     return z ? z : 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t
+Campaign::retrySeed(std::uint64_t campaign_seed, std::size_t index,
+                    int attempt)
+{
+    return mixRetrySeed(pointSeed(campaign_seed, index), attempt);
 }
 
 int
@@ -120,8 +153,9 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
     }
 
     std::vector<RunResult> results(points.size());
-    std::vector<std::string> errors(points.size());
     std::atomic<std::size_t> next{0};
+    const int max_attempts =
+        options.maxAttempts > 0 ? options.maxAttempts : 1;
 
     auto work = [&]() {
         while (true) {
@@ -129,16 +163,52 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
-            try {
-                System system(points[i].config);
-                if (options.systemHook)
-                    options.systemHook(system, points[i], i);
-                results[i] =
-                    Experiment::measure(system, points[i].schedule);
-                if (options.resultHook)
-                    options.resultHook(system, points[i], i, results[i]);
-            } catch (const std::exception &e) {
-                errors[i] = e.what();
+
+            std::string last_error;
+            std::uint64_t ticks_reached = 0;
+            int attempt = 0;
+            for (; attempt < max_attempts; ++attempt) {
+                // Retries re-derive the platform seed from the point's
+                // base seed and the attempt number only — a function of
+                // submission index, never of threads or timing — so the
+                // whole campaign stays bit-reproducible even when some
+                // points need several tries.
+                SystemConfig cfg = points[i].config;
+                cfg.platform.seed = mixRetrySeed(
+                    points[i].config.platform.seed, attempt);
+                std::unique_ptr<System> system;
+                try {
+                    system = std::make_unique<System>(cfg);
+                    if (options.systemHook)
+                        options.systemHook(*system, points[i], i);
+                    results[i] = Experiment::measure(
+                        *system, points[i].schedule);
+                    if (options.resultHook) {
+                        options.resultHook(*system, points[i], i,
+                                           results[i]);
+                    }
+                    break;
+                } catch (const std::exception &e) {
+                    last_error = e.what();
+                    ticks_reached =
+                        system ? system->eventQueue().now() : 0;
+                    if (options.failureHook) {
+                        options.failureHook(points[i], i, attempt + 1,
+                                            last_error);
+                    }
+                }
+            }
+            if (attempt == max_attempts) {
+                // Every attempt failed: degrade to a structured record
+                // (the full message, untruncated) instead of killing
+                // the campaign.
+                results[i] = RunResult{};
+                results[i].failed = true;
+                results[i].failure.reason = last_error;
+                results[i].failure.configSummary =
+                    points[i].config.summary();
+                results[i].failure.ticksReached = ticks_reached;
+                results[i].failure.attempts = max_attempts;
             }
         }
     };
@@ -160,13 +230,26 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
             t.join();
     }
 
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (!errors[i].empty()) {
-            throw std::runtime_error(sim::format(
-                "campaign point %zu (%s) [%s] failed: %s", i,
-                points[i].label.c_str(),
-                points[i].config.summary().c_str(), errors[i].c_str()));
+    if (options.failFast) {
+        // Aggregate EVERY failed point's message in full — the old
+        // behaviour of rethrowing only the first error silently
+        // discarded the rest.
+        std::string agg;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!results[i].failed)
+                continue;
+            if (!agg.empty())
+                agg += '\n';
+            agg += sim::format(
+                "campaign point %zu (%s) [%s] failed after %d "
+                "attempts: %s",
+                i, points[i].label.c_str(),
+                points[i].config.summary().c_str(),
+                results[i].failure.attempts,
+                results[i].failure.reason.c_str());
         }
+        if (!agg.empty())
+            throw std::runtime_error(agg);
     }
 
     ResultSet rs(std::move(points), std::move(results));

@@ -57,6 +57,16 @@ class ResultSet
     const CampaignPoint &point(std::size_t i) const { return pts.at(i); }
     const RunResult &result(std::size_t i) const { return res.at(i); }
 
+    /** @return points that exhausted their retries (RunResult::failed). */
+    std::size_t
+    failureCount() const
+    {
+        std::size_t n = 0;
+        for (const RunResult &r : res)
+            n += r.failed ? 1 : 0;
+        return n;
+    }
+
     /**
      * @return the result of the unique point matching the given ttcp
      *         mode, message size, and affinity mode, or nullptr.
@@ -130,6 +140,36 @@ class Campaign
         std::function<void(System &, const CampaignPoint &, std::size_t,
                            RunResult &)>
             resultHook;
+
+        /**
+         * Attempts per point before giving up: a run that throws
+         * (watchdog overrun, event-queue stall, failed establishment)
+         * is retried on a fresh System with a different substream
+         * seed, up to this many tries total. Attempt 0 uses exactly
+         * the seed a retry-less campaign would, so campaigns whose
+         * points all succeed first try are unchanged by this option.
+         */
+        int maxAttempts = 2;
+
+        /**
+         * If true, any point that exhausts its retries aborts the
+         * campaign with an exception aggregating EVERY failed point's
+         * full message (the pool still drains first). If false (the
+         * default), failed points degrade to structured
+         * RunResult::failure records and the campaign completes.
+         */
+        bool failFast = false;
+
+        /**
+         * Optional hook invoked on the worker thread each time a point
+         * attempt fails (before any retry). Receives the submission
+         * index, the 1-based attempt number just tried, and the full
+         * untruncated failure message. The per-index-slot rule from
+         * systemHook applies to shared state.
+         */
+        std::function<void(const CampaignPoint &, std::size_t, int,
+                           const std::string &)>
+            failureHook;
     };
 
     /**
@@ -140,13 +180,25 @@ class Campaign
     static std::uint64_t pointSeed(std::uint64_t campaign_seed,
                                    std::size_t index);
 
+    /**
+     * Seed for retry @p attempt of point @p index. Attempt 0 equals
+     * pointSeed(campaign_seed, index) exactly; later attempts mix in
+     * the attempt number so a flaky point explores a fresh stream.
+     * Deterministic: retries are a function of (seed, index, attempt),
+     * never of thread identity or timing.
+     */
+    static std::uint64_t retrySeed(std::uint64_t campaign_seed,
+                                   std::size_t index, int attempt);
+
     /** Resolve an Options::numThreads request to a concrete count. */
     static int resolveThreads(int requested);
 
     /**
      * Run every point and collect results in submission order.
-     * Validates all configs up front; rethrows the first worker
-     * exception after the pool drains.
+     * Validates all configs up front. Points whose every attempt
+     * throws become structured RunResult::failure records (or, under
+     * Options::failFast, one aggregate exception naming every failed
+     * point in full, raised after the pool drains).
      */
     static ResultSet run(std::vector<CampaignPoint> points,
                          const Options &options);

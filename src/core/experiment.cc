@@ -1,6 +1,9 @@
 #include "src/core/experiment.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "src/sim/logging.hh"
 
@@ -107,6 +110,10 @@ Experiment::extract(System &system, double seconds,
         for (int q = 0; q < nic.numRxQueues(); ++q)
             r.rxFramesPerQueue[static_cast<std::size_t>(q)] +=
                 nic.rxFramesOnQueue(q);
+        r.txDropsRingFull +=
+            static_cast<std::uint64_t>(nic.txDropsRingFull.value());
+        r.rxDropsRingFull +=
+            static_cast<std::uint64_t>(nic.rxDropsRingFull.value());
     }
 
     return r;
@@ -115,23 +122,64 @@ Experiment::extract(System &system, double seconds,
 RunResult
 Experiment::measure(System &system, const RunSchedule &schedule)
 {
-    if (!system.establishAll(schedule.establishDeadline))
-        sim::fatal("connections failed to establish before the deadline");
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto checkWall = [&](const char *phase) {
+        if (schedule.wallLimitSeconds <= 0.0)
+            return;
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        if (elapsed > schedule.wallLimitSeconds) {
+            throw std::runtime_error(sim::format(
+                "watchdog: %s phase still running after %.1f wall "
+                "seconds (limit %.1f, simulated tick %llu) — the "
+                "simulation is not making useful progress",
+                phase, elapsed, schedule.wallLimitSeconds,
+                static_cast<unsigned long long>(
+                    system.eventQueue().now())));
+        }
+    };
+    // Run in 1/16 slices so the wall clock is consulted along the way.
+    // Slicing runUntil cannot reorder events, so a limited run that
+    // finishes in time is bit-identical to an unlimited one.
+    auto runSliced = [&](sim::Tick duration, const char *phase) {
+        if (schedule.wallLimitSeconds <= 0.0) {
+            system.runFor(duration);
+            return;
+        }
+        const sim::Tick slice = std::max<sim::Tick>(duration / 16, 1);
+        const sim::Tick end = system.eventQueue().now() + duration;
+        while (system.eventQueue().now() < end) {
+            system.runFor(
+                std::min<sim::Tick>(slice,
+                                    end - system.eventQueue().now()));
+            checkWall(phase);
+        }
+    };
 
-    system.runFor(schedule.warmup);
+    if (!system.establishAll(schedule.establishDeadline)) {
+        throw std::runtime_error(sim::format(
+            "connections failed to establish before the deadline "
+            "(tick %llu)",
+            static_cast<unsigned long long>(system.eventQueue().now())));
+    }
+    checkWall("establish");
+
+    runSliced(schedule.warmup, "warmup");
     system.beginMeasurement();
     const std::uint64_t sink_before = system.sinkBytes();
     const sim::Tick t0 = system.eventQueue().now();
     const double freq = system.config().platform.freqHz;
 
     if (schedule.maxWindows <= 1) {
-        system.runFor(schedule.measure);
+        runSliced(schedule.measure, "measure");
     } else {
         // Convergence mode: extend window by window until the
         // cumulative throughput stabilizes.
         double prev_rate = -1.0;
         for (int w = 0; w < schedule.maxWindows; ++w) {
-            system.runFor(schedule.measure);
+            runSliced(schedule.measure, "measure");
             const double secs = sim::ticksToSeconds(
                 system.eventQueue().now() - t0, freq);
             const double rate =

@@ -26,6 +26,16 @@ struct RunSchedule
      */
     int maxWindows = 0;
     double convergeTolerance = 0.01;
+
+    /**
+     * Wall-clock watchdog: if one run (establish + warmup + measure)
+     * takes longer than this many real seconds, the run is abandoned
+     * with std::runtime_error. 0 disables (the default). Checked at
+     * slice boundaries (1/16 of each phase), so enforcement lags by at
+     * most one slice; bit-identical to an unlimited run that finishes
+     * in time, because slicing runUntil cannot change event order.
+     */
+    double wallLimitSeconds = 0.0;
 };
 
 /** Drives Systems through the measurement protocol. */

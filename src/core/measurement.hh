@@ -37,6 +37,19 @@ struct BinMetrics
     double pctBrMispred = 0;  ///< mispredicted / branches
 };
 
+/**
+ * Structured record of one campaign point that could not produce a
+ * result (every retry exhausted). Campaigns degrade to recording these
+ * instead of aborting the whole sweep.
+ */
+struct PointFailure
+{
+    std::string reason;        ///< full failure message, untruncated
+    std::string configSummary; ///< SystemConfig::summary() of the point
+    std::uint64_t ticksReached = 0; ///< sim time at the last failure
+    int attempts = 0;               ///< tries before giving up
+};
+
 /** Everything one run of one configuration yields. */
 struct RunResult
 {
@@ -57,6 +70,15 @@ struct RunResult
     std::uint64_t ipis = 0;
     std::uint64_t migrations = 0;
     std::uint64_t contextSwitches = 0;
+    /** TX frames refused by a full ring, summed across NICs. */
+    std::uint64_t txDropsRingFull = 0;
+    /** RX frames dropped at a full ring, summed across NICs. */
+    std::uint64_t rxDropsRingFull = 0;
+
+    /** True if this point never produced a measurement; the metric
+     *  fields above are zero and `failure` says why. */
+    bool failed = false;
+    PointFailure failure;
 
     /**
      * Frames received per NIC RX queue, summed across NICs (size =

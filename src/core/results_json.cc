@@ -146,7 +146,7 @@ void
 writeResultsJson(std::ostream &os, const ResultSet &results)
 {
     os << "{\n";
-    os << "  \"schema_version\": 3,\n";
+    os << "  \"schema_version\": 4,\n";
     os << "  \"campaign_seed\": " << results.campaignSeed << ",\n";
     os << "  \"threads\": " << results.threadsUsed << ",\n";
     os << "  \"points\": [";
@@ -164,7 +164,9 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
            << ", \"cpus\": " << c.platform.numCpus
            << ", \"seed\": " << c.platform.seed << ", \"steering\": \""
            << steeringKindName(c.steering.kind) << "\", \"queues\": "
-           << c.steering.numQueues << "},\n";
+           << c.steering.numQueues << ", \"faults\": \""
+           << jsonEscape(c.faults.enabled() ? c.faults.label() : "off")
+           << "\"},\n";
         os << "      \"result\": {\n";
         os << "        \"seconds\": " << dbl(r.seconds) << ",\n";
         os << "        \"payload_bytes\": " << r.payloadBytes << ",\n";
@@ -181,10 +183,21 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
         os << "        \"irqs\": " << r.irqs << ", \"ipis\": " << r.ipis
            << ", \"migrations\": " << r.migrations
            << ", \"context_switches\": " << r.contextSwitches << ",\n";
+        os << "        \"tx_drops_ring_full\": " << r.txDropsRingFull
+           << ", \"rx_drops_ring_full\": " << r.rxDropsRingFull
+           << ",\n";
         os << "        \"rx_frames_per_queue\": [";
         for (std::size_t q = 0; q < r.rxFramesPerQueue.size(); ++q)
             os << (q ? ", " : "") << r.rxFramesPerQueue[q];
         os << "],\n";
+        if (r.failed) {
+            os << "        \"failure\": {\"reason\": \""
+               << jsonEscape(r.failure.reason)
+               << "\", \"config_summary\": \""
+               << jsonEscape(r.failure.configSummary)
+               << "\", \"ticks_reached\": " << r.failure.ticksReached
+               << ", \"attempts\": " << r.failure.attempts << "},\n";
+        }
         if (!r.intervals.empty())
             writeIntervals(os, r.intervals);
         os << "        \"event_totals\": {";
@@ -219,9 +232,10 @@ readResultsJson(std::istream &is)
     if (!root.isObject())
         throw std::runtime_error("results json: root is not an object");
     const int version = static_cast<int>(root.num("schema_version"));
-    // v2 is v3 minus the optional per-point intervals block, so one
-    // reader serves both.
-    if (version != 2 && version != 3)
+    // Each version is the previous plus optional/additive fields
+    // (v3: intervals; v4: faults token, ring-full drops, failure
+    // block), so one reader with has() guards serves all three.
+    if (version != 2 && version != 3 && version != 4)
         throw std::runtime_error(
             "results json: unsupported schema_version");
 
@@ -246,6 +260,8 @@ readResultsJson(std::istream &is)
         rec.seed = cfg.u64("seed");
         rec.steering = cfg.str("steering");
         rec.queues = static_cast<int>(cfg.num("queues"));
+        if (cfg.has("faults"))
+            rec.faults = cfg.str("faults");
         rec.result.steeringPolicy = rec.steering;
 
         const Value &res = pv.field("result");
@@ -264,9 +280,22 @@ readResultsJson(std::istream &is)
         rec.result.ipis = res.u64("ipis");
         rec.result.migrations = res.u64("migrations");
         rec.result.contextSwitches = res.u64("context_switches");
+        if (res.has("tx_drops_ring_full"))
+            rec.result.txDropsRingFull = res.u64("tx_drops_ring_full");
+        if (res.has("rx_drops_ring_full"))
+            rec.result.rxDropsRingFull = res.u64("rx_drops_ring_full");
         const Value &per_queue = res.field("rx_frames_per_queue");
         for (const Value &qv : per_queue.items)
             rec.result.rxFramesPerQueue.push_back(qv.asU64());
+        if (res.has("failure")) {
+            const Value &fv = res.field("failure");
+            rec.result.failed = true;
+            rec.result.failure.reason = fv.str("reason");
+            rec.result.failure.configSummary = fv.str("config_summary");
+            rec.result.failure.ticksReached = fv.u64("ticks_reached");
+            rec.result.failure.attempts =
+                static_cast<int>(fv.num("attempts"));
+        }
         if (res.has("intervals"))
             rec.result.intervals = readIntervals(res.field("intervals"));
         const Value &events = res.field("event_totals");

@@ -2,12 +2,14 @@
  * @file
  * Campaign result export/import as JSON (campaign_results.json).
  *
- * Schema (version 3; v1 lacked the steering fields and
+ * Schema (version 4; v1 lacked the steering fields and
  * rx_frames_per_queue, v2 lacked the optional per-point "intervals"
- * block — the reader accepts both 2 and 3):
+ * block, v3 lacked the faults token, the ring-full drop counters, and
+ * the optional per-point "failure" block — the reader accepts 2, 3,
+ * and 4):
  *
  *   {
- *     "schema_version": 3,
+ *     "schema_version": 4,
  *     "campaign_seed": 42,
  *     "threads": 4,
  *     "points": [
@@ -21,7 +23,8 @@
  *           "cpus": 2,
  *           "seed": 1234567,
  *           "steering": "static" | "rss" | "flow_director",
- *           "queues": 1
+ *           "queues": 1,
+ *           "faults": "off" | <FaultPlan label>
  *         },
  *         "result": {
  *           "seconds": 0.05,
@@ -32,7 +35,13 @@
  *           "util_per_cpu": [0.99, 0.97],
  *           "irqs": 1000, "ipis": 12,
  *           "migrations": 3, "context_switches": 450,
+ *           "tx_drops_ring_full": 0, "rx_drops_ring_full": 0,
  *           "rx_frames_per_queue": [9000, 8800],
+ *           "failure": {              // only for degraded points
+ *             "reason": "...full untruncated message...",
+ *             "config_summary": "TX 4096B ...",
+ *             "ticks_reached": 4000000, "attempts": 2
+ *           },
  *           "intervals": {            // only when interval stats ran
  *             "interval_ticks": 200000,
  *             "num_cpus": 2, "num_queues": 1,
@@ -86,6 +95,8 @@ struct JsonRunRecord
     std::string steering = "static";
     /** RX queues per NIC the point was provisioned with. */
     int queues = 1;
+    /** Fault-plan label ("off" when the point ran fault-free). */
+    std::string faults = "off";
     /** Result fields the schema carries (bins stay zeroed). */
     RunResult result;
 };
@@ -99,7 +110,7 @@ struct JsonCampaign
 };
 
 /**
- * Parse a schema-version-2 or -3 results stream.
+ * Parse a schema-version-2, -3, or -4 results stream.
  * @throws std::runtime_error on malformed input.
  */
 JsonCampaign readResultsJson(std::istream &is);

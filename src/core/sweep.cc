@@ -32,24 +32,29 @@ SweepBuilder::build() const
         steeringAxis.empty()
             ? std::vector<net::SteeringConfig>{baseCfg.steering}
             : steeringAxis;
+    const std::vector<sim::FaultPlan> fps =
+        faultAxis.empty() ? std::vector<sim::FaultPlan>{baseCfg.faults}
+                          : faultAxis;
     const std::vector<Variant> vs =
         variants.empty() ? std::vector<Variant>{{std::string(), nullptr}}
                          : variants;
 
     std::vector<CampaignPoint> points;
     points.reserve(vs.size() * ms.size() * ss.size() * as.size() *
-                   sts.size());
+                   sts.size() * fps.size());
     for (const Variant &v : vs) {
         for (workload::TtcpMode m : ms) {
             for (std::uint32_t size : ss) {
                 for (AffinityMode a : as) {
                     for (const net::SteeringConfig &st : sts) {
+                    for (const sim::FaultPlan &fp : fps) {
                         CampaignPoint p;
                         p.config = baseCfg;
                         p.config.ttcp.mode = m;
                         p.config.ttcp.msgSize = size;
                         p.config.affinity = a;
                         p.config.steering = st;
+                        p.config.faults = fp;
                         if (v.mutate)
                             v.mutate(p.config);
                         p.schedule = sched;
@@ -77,9 +82,16 @@ SweepBuilder::build() const
                                     .c_str(),
                                 p.config.steering.numQueues);
                         }
+                        // Same rule for faults: disabled plans leave
+                        // the label (and thus lookups) untouched.
+                        if (p.config.faults.enabled()) {
+                            p.label +=
+                                " flt:" + p.config.faults.label();
+                        }
                         if (!v.label.empty())
                             p.label += " [" + v.label + "]";
                         points.push_back(std::move(p));
+                    }
                     }
                 }
             }

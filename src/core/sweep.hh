@@ -2,9 +2,9 @@
  * @file
  * Fluent construction of campaign point lists.
  *
- * A SweepBuilder crosses up to five axes — ttcp mode, transaction
- * size, affinity mode, steering policy, and free-form config variants
- * — over a base SystemConfig and a shared RunSchedule:
+ * A SweepBuilder crosses up to six axes — ttcp mode, transaction
+ * size, affinity mode, steering policy, fault plan, and free-form
+ * config variants — over a base SystemConfig and a shared RunSchedule:
  *
  *   auto points = core::SweepBuilder()
  *                     .modes({TtcpMode::Transmit, TtcpMode::Receive})
@@ -13,10 +13,10 @@
  *                     .build();
  *
  * Point order is deterministic: variants outermost, then mode, size,
- * affinity, and steering innermost. Axes left unset contribute the
- * base config's value. Variant mutators run last, so a variant may
- * override any field the other axes set (ablation sweeps rely on
- * this).
+ * affinity, steering, and fault plan innermost. Axes left unset
+ * contribute the base config's value. Variant mutators run last, so a
+ * variant may override any field the other axes set (ablation sweeps
+ * rely on this).
  */
 
 #ifndef NETAFFINITY_CORE_SWEEP_HH
@@ -147,6 +147,36 @@ class SweepBuilder
     /** @} */
 
     /**
+     * @name fault-plan axis (innermost)
+     * Enabled plans append " flt:<label>" to the point label; a
+     * disabled (default) plan leaves labels untouched, so fault-free
+     * sweeps are unchanged by this axis existing.
+     * @{
+     */
+    SweepBuilder &
+    faultPlans(std::initializer_list<sim::FaultPlan> fs)
+    {
+        faultAxis.assign(fs.begin(), fs.end());
+        return *this;
+    }
+
+    template <typename Range>
+    SweepBuilder &
+    faultPlans(const Range &range)
+    {
+        faultAxis.assign(std::begin(range), std::end(range));
+        return *this;
+    }
+
+    SweepBuilder &
+    faults(const sim::FaultPlan &f)
+    {
+        faultAxis.assign(1, f);
+        return *this;
+    }
+    /** @} */
+
+    /**
      * Append a free-form variant: @p mutate runs on each generated
      * config after the other axes applied, and @p label is appended to
      * the point label as " [label]". Calling variant() at least once
@@ -171,6 +201,7 @@ class SweepBuilder
     std::vector<std::uint32_t> sizeAxis;
     std::vector<AffinityMode> affinityAxis;
     std::vector<net::SteeringConfig> steeringAxis;
+    std::vector<sim::FaultPlan> faultAxis;
     std::vector<Variant> variants;
 };
 

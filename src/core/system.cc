@@ -126,12 +126,14 @@ SystemConfig::validate() const
                 i, steering.pinCpus[i], platform.numCpus));
         }
     }
+
+    faults.validate("SystemConfig: faults.");
 }
 
 std::string
 SystemConfig::summary() const
 {
-    return sim::format(
+    std::string s = sim::format(
         "%s %uB %s x%d, %d cpus, steering=%s q=%d, rot=%llu",
         ttcp.mode == workload::TtcpMode::Transmit ? "TX" : "RX",
         ttcp.msgSize, std::string(affinityName(affinity)).c_str(),
@@ -139,12 +141,16 @@ SystemConfig::summary() const
         std::string(net::steeringKindName(steering.kind)).c_str(),
         steering.numQueues,
         static_cast<unsigned long long>(irqRotationTicks));
+    if (faults.enabled())
+        s += sim::format(", faults=%s", faults.label().c_str());
+    return s;
 }
 
 System::System(const SystemConfig &config)
     : stats::Group(nullptr, ""), cfg(config)
 {
     cfg.validate();
+    eq.setStallThreshold(cfg.stallEventThreshold);
 
     kern = std::make_unique<os::Kernel>(this, eq, cfg.platform);
     if (cfg.irqRotationTicks > 0)
@@ -192,6 +198,19 @@ System::System(const SystemConfig &config)
             nic_cfg));
         nics[i]->setSteering(steerPolicy.get());
         drv->attachNic(*nics[i]);
+
+        if (cfg.faults.enabled()) {
+            // Seed stream disjoint from the wires' (131-stride) so
+            // adding faults never perturbs the loss RNG of runs that
+            // also set wireLossProb.
+            faultInjectors.push_back(
+                std::make_unique<net::FaultInjector>(
+                    this, sim::format("faults%d", i), cfg.faults,
+                    cfg.platform.seed * 100003ULL +
+                        static_cast<std::uint64_t>(i) * 7919ULL + 13));
+            wires[i]->setFaultInjector(faultInjectors.back().get());
+            nics[i]->setFaultInjector(faultInjectors.back().get());
+        }
 
         sockets.push_back(std::make_unique<net::Socket>(
             this, sim::format("sock%d", i), *kern, *drv, *pool, i,

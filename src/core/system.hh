@@ -18,6 +18,7 @@
 #include "src/core/affinity.hh"
 #include "src/cpu/platform_config.hh"
 #include "src/net/driver.hh"
+#include "src/net/fault_injector.hh"
 #include "src/net/nic.hh"
 #include "src/net/steering.hh"
 #include "src/net/peer.hh"
@@ -68,6 +69,19 @@ struct SystemConfig
      * and per-queue RX frame rates every interval.
      */
     double statsIntervalUs = 0.0;
+    /**
+     * Injected-fault model applied to every connection's wire + NIC
+     * pair. Default-constructed = no faults: no injector is built and
+     * the data path is bit-identical to a build without the subsystem.
+     */
+    sim::FaultPlan faults{};
+    /**
+     * Event-queue non-progress guard: abort (by exception) any run
+     * that fires this many events without simulated time advancing.
+     * 0 disables. The default is far above any legitimate same-tick
+     * cascade, so only genuine livelocks trip it.
+     */
+    std::uint64_t stallEventThreshold = 10'000'000;
 
     /**
      * Sanity-check the configuration.
@@ -99,6 +113,18 @@ class System : public stats::Group
     net::RemotePeer &peer(int i) { return *peers[i]; }
     net::Nic &nic(int i) { return *nics[i]; }
     net::Wire &wire(int i) { return *wires[i]; }
+
+    /**
+     * Fault injector serving connection @p i (nullptr when the config's
+     * fault plan is disabled — the common case).
+     */
+    net::FaultInjector *
+    faultInjector(int i)
+    {
+        return faultInjectors.empty()
+                   ? nullptr
+                   : faultInjectors[static_cast<std::size_t>(i)].get();
+    }
     workload::TtcpApp &app(int i) { return *apps[i]; }
     os::Task &task(int i) { return *tasks[i]; }
 
@@ -150,6 +176,10 @@ class System : public stats::Group
     std::unique_ptr<net::SteeringPolicy> steerPolicy;
     std::unique_ptr<net::SkbPool> pool;
     std::unique_ptr<net::Driver> drv;
+    /** One injector per connection (empty when faults are disabled).
+     *  Declared before wires/nics — their raw fault pointers must not
+     *  outlive the injectors they name. */
+    std::vector<std::unique_ptr<net::FaultInjector>> faultInjectors;
     std::vector<std::unique_ptr<net::Wire>> wires;
     std::vector<std::unique_ptr<net::Nic>> nics;
     std::vector<std::unique_ptr<net::Socket>> sockets;

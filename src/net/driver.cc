@@ -14,6 +14,8 @@ Driver::Driver(stats::Group *parent, os::Kernel &kernel_ref,
       softirqRuns(this, "softirq_runs", "NET_RX softirq invocations"),
       framesDelivered(this, "frames_delivered",
                       "frames delivered to sockets"),
+      txBackpressure(this, "tx_backpressure",
+                     "transmits refused by a full TX ring"),
       kernel(kernel_ref), pool(pool_ref)
 {
     pollList.resize(static_cast<std::size_t>(kernel.numCpus()));
@@ -57,7 +59,7 @@ Driver::socketFor(int conn_id) const
     return it == bindings.end() ? nullptr : it->second.socket;
 }
 
-void
+bool
 Driver::transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
                  sim::Addr data_addr)
 {
@@ -66,11 +68,16 @@ Driver::transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
         sim::panic("driver: transmit on unbound connection %d", conn_id);
     // dev_queue_xmit: each device's own queue lock serializes TX
     // submitters (taken inside xmitFrame).
-    if (it->second.nic->xmitFrame(ctx, pkt, data_addr) && steer) {
+    if (!it->second.nic->xmitFrame(ctx, pkt, data_addr)) {
+        ++txBackpressure;
+        return false;
+    }
+    if (steer) {
         // Flow Director samples posted descriptors to learn
         // flow -> (transmitting CPU's) queue.
         steer->noteTransmit(it->second.nic->index(), pkt, ctx.cpuId());
     }
+    return true;
 }
 
 void

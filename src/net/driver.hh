@@ -55,8 +55,14 @@ class Driver : public stats::Group
      */
     void setSteering(SteeringPolicy *policy) { steer = policy; }
 
-    /** TX entry used by sockets: route the packet out its NIC. */
-    void transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
+    /**
+     * TX entry used by sockets: route the packet out its NIC.
+     * @return false if the NIC's TX ring was full and the frame was
+     *         dropped (counted here as backpressure and on the NIC as
+     *         tx_drops_ring_full); the caller keeps ownership of any
+     *         skb it attached and retransmission recovers the data.
+     */
+    bool transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
                   sim::Addr data_addr);
 
     /** @return socket bound to @p conn_id (nullptr if none). */
@@ -64,6 +70,7 @@ class Driver : public stats::Group
 
     stats::Scalar softirqRuns;
     stats::Scalar framesDelivered;
+    stats::Scalar txBackpressure;
 
   private:
     os::Kernel &kernel;

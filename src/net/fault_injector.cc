@@ -1,0 +1,103 @@
+#include "src/net/fault_injector.hh"
+
+namespace na::net {
+
+FaultInjector::FaultInjector(stats::Group *parent,
+                             const std::string &name,
+                             const sim::FaultPlan &plan,
+                             std::uint64_t seed)
+    : stats::Group(parent, name),
+      dropsLoss(this, "drops_loss", "packets dropped, Bernoulli loss"),
+      dropsBurst(this, "drops_burst",
+                 "packets dropped, Gilbert-Elliott burst"),
+      dropsFlap(this, "drops_flap", "packets dropped, link down"),
+      corrupts(this, "corrupts", "packets flagged corrupt"),
+      dups(this, "dups", "packets duplicated"),
+      reorders(this, "reorders", "packets delayed for reordering"),
+      rxCsumDrops(this, "rx_csum_drops",
+                  "corrupt frames caught by the checksum path"),
+      rxStallDrops(this, "rx_stall_drops",
+                   "frames dropped during RX ring stall windows"),
+      irqsLost(this, "irqs_lost", "interrupts lost or coalesced"),
+      fp(plan), rng(seed)
+{
+}
+
+bool
+FaultInjector::linkDown(sim::Tick now) const
+{
+    if (fp.linkFlapPeriodTicks == 0)
+        return false;
+    const sim::Tick phase = now % fp.linkFlapPeriodTicks;
+    return phase >= fp.linkFlapPeriodTicks - fp.linkFlapDownTicks;
+}
+
+FaultInjector::WireDecision
+FaultInjector::onWirePacket(bool from_sut, sim::Tick now)
+{
+    WireDecision d;
+    if (linkDown(now)) {
+        ++dropsFlap;
+        d.drop = true;
+        return d;
+    }
+    const sim::FaultDirection &dir = from_sut ? fp.toPeer : fp.toSut;
+    if (!dir.enabled())
+        return d;
+
+    if (dir.geGoodToBad > 0.0) {
+        bool &bad = geBad[from_sut ? 0 : 1];
+        if (bad) {
+            if (rng.chance(dir.geBadToGood))
+                bad = false;
+        } else if (rng.chance(dir.geGoodToBad)) {
+            bad = true;
+        }
+        if (bad && rng.chance(dir.geBadLoss)) {
+            ++dropsBurst;
+            d.drop = true;
+            return d;
+        }
+    }
+    if (dir.lossProb > 0.0 && rng.chance(dir.lossProb)) {
+        ++dropsLoss;
+        d.drop = true;
+        return d;
+    }
+    if (dir.corruptProb > 0.0 && rng.chance(dir.corruptProb)) {
+        ++corrupts;
+        d.corrupt = true;
+    }
+    if (dir.dupProb > 0.0 && rng.chance(dir.dupProb)) {
+        ++dups;
+        d.duplicate = true;
+    }
+    if (dir.reorderProb > 0.0 && rng.chance(dir.reorderProb)) {
+        ++reorders;
+        d.extraDelayTicks = dir.reorderDelayTicks;
+    }
+    return d;
+}
+
+bool
+FaultInjector::rxStallActive(sim::Tick now)
+{
+    if (fp.rxStallPeriodTicks == 0)
+        return false;
+    const sim::Tick phase = now % fp.rxStallPeriodTicks;
+    if (phase < fp.rxStallPeriodTicks - fp.rxStallTicks)
+        return false;
+    ++rxStallDrops;
+    return true;
+}
+
+bool
+FaultInjector::irqLost()
+{
+    if (fp.irqLossProb <= 0.0 || !rng.chance(fp.irqLossProb))
+        return false;
+    ++irqsLost;
+    return true;
+}
+
+} // namespace na::net

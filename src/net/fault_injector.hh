@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Runtime half of the fault model: seeded random decisions per packet
+ * and per interrupt, with counters for every fault that fired.
+ *
+ * One FaultInjector serves one connection's wire + NIC pair (they are
+ * installed together by core::System), so its RNG stream is consumed
+ * in event order on that system's single event queue — deterministic
+ * regardless of how many campaign worker threads run other systems.
+ *
+ * The injector is only constructed when the plan is enabled; wires and
+ * NICs hold a nullable pointer, so faults-off runs take one untaken
+ * branch and perform no RNG draws (the golden bit-identity harness
+ * depends on this).
+ */
+
+#ifndef NETAFFINITY_NET_FAULT_INJECTOR_HH
+#define NETAFFINITY_NET_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/fault_plan.hh"
+#include "src/sim/random.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::net {
+
+/** Executes a sim::FaultPlan for one wire + NIC pair. */
+class FaultInjector : public stats::Group
+{
+  public:
+    /** What should happen to one packet entering the wire. */
+    struct WireDecision
+    {
+        bool drop = false;          ///< never delivered (counted)
+        bool corrupt = false;       ///< delivered flagged; csum drops it
+        bool duplicate = false;     ///< delivered twice
+        sim::Tick extraDelayTicks = 0; ///< reordering delay
+    };
+
+    FaultInjector(stats::Group *parent, const std::string &name,
+                  const sim::FaultPlan &plan, std::uint64_t seed);
+
+    const sim::FaultPlan &plan() const { return fp; }
+
+    /**
+     * Decide the fate of one packet. Draws from the injector's RNG in
+     * a fixed order (flap, burst chain, loss, corrupt, dup, reorder),
+     * counting every fault that fires.
+     * @param from_sut true for SUT -> peer (the plan's toPeer side)
+     */
+    WireDecision onWirePacket(bool from_sut, sim::Tick now);
+
+    /** @return true if the link-flap window covers @p now (no draw). */
+    bool linkDown(sim::Tick now) const;
+
+    /**
+     * @return true if the RX ring is inside a stall window; counts the
+     *         dropped frame when it is.
+     */
+    bool rxStallActive(sim::Tick now);
+
+    /**
+     * @return true if this raised interrupt is lost/coalesced (drawn
+     *         with irqLossProb; counted).
+     */
+    bool irqLost();
+
+    /** RX-side checksum catch of an injected corruption (counted). */
+    void noteCsumDrop() { ++rxCsumDrops; }
+
+    stats::Scalar dropsLoss;    ///< Bernoulli wire drops
+    stats::Scalar dropsBurst;   ///< Gilbert-Elliott (Bad-state) drops
+    stats::Scalar dropsFlap;    ///< drops inside link-down windows
+    stats::Scalar corrupts;     ///< packets flagged corrupt
+    stats::Scalar dups;         ///< packets duplicated
+    stats::Scalar reorders;     ///< packets delayed for reordering
+    stats::Scalar rxCsumDrops;  ///< corrupt frames caught by checksum
+    stats::Scalar rxStallDrops; ///< frames dropped in stall windows
+    stats::Scalar irqsLost;     ///< MSIs lost/coalesced
+
+  private:
+    sim::FaultPlan fp;
+    sim::Random rng;
+    /** Gilbert-Elliott state per direction: [0] toPeer, [1] toSut. */
+    bool geBad[2] = {false, false};
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_FAULT_INJECTOR_HH

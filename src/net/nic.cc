@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/net/fault_injector.hh"
 #include "src/net/steering.hh"
 #include "src/os/exec_context.hh"
 #include "src/os/kernel.hh"
@@ -236,6 +237,16 @@ Nic::xmitFrame(os::ExecContext &ctx, const Packet &pkt,
 void
 Nic::onWirePacket(const Packet &pkt)
 {
+    if (faults) {
+        if (pkt.corrupt) {
+            // Hardware checksum offload catches the damage at zero CPU
+            // cost: the frame dies before it touches a descriptor.
+            faults->noteCsumDrop();
+            return;
+        }
+        if (faults->rxStallActive(kernel.now()))
+            return; // ring stall window: frame lost at the device
+    }
     const int qi = steer ? steer->rxQueue(idx, pkt) : 0;
     if (qi < 0 || qi >= static_cast<int>(queues.size()))
         sim::panic("NIC %d: steering chose RX queue %d of %zu", idx, qi,
@@ -307,6 +318,17 @@ void
 Nic::raiseNow(int queue)
 {
     RxQueue &rxq = queues[static_cast<std::size_t>(queue)];
+    if (faults && faults->irqLost()) {
+        // The MSI write is lost (or coalesced away). Leave the vector
+        // unmasked and re-arm moderation so the pending work is found
+        // at the next window — delayed, not deadlocked.
+        rxq.nextIrqAllowed = kernel.now() + cfg.irqGapTicks;
+        if (!rxq.moderation->scheduled()) {
+            kernel.eventQueue().schedule(rxq.moderation.get(),
+                                         rxq.nextIrqAllowed);
+        }
+        return;
+    }
     rxq.masked = true;
     rxq.nextIrqAllowed = kernel.now() + cfg.irqGapTicks;
     ++irqsRaised;

@@ -39,6 +39,7 @@ class Kernel;
 
 namespace na::net {
 
+class FaultInjector;
 class SteeringPolicy;
 
 /** NIC tunables. */
@@ -95,6 +96,13 @@ class Nic : public stats::Group
      * (nullptr: everything lands on queue 0, the pre-steering model).
      */
     void setSteering(SteeringPolicy *policy) { steer = policy; }
+
+    /**
+     * Install a fault injector consulted on RX (checksum catch of
+     * corrupt frames, ring-stall windows) and on interrupt raise
+     * (lost/coalesced MSIs). nullptr = no faults, the default.
+     */
+    void setFaultInjector(FaultInjector *fi) { faults = fi; }
 
     /**
      * Driver TX entry (e1000_xmit_frame context, already charged by the
@@ -243,6 +251,7 @@ class Nic : public stats::Group
     TxComplete txComplete;
     IsrHook isrHook;
     SteeringPolicy *steer = nullptr;
+    FaultInjector *faults = nullptr;
 
     TxDmaEvent *allocTxDmaEvent();
     TxDoneEvent *allocTxDoneEvent();

@@ -17,6 +17,8 @@ RemotePeer::RemotePeer(stats::Group *parent, const std::string &name,
     : stats::Group(parent, name),
       segsIn(this, "segs_in", "segments received"),
       segsOut(this, "segs_out", "segments sent"),
+      csumDrops(this, "csum_drops",
+                "corrupt segments caught by the checksum"),
       eq(eq_ref), wire(wire_ref), connId(conn_id), peerRole(role),
       conn(tcp_config), rpc(rpc_config),
       rtoEvent(name + ".rto", [this] {
@@ -104,6 +106,12 @@ RemotePeer::pump()
 void
 RemotePeer::onPacket(const Packet &pkt)
 {
+    if (pkt.corrupt) {
+        // Injected payload damage: the client's checksum verify fails
+        // and the segment is dropped before the protocol sees it.
+        ++csumDrops;
+        return;
+    }
     ++segsIn;
     std::vector<Segment> replies;
     conn.onSegment(pkt.seg, eq.now(), replies);

@@ -75,6 +75,7 @@ class RemotePeer : public stats::Group
 
     stats::Scalar segsIn;
     stats::Scalar segsOut;
+    stats::Scalar csumDrops;
 
   private:
     sim::EventQueue &eq;

@@ -59,6 +59,12 @@ struct Packet
      * control segments); -1 when the skb lives until acked.
      */
     int freeSlotOnTxComplete = -1;
+    /**
+     * Payload damaged by an injected fault (net::FaultInjector). The
+     * receiver's checksum path catches and drops flagged packets;
+     * protocol logic never sees them.
+     */
+    bool corrupt = false;
 
     /** @return on-wire frame bytes incl. Ethernet/IP/TCP overhead. */
     std::uint32_t

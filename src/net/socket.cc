@@ -320,7 +320,13 @@ Socket::transmitSegment(os::ExecContext &ctx, const Segment &seg)
 
     ctx.charge(prof::FuncId::IpQueueXmit, 200,
                {cpu::MemTouch{routeLine, 32, false}});
-    driver.transmit(ctx, id, pkt, data_addr);
+    if (!driver.transmit(ctx, id, pkt, data_addr) &&
+        pkt.freeSlotOnTxComplete >= 0) {
+        // Ring full: no TxDone will ever fire for this frame, so the
+        // control skb must be released here or it leaks from the pool.
+        // Data skbs stay on txQueue and are recovered by the RTO path.
+        pool.free(ctx, pool.slotRef(pkt.freeSlotOnTxComplete));
+    }
 }
 
 std::uint64_t

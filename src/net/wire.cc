@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/net/fault_injector.hh"
 #include "src/sim/logging.hh"
 
 namespace na::net {
@@ -71,6 +72,15 @@ Wire::send(const Packet &pkt, bool from_a)
         return;
     }
 
+    FaultInjector::WireDecision fd;
+    if (faults) {
+        fd = faults->onWirePacket(from_a, eq.now());
+        if (fd.drop) {
+            ++losses;
+            return;
+        }
+    }
+
     const double bits = static_cast<double>(pkt.wireBytes()) * 8.0;
     const auto ser_ticks =
         static_cast<sim::Tick>(std::ceil(bits / rate * freqHz));
@@ -94,8 +104,18 @@ Wire::send(const Packet &pkt, bool from_a)
 
     DeliverEvent *ev = allocDeliverEvent();
     ev->pkt = pkt;
+    ev->pkt.corrupt = fd.corrupt;
     ev->fromA = from_a;
-    eq.schedule(ev, done + latency);
+    eq.schedule(ev, done + latency + fd.extraDelayTicks);
+
+    if (fd.duplicate) {
+        // The copy rides one tick behind the original, so the receiver
+        // sees a clean duplicate rather than a coalesced double.
+        DeliverEvent *dup = allocDeliverEvent();
+        dup->pkt = ev->pkt;
+        dup->fromA = from_a;
+        eq.schedule(dup, done + latency + fd.extraDelayTicks + 1);
+    }
 }
 
 void

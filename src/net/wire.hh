@@ -23,6 +23,8 @@
 
 namespace na::net {
 
+class FaultInjector;
+
 /** One gigabit Ethernet link between the SUT NIC (side A) and a peer. */
 class Wire : public stats::Group
 {
@@ -54,6 +56,12 @@ class Wire : public stats::Group
 
     /** Set random loss probability (tests). */
     void setLossProb(double p) { lossProb = p; }
+
+    /**
+     * Install a fault injector consulted per packet (nullptr = none,
+     * the default — the fault path is one untaken branch).
+     */
+    void setFaultInjector(FaultInjector *fi) { faults = fi; }
 
     double bitsPerSec() const { return rate; }
 
@@ -89,6 +97,7 @@ class Wire : public stats::Group
     double rate;
     sim::Tick latency;
     double lossProb;
+    FaultInjector *faults = nullptr;
     sim::Random rng;
     Deliver deliverA;
     Deliver deliverB;

@@ -1,6 +1,7 @@
 #include "src/sim/event_queue.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "src/sim/logging.hh"
 #include "src/sim/trace.hh"
@@ -206,6 +207,26 @@ EventQueue::runOne()
         curTick = e.when;
         ev->_scheduled = false;
         ev->_when = maxTick;
+        if (stallThreshold) {
+            if (e.when != stallTick) {
+                stallTick = e.when;
+                stallCount = 0;
+            }
+            if (++stallCount > stallThreshold) {
+                // Livelock: time is not advancing. The event has
+                // already been unhooked from the heap (scheduled flag
+                // cleared, ref dropped) so its owner can destroy it
+                // safely while this exception unwinds the run.
+                const std::string culprit = ev->name();
+                releaseRef(ev);
+                stallCount = 0;
+                throw std::runtime_error(format(
+                    "event queue stalled: %llu events at tick %llu "
+                    "without progress (last: '%s')",
+                    (unsigned long long)stallThreshold,
+                    (unsigned long long)e.when, culprit.c_str()));
+            }
+        }
         ev->process();
         ++numProcessed;
         releaseRef(ev);

@@ -179,6 +179,21 @@ class EventQueue
     /** Run a single event. @return false if the queue was empty. */
     bool runOne();
 
+    /**
+     * Arm the non-progress guard: if more than @p events fire without
+     * simulated time advancing, runOne() throws std::runtime_error
+     * naming the stuck tick and the event that tripped the limit.
+     * 0 disables the guard (the default). The largest legitimate
+     * same-tick cascades (softirq storms at a timer edge) are a few
+     * thousand events, so a threshold in the millions only ever fires
+     * on a genuine livelock — e.g. an event that reschedules itself at
+     * now().
+     */
+    void setStallThreshold(std::uint64_t events)
+    {
+        stallThreshold = events;
+    }
+
   private:
     struct Entry
     {
@@ -209,6 +224,10 @@ class EventQueue
     std::uint64_t nextSeq = 0;
     std::uint64_t numProcessed = 0;
     std::size_t numStale = 0; ///< stale (descheduled) entries in heap
+
+    std::uint64_t stallThreshold = 0; ///< 0 = guard disabled
+    Tick stallTick = 0;               ///< tick the guard is counting at
+    std::uint64_t stallCount = 0;     ///< events fired at stallTick
 
     /**
      * Seqs of descheduled-but-not-yet-drained heap entries. Staleness

@@ -1,0 +1,111 @@
+#include "src/sim/fault_plan.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/sim/logging.hh"
+
+namespace na::sim {
+
+namespace {
+
+/** Throw unless @p v is a probability in [0, 1]. */
+void
+checkProb(const std::string &prefix, const char *field, double v)
+{
+    if (std::isnan(v) || v < 0.0 || v > 1.0) {
+        throw std::runtime_error(
+            sim::format("%s%s must be a probability in [0, 1], got %g",
+                        prefix.c_str(), field, v));
+    }
+}
+
+/** Throw unless the (period, window) pair describes valid cycles. */
+void
+checkWindow(const std::string &prefix, const char *period_field,
+            const char *window_field, Tick period, Tick window)
+{
+    if (period == 0 && window != 0) {
+        throw std::runtime_error(sim::format(
+            "%s%s is %llu but %s is 0 — a nonzero window needs a "
+            "cycle length",
+            prefix.c_str(), window_field,
+            static_cast<unsigned long long>(window), period_field));
+    }
+    if (period > 0 && window == 0) {
+        throw std::runtime_error(sim::format(
+            "%s%s is %llu but %s is 0 — a cycle with no window never "
+            "fires; disable it by zeroing both",
+            prefix.c_str(), period_field,
+            static_cast<unsigned long long>(period), window_field));
+    }
+    if (period > 0 && window >= period) {
+        throw std::runtime_error(sim::format(
+            "%s%s (%llu) must be shorter than %s (%llu) — the fault "
+            "would be permanent, not a window",
+            prefix.c_str(), window_field,
+            static_cast<unsigned long long>(window), period_field,
+            static_cast<unsigned long long>(period)));
+    }
+}
+
+void
+validateDirection(const std::string &prefix, const FaultDirection &d)
+{
+    checkProb(prefix, "lossProb", d.lossProb);
+    checkProb(prefix, "geGoodToBad", d.geGoodToBad);
+    checkProb(prefix, "geBadToGood", d.geBadToGood);
+    checkProb(prefix, "geBadLoss", d.geBadLoss);
+    checkProb(prefix, "corruptProb", d.corruptProb);
+    checkProb(prefix, "dupProb", d.dupProb);
+    checkProb(prefix, "reorderProb", d.reorderProb);
+    if (d.geGoodToBad > 0.0 && d.geBadToGood <= 0.0) {
+        throw std::runtime_error(sim::format(
+            "%sgeGoodToBad is %g but geBadToGood is 0 — the burst "
+            "chain would wedge in Bad forever",
+            prefix.c_str(), d.geGoodToBad));
+    }
+    if (d.reorderProb > 0.0 && d.reorderDelayTicks == 0) {
+        throw std::runtime_error(sim::format(
+            "%sreorderProb is %g but reorderDelayTicks is 0 — a "
+            "zero-delay reorder reorders nothing",
+            prefix.c_str(), d.reorderProb));
+    }
+}
+
+} // namespace
+
+bool
+FaultDirection::enabled() const
+{
+    return lossProb > 0.0 || geGoodToBad > 0.0 || corruptProb > 0.0 ||
+           dupProb > 0.0 || reorderProb > 0.0;
+}
+
+bool
+FaultPlan::enabled() const
+{
+    return toPeer.enabled() || toSut.enabled() ||
+           linkFlapPeriodTicks > 0 || rxStallPeriodTicks > 0 ||
+           irqLossProb > 0.0;
+}
+
+void
+FaultPlan::validate(const std::string &prefix) const
+{
+    validateDirection(prefix + "toPeer.", toPeer);
+    validateDirection(prefix + "toSut.", toSut);
+    checkWindow(prefix, "linkFlapPeriodTicks", "linkFlapDownTicks",
+                linkFlapPeriodTicks, linkFlapDownTicks);
+    checkWindow(prefix, "rxStallPeriodTicks", "rxStallTicks",
+                rxStallPeriodTicks, rxStallTicks);
+    checkProb(prefix, "irqLossProb", irqLossProb);
+}
+
+std::string
+FaultPlan::label() const
+{
+    return tag.empty() ? std::string("on") : tag;
+}
+
+} // namespace na::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Declarative fault model for one simulated system.
+ *
+ * A FaultPlan is pure configuration — numbers describing how the
+ * network and the NIC should misbehave. The net::FaultInjector turns a
+ * plan into seeded random decisions at run time. Every field defaults
+ * to inert: a default-constructed plan performs zero RNG draws and
+ * leaves runs bit-identical to a build without the fault layer.
+ *
+ * Wire-level faults are per direction (SUT -> peer and peer -> SUT):
+ *
+ *  - Bernoulli loss: each packet dropped independently with lossProb.
+ *  - Gilbert-Elliott burst loss: a two-state Markov chain (Good/Bad)
+ *    advanced per packet; packets in Bad are dropped with geBadLoss,
+ *    so losses cluster the way congested or noisy links cluster them.
+ *  - Corruption: the packet is delivered but flagged; the receiver's
+ *    checksum path catches it and drops (TCP sees a loss, the stats
+ *    see a checksum error).
+ *  - Duplication: the packet is delivered twice (dup-ACK fodder).
+ *  - Bounded reordering: the packet is delayed by a fixed extra
+ *    latency, letting later packets overtake it.
+ *
+ * Link- and NIC-level faults are per system:
+ *
+ *  - Link flap: the link goes down for the last linkFlapDownTicks of
+ *    every linkFlapPeriodTicks window; both directions drop.
+ *  - RX ring stall: the NIC accepts no frames during the last
+ *    rxStallTicks of every rxStallPeriodTicks window (DMA engine or
+ *    firmware hiccup).
+ *  - Interrupt loss: each raised MSI is lost/coalesced with
+ *    irqLossProb; pending work is recovered by the next moderation
+ *    window, so throughput degrades without deadlocking.
+ */
+
+#ifndef NETAFFINITY_SIM_FAULT_PLAN_HH
+#define NETAFFINITY_SIM_FAULT_PLAN_HH
+
+#include <string>
+
+#include "src/sim/types.hh"
+
+namespace na::sim {
+
+/** Wire fault knobs for one direction of one link. */
+struct FaultDirection
+{
+    /** Independent (Bernoulli) per-packet drop probability. */
+    double lossProb = 0.0;
+    /**
+     * Gilbert-Elliott Good->Bad transition probability per packet.
+     * 0 disables the burst model; nonzero requires geBadToGood > 0 so
+     * the chain cannot wedge in Bad forever.
+     */
+    double geGoodToBad = 0.0;
+    /** Gilbert-Elliott Bad->Good transition probability per packet. */
+    double geBadToGood = 0.0;
+    /** Drop probability while the chain is in Bad (1 = hard burst). */
+    double geBadLoss = 1.0;
+    /** Probability the payload is corrupted (checksum catches it). */
+    double corruptProb = 0.0;
+    /** Probability the packet is delivered twice. */
+    double dupProb = 0.0;
+    /** Probability the packet is delayed by reorderDelayTicks. */
+    double reorderProb = 0.0;
+    /** Extra delay for reordered packets (bounds the reordering). */
+    Tick reorderDelayTicks = 30'000; ///< 15 us at 2 GHz
+
+    /** @return true if any knob in this direction can fire. */
+    bool enabled() const;
+};
+
+/** Complete fault model carried by core::SystemConfig::faults. */
+struct FaultPlan
+{
+    /**
+     * Short token used in sweep labels and JSON exports ("burst",
+     * "loss1pct", ...). Empty = "on" when the plan is enabled.
+     */
+    std::string tag;
+
+    FaultDirection toPeer; ///< SUT -> peer (the wire's A -> B side)
+    FaultDirection toSut;  ///< peer -> SUT (the wire's B -> A side)
+
+    /** Link-flap cycle length (0 = the link never flaps). */
+    Tick linkFlapPeriodTicks = 0;
+    /** Down window at the end of each flap cycle. */
+    Tick linkFlapDownTicks = 0;
+
+    /** RX-stall cycle length (0 = the ring never stalls). */
+    Tick rxStallPeriodTicks = 0;
+    /** Stall window at the end of each cycle (frames dropped). */
+    Tick rxStallTicks = 0;
+
+    /** Probability each raised MSI is lost/coalesced. */
+    double irqLossProb = 0.0;
+
+    /** @return true if any fault in the plan can fire. */
+    bool enabled() const;
+
+    /**
+     * Sanity-check every field.
+     * @param prefix prepended to error messages for labeling (e.g.
+     *        "SystemConfig: faults.").
+     * @throws std::runtime_error describing the first violation.
+     */
+    void validate(const std::string &prefix) const;
+
+    /** @return the tag, or "on" for enabled-but-untagged plans. */
+    std::string label() const;
+};
+
+} // namespace na::sim
+
+#endif // NETAFFINITY_SIM_FAULT_PLAN_HH
