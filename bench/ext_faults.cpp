@@ -99,7 +99,7 @@ throughputTable(const core::ResultSet &results,
         const core::RunResult &r = results.result(i);
         const FaultCounters &f = faults[i];
         t.addRow({severityLabel(results.point(i)),
-                  bench::modeLabel(results.point(i).config.ttcp.mode),
+                  bench::modeLabel(results.point(i).config.ttcp().mode),
                   analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps),
                   analysis::TableWriter::integer(f.drops),
@@ -290,7 +290,7 @@ main(int argc, char **argv)
 
     std::vector<std::size_t> rx_points;
     for (std::size_t i = 0; i < results.size(); ++i) {
-        if (results.point(i).config.ttcp.mode ==
+        if (results.point(i).config.ttcp().mode ==
             workload::TtcpMode::Receive) {
             rx_points.push_back(i);
         }

@@ -64,7 +64,7 @@ throughputTable(const core::ResultSet &results)
     for (std::size_t i = 0; i < results.size(); ++i) {
         const core::RunResult &r = results.result(i);
         t.addRow({policyLabel(results.point(i)),
-                  bench::modeLabel(results.point(i).config.ttcp.mode),
+                  bench::modeLabel(results.point(i).config.ttcp().mode),
                   analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps),
                   analysis::TableWriter::integer(r.irqs),
@@ -251,7 +251,7 @@ main()
 
     std::vector<std::size_t> rx_points;
     for (std::size_t i = 0; i < results.size(); ++i) {
-        if (results.point(i).config.ttcp.mode ==
+        if (results.point(i).config.ttcp().mode ==
             workload::TtcpMode::Receive) {
             rx_points.push_back(i);
         }
@@ -263,7 +263,7 @@ main()
         const core::CampaignPoint &p = results.point(i);
         if (p.config.steering.kind == net::SteeringKind::Rss &&
             p.config.steering.numQueues == 4 &&
-            p.config.ttcp.mode == workload::TtcpMode::Receive) {
+            p.config.ttcp().mode == workload::TtcpMode::Receive) {
             queueLoadCorrelation(results, i);
             break;
         }

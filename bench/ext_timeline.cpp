@@ -64,8 +64,8 @@ printTimeline(const core::CampaignPoint &point, const core::RunResult &r)
 {
     const prof::IntervalSeries &s = r.intervals;
     std::printf("\n%s %uB, %s — %zu windows of %llu ticks\n",
-                bench::modeLabel(point.config.ttcp.mode),
-                point.config.ttcp.msgSize,
+                bench::modeLabel(point.config.ttcp().mode),
+                point.config.ttcp().msgSize,
                 std::string(core::affinityName(point.config.affinity))
                     .c_str(),
                 s.windows.size(),
@@ -193,7 +193,7 @@ main(int argc, char **argv)
                   "Section 5's counter methodology, time-resolved");
 
     core::SystemConfig base;
-    base.ttcp.msgSize = 4096;
+    base.ttcp().msgSize = 4096;
     if (fast) {
         base.numConnections = 2;
         base.platform.numCpus = 2;

@@ -22,7 +22,7 @@ view(const core::CampaignPoint &point,
      const prof::SampleProfiler &profiler, int num_cpus)
 {
     std::printf("\n%s 128B, %s\n",
-                bench::modeLabel(point.config.ttcp.mode),
+                bench::modeLabel(point.config.ttcp().mode),
                 std::string(core::affinityName(point.config.affinity))
                     .c_str());
     for (int c = 0; c < num_cpus; ++c) {

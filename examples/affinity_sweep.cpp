@@ -47,8 +47,8 @@ main(int argc, char **argv)
     sim::setQuiet(true);
 
     core::SystemConfig cfg;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().msgSize = 65536;
 
     core::Campaign::Options options;
     const char *json_path = nullptr;
@@ -56,13 +56,13 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--rx")) {
-            cfg.ttcp.mode = workload::TtcpMode::Receive;
+            cfg.ttcp().mode = workload::TtcpMode::Receive;
         } else if (!std::strcmp(argv[i], "--conns") && i + 1 < argc) {
             cfg.numConnections = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--cpus") && i + 1 < argc) {
             cfg.platform.numCpus = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--size") && i + 1 < argc) {
-            cfg.ttcp.msgSize =
+            cfg.ttcp().msgSize =
                 static_cast<std::uint32_t>(std::atoi(argv[++i]));
         } else if (!std::strcmp(argv[i], "--loss") && i + 1 < argc) {
             cfg.wireLossProb = std::atof(argv[++i]);
@@ -164,10 +164,10 @@ main(int argc, char **argv)
     }
 
     std::printf("%s, %u-byte transactions, %d connections, %d CPUs\n\n",
-                cfg.ttcp.mode == workload::TtcpMode::Transmit
+                cfg.ttcp().mode == workload::TtcpMode::Transmit
                     ? "ttcp transmit"
                     : "ttcp receive",
-                cfg.ttcp.msgSize, cfg.numConnections,
+                cfg.ttcp().msgSize, cfg.numConnections,
                 cfg.platform.numCpus);
     if (cfg.steering.kind != net::SteeringKind::StaticPaper ||
         cfg.steering.numQueues != 1) {
@@ -205,7 +205,7 @@ main(int argc, char **argv)
                              "LLC/KB"});
     for (core::AffinityMode m : core::allAffinityModes) {
         const core::RunResult &r =
-            results.at(cfg.ttcp.mode, cfg.ttcp.msgSize, m);
+            results.at(cfg.ttcp().mode, cfg.ttcp().msgSize, m);
         t.addRow({std::string(core::affinityName(m)),
                   analysis::TableWriter::num(r.throughputMbps, 0),
                   analysis::TableWriter::num(r.ghzPerGbps),

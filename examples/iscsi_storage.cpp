@@ -58,7 +58,7 @@ struct StorageRig
             sock_tcp.nagle = false;
             sockets.push_back(std::make_unique<net::Socket>(
                 &root, sim::format("sock%d", i), kernel, driver, pool,
-                i, sock_tcp));
+                net::connFlowKey(i), sock_tcp));
             driver.bindSocket(*sockets[i], *nics[i]);
 
             // The storage target answers each request with the op's
@@ -70,8 +70,9 @@ struct StorageRig
             net::TcpConfig tcp;
             tcp.nagle = false;
             peers.push_back(std::make_unique<net::RemotePeer>(
-                &root, sim::format("target%d", i), eq, *wires[i], i,
-                net::PeerRole::Responder, tcp, rpc));
+                &root, sim::format("target%d", i), eq, *wires[i],
+                net::connFlowKey(i), net::PeerRole::Responder, tcp,
+                rpc));
             peers[i]->start();
 
             apps.push_back(std::make_unique<workload::IscsiApp>(

@@ -50,8 +50,8 @@ main()
     sim::setQuiet(true);
 
     core::SystemConfig cfg;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().msgSize = 65536;
 
     std::printf("ttcp TX 64KB, 8 connections, 2 CPUs\n");
     std::printf("===================================\n");

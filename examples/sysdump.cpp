@@ -20,13 +20,13 @@ main(int argc, char **argv)
     sim::setQuiet(true);
 
     core::SystemConfig cfg;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().msgSize = 65536;
     cfg.affinity = core::AffinityMode::None;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--rx"))
-            cfg.ttcp.mode = workload::TtcpMode::Receive;
+            cfg.ttcp().mode = workload::TtcpMode::Receive;
         else if (!std::strcmp(argv[i], "--full"))
             cfg.affinity = core::AffinityMode::Full;
         else if (!std::strcmp(argv[i], "--irq"))
@@ -34,7 +34,7 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--proc"))
             cfg.affinity = core::AffinityMode::Proc;
         else if (!std::strcmp(argv[i], "--size") && i + 1 < argc)
-            cfg.ttcp.msgSize = static_cast<std::uint32_t>(
+            cfg.ttcp().msgSize = static_cast<std::uint32_t>(
                 std::atoi(argv[++i]));
     }
 

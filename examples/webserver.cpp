@@ -52,7 +52,7 @@ struct WebRig
             driver.attachNic(*nics[i]);
             sockets.push_back(std::make_unique<net::Socket>(
                 &root, sim::format("sock%d", i), kernel, driver, pool,
-                i));
+                net::connFlowKey(i)));
             driver.bindSocket(*sockets[i], *nics[i]);
 
             net::PeerRpcConfig rpc;
@@ -60,8 +60,8 @@ struct WebRig
             rpc.respBytes = wcfg.responseBytes;
             rpc.pipelineDepth = 2; // keep the worker busy
             peers.push_back(std::make_unique<net::RemotePeer>(
-                &root, sim::format("client%d", i), eq, *wires[i], i,
-                net::PeerRole::Requester, net::TcpConfig{}, rpc));
+                &root, sim::format("client%d", i), eq, *wires[i],
+                net::connFlowKey(i), net::PeerRole::Requester, net::TcpConfig{}, rpc));
             peers[i]->start();
 
             apps.push_back(std::make_unique<workload::WebServerApp>(

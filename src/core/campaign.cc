@@ -25,7 +25,9 @@ ResultSet::find(workload::TtcpMode mode, std::uint32_t msg_size,
 {
     for (std::size_t i = 0; i < pts.size(); ++i) {
         const SystemConfig &c = pts[i].config;
-        if (c.ttcp.mode == mode && c.ttcp.msgSize == msg_size &&
+        if (c.workloadKind() != workload::Kind::Ttcp)
+            continue;
+        if (c.ttcp().mode == mode && c.ttcp().msgSize == msg_size &&
             c.affinity == affinity) {
             return &res[i];
         }

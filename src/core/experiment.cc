@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "src/sim/logging.hh"
@@ -101,6 +102,42 @@ Experiment::extract(System &system, double seconds,
 
     if (const prof::IntervalRecorder *rec = system.intervalRecorder())
         r.intervals = rec->series();
+
+    if (system.config().workloadKind() == workload::Kind::FlowMix) {
+        FlowStats &f = r.flows;
+        auto u64 = [](const stats::Scalar &s) {
+            return static_cast<std::uint64_t>(s.value());
+        };
+        // Merge per-client completion logs by bucket bound.
+        std::map<std::uint64_t, FlowSizeBucketStat> merged;
+        for (int i = 0; i < system.numConnections(); ++i) {
+            const net::FlowClientPeer &fp = system.flowPeer(i);
+            f.started += u64(fp.flowsStarted);
+            f.completed += u64(fp.flowsCompleted);
+            f.deferredArrivals += u64(fp.deferredArrivals);
+            for (const net::FlowSizeBucket &b : fp.sizeBuckets()) {
+                if (!b.flows)
+                    continue;
+                FlowSizeBucketStat &m = merged[b.maxBytes];
+                m.maxBytes = b.maxBytes;
+                m.flows += b.flows;
+                m.bytes += b.bytes;
+            }
+            f.retired += system.mixApp(i).flowsRetired();
+        }
+        for (const auto &[bound, stat] : merged)
+            f.sizeBuckets.push_back(stat);
+        const net::Driver &drv = system.driver();
+        f.accepted = u64(drv.synsAccepted);
+        f.acceptDropsBacklog = u64(drv.acceptDropsBacklog);
+        f.acceptDropsPool = u64(drv.acceptDropsPool);
+        f.unmatchedFrames = u64(drv.framesUnmatched);
+        const net::SteeringStats ss = system.steering().stats();
+        f.flowMigrations = ss.flowMigrations;
+        f.flowLearns = ss.flowLearns;
+        f.oooArrivals = u64(system.socketPool().oooArrivals);
+        f.liveConnections = drv.connectionTable().size();
+    }
 
     r.steeringPolicy = std::string(system.steering().name());
     r.rxFramesPerQueue.assign(

@@ -50,6 +50,43 @@ struct PointFailure
     int attempts = 0;               ///< tries before giving up
 };
 
+/** One log2 flow-size bucket of the mix workload's completion log. */
+struct FlowSizeBucketStat
+{
+    std::uint64_t maxBytes = 0; ///< inclusive upper bound of the bucket
+    std::uint64_t flows = 0;    ///< flows completing in the bucket
+    std::uint64_t bytes = 0;    ///< client payload bytes across them
+};
+
+/**
+ * Many-flow (mix) workload counters over the measurement window —
+ * the schema-v5 "flows" result block. All-zero (any() == false) for
+ * ttcp runs, which never emit the block.
+ */
+struct FlowStats
+{
+    std::uint64_t started = 0;   ///< flows opened by the client boxes
+    std::uint64_t completed = 0; ///< flows that closed cleanly
+    std::uint64_t accepted = 0;  ///< SYNs accepted into child sockets
+    std::uint64_t retired = 0;   ///< children recycled by the servers
+    std::uint64_t acceptDropsBacklog = 0; ///< SYNs refused: backlog full
+    std::uint64_t acceptDropsPool = 0;    ///< SYNs refused: pool empty
+    std::uint64_t unmatchedFrames = 0;    ///< non-SYN frames, no flow
+    std::uint64_t deferredArrivals = 0;   ///< held by concurrency cap
+    std::uint64_t flowMigrations = 0; ///< FD re-steers (reordering risk)
+    std::uint64_t flowLearns = 0;     ///< FD exact-match inserts
+    std::uint64_t oooArrivals = 0; ///< out-of-order segs at SUT children
+    std::uint64_t liveConnections = 0; ///< conn-table entries at the end
+    /** Completion log by log2 flow size (non-empty buckets only). */
+    std::vector<FlowSizeBucketStat> sizeBuckets;
+
+    bool
+    any() const
+    {
+        return started || accepted || completed || unmatchedFrames;
+    }
+};
+
 /** Everything one run of one configuration yields. */
 struct RunResult
 {
@@ -87,6 +124,9 @@ struct RunResult
     std::vector<std::uint64_t> rxFramesPerQueue;
     /** Steering policy token this run used ("static", "rss", ...). */
     std::string steeringPolicy = "static";
+
+    /** Mix-workload counters (zero / empty for ttcp runs). */
+    FlowStats flows;
 
     /**
      * Per-window counter deltas over the measurement window; empty

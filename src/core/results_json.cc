@@ -118,6 +118,62 @@ readIntervals(const Value &iv)
     return s;
 }
 
+void
+writeFlows(std::ostream &os, const FlowStats &f)
+{
+    os << "        \"flows\": {\n";
+    os << "          \"started\": " << f.started << ", \"completed\": "
+       << f.completed << ", \"accepted\": " << f.accepted
+       << ", \"retired\": " << f.retired << ",\n";
+    os << "          \"accept_drops_backlog\": " << f.acceptDropsBacklog
+       << ", \"accept_drops_pool\": " << f.acceptDropsPool
+       << ", \"unmatched_frames\": " << f.unmatchedFrames << ",\n";
+    os << "          \"deferred_arrivals\": " << f.deferredArrivals
+       << ", \"flow_migrations\": " << f.flowMigrations
+       << ", \"flow_learns\": " << f.flowLearns << ", \"ooo_arrivals\": "
+       << f.oooArrivals << ", \"live_connections\": "
+       << f.liveConnections << ",\n";
+    os << "          \"size_buckets\": [";
+    for (std::size_t b = 0; b < f.sizeBuckets.size(); ++b) {
+        const FlowSizeBucketStat &s = f.sizeBuckets[b];
+        os << (b ? ",\n                           " : "")
+           << "{\"max_bytes\": " << s.maxBytes << ", \"flows\": "
+           << s.flows << ", \"bytes\": " << s.bytes << "}";
+    }
+    os << "]\n";
+    os << "        },\n";
+}
+
+FlowStats
+readFlows(const Value &fv)
+{
+    FlowStats f;
+    f.started = fv.u64("started");
+    f.completed = fv.u64("completed");
+    f.accepted = fv.u64("accepted");
+    f.retired = fv.u64("retired");
+    f.acceptDropsBacklog = fv.u64("accept_drops_backlog");
+    f.acceptDropsPool = fv.u64("accept_drops_pool");
+    f.unmatchedFrames = fv.u64("unmatched_frames");
+    f.deferredArrivals = fv.u64("deferred_arrivals");
+    f.flowMigrations = fv.u64("flow_migrations");
+    f.flowLearns = fv.u64("flow_learns");
+    f.oooArrivals = fv.u64("ooo_arrivals");
+    f.liveConnections = fv.u64("live_connections");
+    const Value &buckets = fv.field("size_buckets");
+    if (!buckets.isArray())
+        throw std::runtime_error(
+            "results json: flows 'size_buckets' is not a list");
+    for (const Value &bv : buckets.items) {
+        FlowSizeBucketStat s;
+        s.maxBytes = bv.u64("max_bytes");
+        s.flows = bv.u64("flows");
+        s.bytes = bv.u64("bytes");
+        f.sizeBuckets.push_back(s);
+    }
+    return f;
+}
+
 workload::TtcpMode
 parseModeToken(const std::string &tok)
 {
@@ -146,7 +202,7 @@ void
 writeResultsJson(std::ostream &os, const ResultSet &results)
 {
     os << "{\n";
-    os << "  \"schema_version\": 4,\n";
+    os << "  \"schema_version\": 5,\n";
     os << "  \"campaign_seed\": " << results.campaignSeed << ",\n";
     os << "  \"threads\": " << results.threadsUsed << ",\n";
     os << "  \"points\": [";
@@ -156,9 +212,13 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
         const SystemConfig &c = p.config;
         os << (i ? ",\n" : "\n");
         os << "    {\n";
+        const bool is_ttcp =
+            c.workloadKind() == workload::Kind::Ttcp;
         os << "      \"label\": \"" << jsonEscape(p.label) << "\",\n";
-        os << "      \"config\": {\"mode\": \"" << modeToken(c.ttcp.mode)
-           << "\", \"msg_size\": " << c.ttcp.msgSize
+        os << "      \"config\": {\"workload\": \""
+           << workload::kindToken(c.workloadKind()) << "\", \"mode\": \""
+           << (is_ttcp ? modeToken(c.ttcp().mode) : "-")
+           << "\", \"msg_size\": " << (is_ttcp ? c.ttcp().msgSize : 0)
            << ", \"affinity\": \"" << affinityToken(c.affinity)
            << "\", \"connections\": " << c.numConnections
            << ", \"cpus\": " << c.platform.numCpus
@@ -198,6 +258,8 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
                << "\", \"ticks_reached\": " << r.failure.ticksReached
                << ", \"attempts\": " << r.failure.attempts << "},\n";
         }
+        if (r.flows.any())
+            writeFlows(os, r.flows);
         if (!r.intervals.empty())
             writeIntervals(os, r.intervals);
         os << "        \"event_totals\": {";
@@ -234,8 +296,9 @@ readResultsJson(std::istream &is)
     const int version = static_cast<int>(root.num("schema_version"));
     // Each version is the previous plus optional/additive fields
     // (v3: intervals; v4: faults token, ring-full drops, failure
-    // block), so one reader with has() guards serves all three.
-    if (version != 2 && version != 3 && version != 4)
+    // block; v5: workload token and the optional "flows" block), so
+    // one reader with has() guards serves all of them.
+    if (version < 2 || version > 5)
         throw std::runtime_error(
             "results json: unsupported schema_version");
 
@@ -252,7 +315,10 @@ readResultsJson(std::istream &is)
         rec.label = pv.str("label");
 
         const Value &cfg = pv.field("config");
-        rec.mode = parseModeToken(cfg.str("mode"));
+        if (cfg.has("workload"))
+            rec.workload = cfg.str("workload");
+        if (rec.workload == "ttcp")
+            rec.mode = parseModeToken(cfg.str("mode"));
         rec.msgSize = static_cast<std::uint32_t>(cfg.num("msg_size"));
         rec.affinity = parseAffinityToken(cfg.str("affinity"));
         rec.connections = static_cast<int>(cfg.num("connections"));
@@ -296,6 +362,8 @@ readResultsJson(std::istream &is)
             rec.result.failure.attempts =
                 static_cast<int>(fv.num("attempts"));
         }
+        if (res.has("flows"))
+            rec.result.flows = readFlows(res.field("flows"));
         if (res.has("intervals"))
             rec.result.intervals = readIntervals(res.field("intervals"));
         const Value &events = res.field("event_totals");

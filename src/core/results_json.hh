@@ -2,22 +2,24 @@
  * @file
  * Campaign result export/import as JSON (campaign_results.json).
  *
- * Schema (version 4; v1 lacked the steering fields and
+ * Schema (version 5; v1 lacked the steering fields and
  * rx_frames_per_queue, v2 lacked the optional per-point "intervals"
  * block, v3 lacked the faults token, the ring-full drop counters, and
- * the optional per-point "failure" block — the reader accepts 2, 3,
- * and 4):
+ * the optional per-point "failure" block, v4 lacked the workload
+ * token and the optional "flows" block — the reader accepts 2
+ * through 5):
  *
  *   {
- *     "schema_version": 4,
+ *     "schema_version": 5,
  *     "campaign_seed": 42,
  *     "threads": 4,
  *     "points": [
  *       {
  *         "label": "TX 65536B Full Aff",
  *         "config": {
- *           "mode": "tx" | "rx",
- *           "msg_size": 65536,
+ *           "workload": "ttcp" | "mix",
+ *           "mode": "tx" | "rx" | "-",    // "-" for non-ttcp points
+ *           "msg_size": 65536,            // 0 for non-ttcp points
  *           "affinity": "none" | "irq" | "proc" | "full",
  *           "connections": 8,
  *           "cpus": 2,
@@ -41,6 +43,17 @@
  *             "reason": "...full untruncated message...",
  *             "config_summary": "TX 4096B ...",
  *             "ticks_reached": 4000000, "attempts": 2
+ *           },
+ *           "flows": {                // only for mix-workload points
+ *             "started": 10000, "completed": 10000,
+ *             "accepted": 10000, "retired": 10000,
+ *             "accept_drops_backlog": 0, "accept_drops_pool": 0,
+ *             "unmatched_frames": 0, "deferred_arrivals": 120,
+ *             "flow_migrations": 5, "flow_learns": 9000,
+ *             "ooo_arrivals": 3, "live_connections": 0,
+ *             "size_buckets": [
+ *               {"max_bytes": 4095, "flows": 12, "bytes": 40000}, ...
+ *             ]
  *           },
  *           "intervals": {            // only when interval stats ran
  *             "interval_ticks": 200000,
@@ -85,6 +98,9 @@ bool writeResultsJsonFile(const std::string &path,
 struct JsonRunRecord
 {
     std::string label;
+    /** Workload kind token ("ttcp", "mix"); pre-v5 files read "ttcp". */
+    std::string workload = "ttcp";
+    /** ttcp direction; meaningless when workload != "ttcp". */
     workload::TtcpMode mode = workload::TtcpMode::Transmit;
     std::uint32_t msgSize = 0;
     AffinityMode affinity = AffinityMode::None;
@@ -110,7 +126,7 @@ struct JsonCampaign
 };
 
 /**
- * Parse a schema-version-2, -3, or -4 results stream.
+ * Parse a schema-version-2 through -5 results stream.
  * @throws std::runtime_error on malformed input.
  */
 JsonCampaign readResultsJson(std::istream &is);

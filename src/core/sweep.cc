@@ -17,14 +17,27 @@ SweepBuilder::variant(std::string label,
 std::vector<CampaignPoint>
 SweepBuilder::build() const
 {
+    const bool base_is_ttcp =
+        baseCfg.workloadKind() == workload::Kind::Ttcp;
+    if (!base_is_ttcp && (!modeAxis.empty() || !sizeAxis.empty())) {
+        sim::fatal("SweepBuilder: mode/msgSize axes apply only to the "
+                   "ttcp workload; the base config runs %s",
+                   std::string(workload::kindToken(
+                                   baseCfg.workloadKind()))
+                       .c_str());
+    }
     const std::vector<workload::TtcpMode> ms =
-        modeAxis.empty() ? std::vector<workload::TtcpMode>{
-                               baseCfg.ttcp.mode}
-                         : modeAxis;
+        modeAxis.empty()
+            ? std::vector<workload::TtcpMode>{
+                  base_is_ttcp ? baseCfg.ttcp().mode
+                               : workload::TtcpMode::Transmit}
+            : modeAxis;
     const std::vector<std::uint32_t> ss =
-        sizeAxis.empty() ? std::vector<std::uint32_t>{
-                               baseCfg.ttcp.msgSize}
-                         : sizeAxis;
+        sizeAxis.empty()
+            ? std::vector<std::uint32_t>{base_is_ttcp
+                                             ? baseCfg.ttcp().msgSize
+                                             : 0}
+            : sizeAxis;
     const std::vector<AffinityMode> as =
         affinityAxis.empty() ? std::vector<AffinityMode>{baseCfg.affinity}
                              : affinityAxis;
@@ -50,8 +63,10 @@ SweepBuilder::build() const
                     for (const sim::FaultPlan &fp : fps) {
                         CampaignPoint p;
                         p.config = baseCfg;
-                        p.config.ttcp.mode = m;
-                        p.config.ttcp.msgSize = size;
+                        if (base_is_ttcp) {
+                            p.config.ttcp().mode = m;
+                            p.config.ttcp().msgSize = size;
+                        }
                         p.config.affinity = a;
                         p.config.steering = st;
                         p.config.faults = fp;
@@ -60,15 +75,27 @@ SweepBuilder::build() const
                         p.schedule = sched;
                         // Label from the *final* config, so variant
                         // overrides stay truthful.
-                        p.label = sim::format(
-                            "%s %uB %s",
-                            p.config.ttcp.mode ==
-                                    workload::TtcpMode::Transmit
-                                ? "TX"
-                                : "RX",
-                            p.config.ttcp.msgSize,
-                            std::string(affinityName(p.config.affinity))
-                                .c_str());
+                        if (p.config.workloadKind() ==
+                            workload::Kind::Ttcp) {
+                            p.label = sim::format(
+                                "%s %uB %s",
+                                p.config.ttcp().mode ==
+                                        workload::TtcpMode::Transmit
+                                    ? "TX"
+                                    : "RX",
+                                p.config.ttcp().msgSize,
+                                std::string(
+                                    affinityName(p.config.affinity))
+                                    .c_str());
+                        } else {
+                            p.label =
+                                sim::format(
+                                    "MIX %s",
+                                    std::string(affinityName(
+                                                    p.config.affinity))
+                                        .c_str()) +
+                                workload::specLabel(p.config.workload);
+                        }
                         // The paper's own policy stays unlabelled so
                         // existing label-keyed lookups keep working.
                         if (p.config.steering.kind !=

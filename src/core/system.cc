@@ -42,11 +42,7 @@ SystemConfig::validate() const
             "[0, 1], got %g",
             wireLossProb));
     }
-    if (ttcp.msgSize == 0) {
-        throw std::runtime_error(
-            "SystemConfig: ttcp.msgSize must be nonzero (ttcp would "
-            "spin on empty read()/write() calls)");
-    }
+    workload::validateSpec(workload);
     if (std::isnan(statsIntervalUs) || statsIntervalUs < 0.0) {
         throw std::runtime_error(sim::format(
             "SystemConfig: statsIntervalUs must be >= 0 (0 disables "
@@ -133,14 +129,26 @@ SystemConfig::validate() const
 std::string
 SystemConfig::summary() const
 {
-    std::string s = sim::format(
-        "%s %uB %s x%d, %d cpus, steering=%s q=%d, rot=%llu",
-        ttcp.mode == workload::TtcpMode::Transmit ? "TX" : "RX",
-        ttcp.msgSize, std::string(affinityName(affinity)).c_str(),
-        numConnections, platform.numCpus,
-        std::string(net::steeringKindName(steering.kind)).c_str(),
-        steering.numQueues,
-        static_cast<unsigned long long>(irqRotationTicks));
+    std::string s;
+    if (workloadKind() == workload::Kind::Ttcp) {
+        s = sim::format(
+            "%s %uB %s x%d, %d cpus, steering=%s q=%d, rot=%llu",
+            ttcp().mode == workload::TtcpMode::Transmit ? "TX" : "RX",
+            ttcp().msgSize, std::string(affinityName(affinity)).c_str(),
+            numConnections, platform.numCpus,
+            std::string(net::steeringKindName(steering.kind)).c_str(),
+            steering.numQueues,
+            static_cast<unsigned long long>(irqRotationTicks));
+    } else {
+        s = sim::format(
+            "MIX %s x%d, %d cpus, steering=%s q=%d, rot=%llu",
+            std::string(affinityName(affinity)).c_str(),
+            numConnections, platform.numCpus,
+            std::string(net::steeringKindName(steering.kind)).c_str(),
+            steering.numQueues,
+            static_cast<unsigned long long>(irqRotationTicks));
+        s += workload::specLabel(workload);
+    }
     if (faults.enabled())
         s += sim::format(", faults=%s", faults.label().c_str());
     return s;
@@ -167,6 +175,8 @@ System::System(const SystemConfig &config)
     steerPolicy =
         net::makeSteeringPolicy(cfg.steering, cfg.affinity, topo);
 
+    const bool is_mix = cfg.workloadKind() == workload::Kind::FlowMix;
+
     int pool_slots = cfg.skbPoolSlots;
     if (pool_slots == 0) {
         // RX rings pin one buffer per descriptor (per queue); sndbufs
@@ -178,12 +188,37 @@ System::System(const SystemConfig &config)
                                            cfg.tcp.mss) +
                           8) +
                      512;
+        if (is_mix) {
+            // Short flows never fill a whole sndbuf; budget a modest
+            // in-flight allowance per concurrent flow instead.
+            pool_slots = cfg.numConnections * cfg.nic.rxRingSize *
+                             cfg.steering.numQueues +
+                         cfg.numConnections *
+                             cfg.mix().maxConcurrentFlows * 16 +
+                         1024;
+        }
     }
     pool = std::make_unique<net::SkbPool>(this, *kern, pool_slots);
-    drv = std::make_unique<net::Driver>(this, *kern, *pool);
+
+    std::size_t conn_buckets = 1024;
+    if (is_mix) {
+        conn_buckets = static_cast<std::size_t>(cfg.numConnections) *
+                           static_cast<std::size_t>(
+                               cfg.mix().maxConcurrentFlows) *
+                           2 +
+                       64;
+    }
+    drv = std::make_unique<net::Driver>(this, *kern, *pool,
+                                        conn_buckets);
     drv->setSteering(steerPolicy.get());
 
-    const workload::TtcpMode mode = cfg.ttcp.mode;
+    if (is_mix) {
+        const int capacity =
+            cfg.numConnections * cfg.mix().maxConcurrentFlows + 64;
+        sockPool = std::make_unique<net::SocketPool>(
+            this, *kern, *drv, *pool, capacity, cfg.tcp);
+        drv->setSocketPool(sockPool.get());
+    }
 
     net::NicConfig nic_cfg = cfg.nic;
     nic_cfg.numRxQueues = cfg.steering.numQueues;
@@ -212,17 +247,53 @@ System::System(const SystemConfig &config)
             nics[i]->setFaultInjector(faultInjectors.back().get());
         }
 
-        sockets.push_back(std::make_unique<net::Socket>(
-            this, sim::format("sock%d", i), *kern, *drv, *pool, i,
-            cfg.tcp));
-        drv->bindSocket(*sockets[i], *nics[i]);
+        if (!is_mix) {
+            sockets.push_back(std::make_unique<net::Socket>(
+                this, sim::format("sock%d", i), *kern, *drv, *pool,
+                net::connFlowKey(i), cfg.tcp));
+            drv->bindSocket(*sockets[i], *nics[i]);
 
-        peers.push_back(std::make_unique<net::RemotePeer>(
-            this, sim::format("peer%d", i), eq, *wires[i], i,
-            mode == workload::TtcpMode::Transmit ? net::PeerRole::Sink
-                                                 : net::PeerRole::Source,
-            cfg.tcp));
-        peers[i]->start();
+            peers.push_back(std::make_unique<net::RemotePeer>(
+                this, sim::format("peer%d", i), eq, *wires[i],
+                net::connFlowKey(i),
+                cfg.ttcp().mode == workload::TtcpMode::Transmit
+                    ? net::PeerRole::Sink
+                    : net::PeerRole::Source,
+                cfg.tcp));
+            peers[i]->start();
+        } else {
+            const workload::FlowMixConfig &mix = cfg.mix();
+            net::FlowKey listen_key;
+            listen_key.localAddr = net::sutAddr(i);
+            listen_key.localPort = mix.listenPort;
+            sockets.push_back(std::make_unique<net::Socket>(
+                this, sim::format("listen%d", i), *kern, *drv, *pool,
+                listen_key, cfg.tcp));
+            drv->listenSocket(*sockets[i], *nics[i],
+                              mix.listenBacklog);
+
+            net::FlowClientConfig fcc;
+            fcc.serverAddr = net::sutAddr(i);
+            fcc.serverPort = mix.listenPort;
+            fcc.clientAddr = net::peerAddr(i);
+            fcc.maxConcurrentFlows = mix.maxConcurrentFlows;
+            fcc.totalFlows = mix.totalFlows;
+            fcc.flowSizeMin = mix.flowSizeMin;
+            fcc.flowSizeMax = mix.flowSizeMax;
+            fcc.flowSizeShape = mix.flowSizeShape;
+            fcc.meanInterarrivalTicks = mix.meanInterarrivalTicks;
+            fcc.stormSize = mix.stormSize;
+            fcc.rpc = mix.rpc;
+            fcc.rpcRequestBytes = mix.rpcRequestBytes;
+            fcc.rpcResponseBytes = mix.rpcResponseBytes;
+            fcc.rpcExchangesPerFlow = mix.rpcExchangesPerFlow;
+            fcc.tcp = cfg.tcp;
+            flowPeers.push_back(std::make_unique<net::FlowClientPeer>(
+                this, sim::format("flowsrc%d", i), eq, *wires[i], fcc,
+                cfg.platform.seed * 524287ULL +
+                    static_cast<std::uint64_t>(i) * 31ULL + 7));
+            flowPeers[i]->start();
+        }
     }
 
     // Steering plumbing: per-queue interrupt masks via smp_affinity,
@@ -237,12 +308,23 @@ System::System(const SystemConfig &config)
     }
 
     for (int i = 0; i < cfg.numConnections; ++i) {
-        apps.push_back(std::make_unique<workload::TtcpApp>(
-            this, sim::format("ttcp%d", i), *kern, *sockets[i],
-            cfg.ttcp));
-        tasks.push_back(kern->createTask(sim::format("ttcp%d", i),
-                                         apps[i].get(),
-                                         steerPolicy->taskAffinity(i)));
+        if (!is_mix) {
+            apps.push_back(std::make_unique<workload::TtcpApp>(
+                this, sim::format("ttcp%d", i), *kern, *sockets[i],
+                cfg.ttcp()));
+            tasks.push_back(
+                kern->createTask(sim::format("ttcp%d", i),
+                                 apps[i].get(),
+                                 steerPolicy->taskAffinity(i)));
+        } else {
+            mixApps.push_back(std::make_unique<workload::FlowMixApp>(
+                this, sim::format("mix%d", i), *kern, *drv,
+                *sockets[i], cfg.mix()));
+            tasks.push_back(
+                kern->createTask(sim::format("mix%d", i),
+                                 mixApps[i].get(),
+                                 steerPolicy->taskAffinity(i)));
+        }
     }
 
     if (cfg.statsIntervalUs > 0.0) {
@@ -281,6 +363,10 @@ System::cpuForConn(int i) const
 bool
 System::establishAll(sim::Tick deadline)
 {
+    // The mix workload has no pre-established population: flows come
+    // up (and go away) continuously once the client peers start.
+    if (cfg.workloadKind() == workload::Kind::FlowMix)
+        return true;
     const sim::Tick slice = 1'000'000; // 0.5 ms
     while (eq.now() < deadline) {
         bool all = true;
@@ -308,6 +394,8 @@ System::beginMeasurement()
 {
     kern->accounting().reset();
     resetStats();
+    for (const auto &fp : flowPeers)
+        fp->resetFlowLog();
     kern->finalizeIdle(eq.now()); // clamp open idle windows...
     // ...and drop what finalizeIdle just accumulated.
     for (int c = 0; c < kern->numCpus(); ++c)
@@ -341,7 +429,13 @@ std::uint64_t
 System::sinkBytes() const
 {
     std::uint64_t total = 0;
-    if (cfg.ttcp.mode == workload::TtcpMode::Transmit) {
+    if (cfg.workloadKind() == workload::Kind::FlowMix) {
+        // The SUT's server processes are the sink for client payload.
+        for (const auto &a : mixApps)
+            total += a->bytesReceived();
+        return total;
+    }
+    if (cfg.ttcp().mode == workload::TtcpMode::Transmit) {
         for (const auto &p : peers)
             total += p->bytesReceived();
     } else {

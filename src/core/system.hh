@@ -25,11 +25,15 @@
 #include "src/net/skb.hh"
 #include "src/net/socket.hh"
 #include "src/net/wire.hh"
+#include "src/net/flow_client.hh"
+#include "src/net/socket_pool.hh"
 #include "src/os/kernel.hh"
 #include "src/prof/interval.hh"
 #include "src/sim/event_queue.hh"
 #include "src/stats/stats.hh"
 #include "src/sim/timeline.hh"
+#include "src/workload/flowmix.hh"
+#include "src/workload/spec.hh"
 #include "src/workload/ttcp.hh"
 
 namespace na::core {
@@ -39,8 +43,13 @@ struct SystemConfig
 {
     cpu::PlatformConfig platform{};
     AffinityMode affinity = AffinityMode::None;
-    int numConnections = 8; ///< one NIC + one ttcp process each
-    workload::TtcpConfig ttcp{};
+    int numConnections = 8; ///< one NIC + one server process each
+    /**
+     * The workload this system runs: the paper's single-flow ttcp
+     * (default) or the many-flow churn mix. Exactly one alternative is
+     * active; use ttcp()/mix() when the kind is known.
+     */
+    workload::Spec workload = workload::TtcpConfig{};
     net::TcpConfig tcp{};
     net::NicConfig nic{};
     double wireBitsPerSec = 1.0e9;
@@ -94,6 +103,30 @@ struct SystemConfig
 
     /** @return compact one-line description for diagnostics. */
     std::string summary() const;
+
+    workload::Kind workloadKind() const
+    {
+        return workload::kindOf(workload);
+    }
+
+    /** @name Checked accessors for the active workload alternative @{ */
+    workload::TtcpConfig &ttcp()
+    {
+        return std::get<workload::TtcpConfig>(workload);
+    }
+    const workload::TtcpConfig &ttcp() const
+    {
+        return std::get<workload::TtcpConfig>(workload);
+    }
+    workload::FlowMixConfig &mix()
+    {
+        return std::get<workload::FlowMixConfig>(workload);
+    }
+    const workload::FlowMixConfig &mix() const
+    {
+        return std::get<workload::FlowMixConfig>(workload);
+    }
+    /** @} */
 };
 
 /** The assembled simulation. */
@@ -127,6 +160,12 @@ class System : public stats::Group
     }
     workload::TtcpApp &app(int i) { return *apps[i]; }
     os::Task &task(int i) { return *tasks[i]; }
+
+    /** @name Many-flow (mix) plane; populated only for FlowMix @{ */
+    net::FlowClientPeer &flowPeer(int i) { return *flowPeers[i]; }
+    workload::FlowMixApp &mixApp(int i) { return *mixApps[i]; }
+    net::SocketPool &socketPool() { return *sockPool; }
+    /** @} */
 
     /** The CPU connection @p i is affined to (under Irq/Proc/Full). */
     sim::CpuId cpuForConn(int i) const;
@@ -176,6 +215,8 @@ class System : public stats::Group
     std::unique_ptr<net::SteeringPolicy> steerPolicy;
     std::unique_ptr<net::SkbPool> pool;
     std::unique_ptr<net::Driver> drv;
+    /** Child-socket slab for the mix workload (null under ttcp). */
+    std::unique_ptr<net::SocketPool> sockPool;
     /** One injector per connection (empty when faults are disabled).
      *  Declared before wires/nics — their raw fault pointers must not
      *  outlive the injectors they name. */
@@ -184,7 +225,9 @@ class System : public stats::Group
     std::vector<std::unique_ptr<net::Nic>> nics;
     std::vector<std::unique_ptr<net::Socket>> sockets;
     std::vector<std::unique_ptr<net::RemotePeer>> peers;
+    std::vector<std::unique_ptr<net::FlowClientPeer>> flowPeers;
     std::vector<std::unique_ptr<workload::TtcpApp>> apps;
+    std::vector<std::unique_ptr<workload::FlowMixApp>> mixApps;
     std::vector<os::Task *> tasks;
     /** RX frames per interval window, all queues — the interval
      *  recorder's headline series surfaced through the stats tree

@@ -1,0 +1,188 @@
+#include "src/net/connection_map.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** Listener chains are keyed on the local half of the tuple only. */
+FlowKey
+listenerKey(std::uint32_t addr, std::uint16_t port)
+{
+    FlowKey k;
+    k.localAddr = addr;
+    k.localPort = port;
+    return k;
+}
+
+} // namespace
+
+ConnectionMap::ConnectionMap(stats::Group *parent, std::size_t buckets,
+                             LineAlloc line_alloc)
+    : stats::Group(parent, "conn_table"),
+      inserts(this, "inserts", "established-table inserts"),
+      erases(this, "erases", "established-table erases"),
+      collisions(this, "collisions",
+                 "inserts chained onto an occupied bucket"),
+      table(roundUpPow2(buckets < 2 ? 2 : buckets), nullptr),
+      listeners(table.size(), nullptr), mask(table.size() - 1),
+      lineAlloc(std::move(line_alloc))
+{
+}
+
+ConnectionMap::Entry *
+ConnectionMap::allocEntry()
+{
+    if (!freeList.empty()) {
+        Entry *e = freeList.back();
+        freeList.pop_back();
+        return e; // keeps its nodeLine
+    }
+    storage.emplace_back();
+    Entry *e = &storage.back();
+    e->nodeLine = lineAlloc();
+    return e;
+}
+
+void
+ConnectionMap::freeEntry(Entry *e)
+{
+    e->key = FlowKey{};
+    e->socket = nullptr;
+    e->nic = nullptr;
+    e->next = nullptr;
+    freeList.push_back(e);
+}
+
+ConnectionMap::Entry *
+ConnectionMap::insert(const FlowKey &key, Socket *socket, Nic *nic)
+{
+    if (!key.valid())
+        sim::panic("conn_table: insert of invalid FlowKey");
+    const std::size_t b = bucketOf(key);
+    for (Entry *e = table[b]; e; e = e->next) {
+        if (e->key == key)
+            sim::panic("conn_table: duplicate insert of %s",
+                       key.describe().c_str());
+    }
+    Entry *e = allocEntry();
+    e->key = key;
+    e->socket = socket;
+    e->nic = nic;
+    if (table[b])
+        ++collisions;
+    e->next = table[b];
+    table[b] = e;
+    ++liveEntries;
+    ++inserts;
+    return e;
+}
+
+ConnectionMap::Entry *
+ConnectionMap::lookup(const FlowKey &key) const
+{
+    for (Entry *e = table[bucketOf(key)]; e; e = e->next) {
+        if (e->key == key)
+            return e;
+    }
+    return nullptr;
+}
+
+bool
+ConnectionMap::erase(const FlowKey &key)
+{
+    Entry **link = &table[bucketOf(key)];
+    for (Entry *e = *link; e; link = &e->next, e = e->next) {
+        if (e->key == key) {
+            *link = e->next;
+            freeEntry(e);
+            --liveEntries;
+            ++erases;
+            return true;
+        }
+    }
+    return false;
+}
+
+ConnectionMap::Entry *
+ConnectionMap::listen(std::uint32_t addr, std::uint16_t port,
+                      Socket *socket, Nic *nic)
+{
+    const FlowKey key = listenerKey(addr, port);
+    const std::size_t b = bucketOf(key);
+    for (Entry *e = listeners[b]; e; e = e->next) {
+        if (e->key == key)
+            sim::panic("conn_table: duplicate listener on %s",
+                       key.describe().c_str());
+    }
+    Entry *e = allocEntry();
+    e->key = key;
+    e->socket = socket;
+    e->nic = nic;
+    e->next = listeners[b];
+    listeners[b] = e;
+    ++liveListeners;
+    return e;
+}
+
+ConnectionMap::Entry *
+ConnectionMap::lookupListener(std::uint32_t addr,
+                              std::uint16_t port) const
+{
+    // Exact (addr, port) bind first, then a wildcard bind on the port.
+    for (int pass = 0; pass < 2; ++pass) {
+        const FlowKey key =
+            listenerKey(pass == 0 ? addr : 0u, port);
+        if (pass == 1 && addr == 0)
+            break; // already searched the wildcard chain
+        for (Entry *e = listeners[bucketOf(key)]; e; e = e->next) {
+            if (e->key == key)
+                return e;
+        }
+    }
+    return nullptr;
+}
+
+bool
+ConnectionMap::eraseListener(std::uint32_t addr, std::uint16_t port)
+{
+    const FlowKey key = listenerKey(addr, port);
+    Entry **link = &listeners[bucketOf(key)];
+    for (Entry *e = *link; e; link = &e->next, e = e->next) {
+        if (e->key == key) {
+            *link = e->next;
+            freeEntry(e);
+            --liveListeners;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+ConnectionMap::maxChainLength() const
+{
+    std::size_t longest = 0;
+    for (Entry *head : table) {
+        std::size_t n = 0;
+        for (Entry *e = head; e; e = e->next)
+            ++n;
+        longest = std::max(longest, n);
+    }
+    return longest;
+}
+
+} // namespace na::net

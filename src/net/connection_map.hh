@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The established-connection hash table (Linux's tcp ehash, scaled to
+ * the model): an open-hashed, O(1) FlowKey -> Socket demux table with
+ * per-bucket chains, plus the listener (bind) table consulted when an
+ * established lookup misses.
+ *
+ * Each entry owns one simulated cache line (its ehash chain node);
+ * the driver's demux charge touches that line, so chain walks and
+ * table residency show up in the cache model exactly like the old
+ * per-binding hash bucket did. Entries are pooled: erase() pushes the
+ * node on a free list and a later insert() reuses it — including its
+ * node line — so flow churn does not grow the simulated address space
+ * without bound.
+ *
+ * Bucket index = flowHash32(key) & (buckets-1) (see flow.hh for the
+ * hashing contract shared with the steering policies).
+ */
+
+#ifndef NETAFFINITY_NET_CONNECTION_MAP_HH
+#define NETAFFINITY_NET_CONNECTION_MAP_HH
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/net/flow.hh"
+#include "src/sim/types.hh"
+#include "src/stats/stats.hh"
+
+namespace na::net {
+
+class Nic;
+class Socket;
+
+/** FlowKey-keyed connection table with listener fallback. */
+class ConnectionMap : public stats::Group
+{
+  public:
+    /** Allocates one simulated cache line for a new entry's node. */
+    using LineAlloc = std::function<sim::Addr()>;
+
+    /** One chained table entry. */
+    struct Entry
+    {
+        FlowKey key;
+        Socket *socket = nullptr;
+        Nic *nic = nullptr;
+        sim::Addr nodeLine = 0; ///< ehash chain node cache line
+        Entry *next = nullptr;
+    };
+
+    /**
+     * @param buckets rounded up to a power of two.
+     * @param line_alloc invoked once per brand-new entry (reused
+     *        pool entries keep their line); never at construction,
+     *        so building the map does not disturb the simulated
+     *        address-allocation order.
+     */
+    ConnectionMap(stats::Group *parent, std::size_t buckets,
+                  LineAlloc line_alloc);
+
+    /** @name Established table @{ */
+    /** Insert @p key; panics if it is already present. */
+    Entry *insert(const FlowKey &key, Socket *socket, Nic *nic);
+
+    /** @return entry for @p key, or nullptr. */
+    Entry *lookup(const FlowKey &key) const;
+
+    /** Remove @p key, returning its entry to the pool. */
+    bool erase(const FlowKey &key);
+    /** @} */
+
+    /** @name Listener table @{ */
+    /**
+     * Register a listening socket on (addr, port). addr 0 is a
+     * wildcard bind. Panics on duplicate (addr, port).
+     */
+    Entry *listen(std::uint32_t addr, std::uint16_t port,
+                  Socket *socket, Nic *nic);
+
+    /**
+     * @return the listener for (addr, port): exact address match
+     *         first, then a wildcard bind on the port; nullptr if
+     *         neither exists.
+     */
+    Entry *lookupListener(std::uint32_t addr, std::uint16_t port) const;
+
+    bool eraseListener(std::uint32_t addr, std::uint16_t port);
+    /** @} */
+
+    /** @name Introspection @{ */
+    std::size_t size() const { return liveEntries; }
+    std::size_t listenerCount() const { return liveListeners; }
+    std::size_t bucketCount() const { return table.size(); }
+
+    /** Bucket index for @p key — lets tests build adversarial chains. */
+    std::size_t
+    bucketOf(const FlowKey &key) const
+    {
+        return flowHash32(key) & mask;
+    }
+
+    /** Longest current chain (established table). */
+    std::size_t maxChainLength() const;
+    /** @} */
+
+    stats::Scalar inserts;    ///< established-table inserts
+    stats::Scalar erases;     ///< established-table erases
+    stats::Scalar collisions; ///< inserts landing on an occupied bucket
+
+  private:
+    Entry *allocEntry();
+    void freeEntry(Entry *e);
+
+    std::vector<Entry *> table;     ///< established chains
+    std::vector<Entry *> listeners; ///< listener chains (same mask)
+    std::size_t mask;
+    std::size_t liveEntries = 0;
+    std::size_t liveListeners = 0;
+    std::deque<Entry> storage; ///< stable-address entry arena
+    std::vector<Entry *> freeList;
+    LineAlloc lineAlloc;
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_CONNECTION_MAP_HH

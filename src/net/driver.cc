@@ -1,6 +1,7 @@
 #include "src/net/driver.hh"
 
 #include "src/net/socket.hh"
+#include "src/net/socket_pool.hh"
 #include "src/net/steering.hh"
 #include "src/os/exec_context.hh"
 #include "src/os/kernel.hh"
@@ -9,14 +10,27 @@
 namespace na::net {
 
 Driver::Driver(stats::Group *parent, os::Kernel &kernel_ref,
-               SkbPool &pool_ref)
+               SkbPool &pool_ref, std::size_t conn_buckets)
     : stats::Group(parent, "driver"),
       softirqRuns(this, "softirq_runs", "NET_RX softirq invocations"),
       framesDelivered(this, "frames_delivered",
                       "frames delivered to sockets"),
       txBackpressure(this, "tx_backpressure",
                      "transmits refused by a full TX ring"),
-      kernel(kernel_ref), pool(pool_ref)
+      framesUnmatched(this, "frames_unmatched",
+                      "frames matching no flow or listener"),
+      synsAccepted(this, "syns_accepted",
+                   "child sockets minted for listener SYNs"),
+      acceptDropsBacklog(this, "accept_drops_backlog",
+                         "SYNs refused by a full accept backlog"),
+      acceptDropsPool(this, "accept_drops_pool",
+                      "SYNs refused by an exhausted socket pool"),
+      kernel(kernel_ref), pool(pool_ref),
+      connMap(this, conn_buckets,
+              [this] {
+                  return kernel.addressSpace().alloc(
+                      mem::Region::KernelData, 64);
+              })
 {
     pollList.resize(static_cast<std::size_t>(kernel.numCpus()));
     for (int c = 0; c < kernel.numCpus(); ++c) {
@@ -44,38 +58,57 @@ Driver::attachNic(Nic &nic)
 void
 Driver::bindSocket(Socket &socket, Nic &nic)
 {
-    Binding b;
-    b.socket = &socket;
-    b.nic = &nic;
-    b.hashBucket =
-        kernel.addressSpace().alloc(mem::Region::KernelData, 64);
-    bindings[socket.connId()] = b;
+    connMap.insert(socket.flow(), &socket, &nic);
+}
+
+void
+Driver::unbindSocket(Socket &socket)
+{
+    connMap.erase(socket.flow());
+}
+
+void
+Driver::listenSocket(Socket &socket, Nic &nic, int backlog)
+{
+    socket.configureListen(backlog);
+    connMap.listen(socket.flow().localAddr, socket.flow().localPort,
+                   &socket, &nic);
+}
+
+void
+Driver::releaseSocket(os::ExecContext &ctx, Socket &socket)
+{
+    connMap.erase(socket.flow());
+    if (!sockPool)
+        sim::panic("driver: releaseSocket without a socket pool");
+    sockPool->release(ctx, socket);
 }
 
 Socket *
-Driver::socketFor(int conn_id) const
+Driver::socketFor(const FlowKey &flow) const
 {
-    auto it = bindings.find(conn_id);
-    return it == bindings.end() ? nullptr : it->second.socket;
+    const ConnectionMap::Entry *e = connMap.lookup(flow);
+    return e ? e->socket : nullptr;
 }
 
 bool
-Driver::transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
+Driver::transmit(os::ExecContext &ctx, const Packet &pkt,
                  sim::Addr data_addr)
 {
-    auto it = bindings.find(conn_id);
-    if (it == bindings.end())
-        sim::panic("driver: transmit on unbound connection %d", conn_id);
+    const ConnectionMap::Entry *e = connMap.lookup(pkt.flow);
+    if (!e)
+        sim::panic("driver: transmit on unbound flow %s",
+                   pkt.flow.describe().c_str());
     // dev_queue_xmit: each device's own queue lock serializes TX
     // submitters (taken inside xmitFrame).
-    if (!it->second.nic->xmitFrame(ctx, pkt, data_addr)) {
+    if (!e->nic->xmitFrame(ctx, pkt, data_addr)) {
         ++txBackpressure;
         return false;
     }
     if (steer) {
         // Flow Director samples posted descriptors to learn
         // flow -> (transmitting CPU's) queue.
-        steer->noteTransmit(it->second.nic->index(), pkt, ctx.cpuId());
+        steer->noteTransmit(e->nic->index(), pkt, ctx.cpuId());
     }
     return true;
 }
@@ -84,7 +117,7 @@ void
 Driver::onIsr(os::ExecContext &ctx, Nic &nic, int queue)
 {
     const auto cpu = static_cast<std::size_t>(ctx.cpuId());
-    if (queued.insert(pollKey(nic, queue)).second)
+    if (queued.insert(pollKey(nic.index(), queue)).second)
         pollList[cpu].push_back(PollRef{&nic, queue});
     ctx.proc.raiseSoftirq(os::Softirq::NetRx);
 }
@@ -109,7 +142,7 @@ Driver::netRxAction(os::ExecContext &ctx)
             list.push_back(ref); // stay in the poll rotation
             more_work = true;
         } else {
-            queued.erase(pollKey(*ref.nic, ref.queue));
+            queued.erase(pollKey(ref.nic->index(), ref.queue));
         }
     }
     if (more_work)
@@ -124,26 +157,75 @@ void
 Driver::deliver(os::ExecContext &ctx, const Packet &pkt,
                 const SkBuff &skb)
 {
-    auto it = bindings.find(pkt.connId);
-    if (it == bindings.end()) {
-        // Unknown flow: count and drop (no listening sockets here).
-        pool.free(ctx, skb);
+    const ConnectionMap::Entry *e = connMap.lookup(pkt.flow);
+    if (!e) {
+        acceptOrDrop(ctx, pkt, skb);
         return;
     }
     ++framesDelivered;
     // ip_rcv + established-hash lookup touch the header (cold: DMA) and
-    // the connection's hash chain.
+    // the connection's hash chain node.
     ctx.charge(prof::FuncId::IpRcv, 220,
                {cpu::MemTouch{skb.dataAddr, 34, false}});
     ctx.charge(prof::FuncId::TcpV4Rcv, 100,
-               {cpu::MemTouch{it->second.hashBucket, 32, false}});
+               {cpu::MemTouch{e->nodeLine, 32, false}});
     if (sim::TimelineTracer *tl = kernel.timeline();
         tl && tl->wants(sim::TraceFlag::Tcp)) {
         tl->asyncEnd(sim::TraceFlag::Tcp, packetSpanId(pkt),
                      ctx.estimatedNow(),
-                     sim::format("pkt:conn%d", pkt.connId));
+                     sim::format("pkt:%08x", flowHash32(pkt.flow)));
     }
-    it->second.socket->onSegmentSoftirq(ctx, pkt, skb);
+    e->socket->onSegmentSoftirq(ctx, pkt, skb);
+}
+
+void
+Driver::acceptOrDrop(os::ExecContext &ctx, const Packet &pkt,
+                     const SkBuff &skb)
+{
+    const ConnectionMap::Entry *l = connMap.lookupListener(
+        pkt.flow.localAddr, pkt.flow.localPort);
+    // Only a fresh SYN can create state; anything else with no flow
+    // entry is a stray (late FIN retransmit, post-release ACK, ...).
+    if (!l || !pkt.seg.syn() || pkt.seg.hasAck()) {
+        ++framesUnmatched;
+        pool.free(ctx, skb);
+        return;
+    }
+    Socket *listener = l->socket;
+    if (!listener->acceptSlotAvailable()) {
+        ++acceptDropsBacklog;
+        pool.free(ctx, skb);
+        return;
+    }
+    Socket *child =
+        sockPool ? sockPool->acquire(ctx, pkt.flow) : nullptr;
+    if (!child) {
+        ++acceptDropsPool;
+        pool.free(ctx, skb);
+        return;
+    }
+    ++synsAccepted;
+    ++framesDelivered;
+    listener->notePendingChild();
+    child->adoptFromListener(*listener);
+    child->setParentListener(listener);
+    child->beginPassive();
+    const ConnectionMap::Entry *e =
+        connMap.insert(pkt.flow, child, l->nic);
+    // ip_rcv + tcp_v4_conn_request: header parse, listener lookup,
+    // and minisock setup on the freshly-linked chain node and sock.
+    ctx.charge(prof::FuncId::IpRcv, 220,
+               {cpu::MemTouch{skb.dataAddr, 34, false}});
+    ctx.charge(prof::FuncId::TcpConnRequest, 400,
+               {cpu::MemTouch{e->nodeLine, 32, true},
+                cpu::MemTouch{child->skAddr(), 256, true}});
+    if (sim::TimelineTracer *tl = kernel.timeline();
+        tl && tl->wants(sim::TraceFlag::Tcp)) {
+        tl->asyncEnd(sim::TraceFlag::Tcp, packetSpanId(pkt),
+                     ctx.estimatedNow(),
+                     sim::format("pkt:%08x", flowHash32(pkt.flow)));
+    }
+    child->onSegmentSoftirq(ctx, pkt, skb);
 }
 
 void
@@ -151,7 +233,7 @@ Driver::onTxComplete(os::ExecContext &ctx, const Packet &pkt)
 {
     if (pkt.freeSlotOnTxComplete < 0)
         return;
-    if (Socket *s = socketFor(pkt.connId))
+    if (Socket *s = socketFor(pkt.flow))
         s->onTxComplete(ctx, pkt);
     else
         pool.free(ctx, pool.slotRef(pkt.freeSlotOnTxComplete));

@@ -6,16 +6,22 @@
  * on the servicing CPU's list and raise the NET_RX softirq; the bottom
  * half runs *on that same CPU* — the kernel behaviour the paper's
  * interrupt-affinity mode exploits.
+ *
+ * Demux is FlowKey-based: established flows resolve through the
+ * ConnectionMap (ehash); misses fall back to the listener table, and a
+ * SYN matching a listener mints a child socket from the SocketPool
+ * (subject to the listener's backlog), which is how server-style
+ * many-flow workloads come to life.
  */
 
 #ifndef NETAFFINITY_NET_DRIVER_HH
 #define NETAFFINITY_NET_DRIVER_HH
 
 #include <deque>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/net/connection_map.hh"
 #include "src/net/nic.hh"
 #include "src/net/segment.hh"
 #include "src/net/skb.hh"
@@ -31,6 +37,7 @@ class Kernel;
 namespace na::net {
 
 class Socket;
+class SocketPool;
 class SteeringPolicy;
 
 /** Softirq glue + demux table for the whole stack. */
@@ -40,13 +47,29 @@ class Driver : public stats::Group
     /** RX softirq packet budget per NIC per poll pass. */
     static constexpr int pollBudget = 16;
 
-    Driver(stats::Group *parent, os::Kernel &kernel, SkbPool &pool);
+    Driver(stats::Group *parent, os::Kernel &kernel, SkbPool &pool,
+           std::size_t conn_buckets = 1024);
 
     /** Wire a NIC into the softirq machinery. */
     void attachNic(Nic &nic);
 
-    /** Bind a socket (connection) to the NIC that carries it. */
+    /** Bind an (active-open) socket's flow to the NIC that carries it. */
     void bindSocket(Socket &socket, Nic &nic);
+
+    /** Remove a socket's flow from the connection table. */
+    void unbindSocket(Socket &socket);
+
+    /**
+     * Register @p socket as a listener on its flow's (localAddr,
+     * localPort) with a bounded accept backlog.
+     */
+    void listenSocket(Socket &socket, Nic &nic, int backlog);
+
+    /** Pool the driver mints accepted child sockets from. */
+    void setSocketPool(SocketPool *sp) { sockPool = sp; }
+
+    /** Unbind a finished flow and recycle its socket to the pool. */
+    void releaseSocket(os::ExecContext &ctx, Socket &socket);
 
     /**
      * Install the system's steering policy (may be nullptr). The
@@ -56,32 +79,47 @@ class Driver : public stats::Group
     void setSteering(SteeringPolicy *policy) { steer = policy; }
 
     /**
-     * TX entry used by sockets: route the packet out its NIC.
+     * TX entry used by sockets: route the packet (keyed by pkt.flow)
+     * out its NIC.
      * @return false if the NIC's TX ring was full and the frame was
      *         dropped (counted here as backpressure and on the NIC as
      *         tx_drops_ring_full); the caller keeps ownership of any
      *         skb it attached and retransmission recovers the data.
      */
-    bool transmit(os::ExecContext &ctx, int conn_id, const Packet &pkt,
+    bool transmit(os::ExecContext &ctx, const Packet &pkt,
                   sim::Addr data_addr);
 
-    /** @return socket bound to @p conn_id (nullptr if none). */
-    Socket *socketFor(int conn_id) const;
+    /** @return socket bound to @p flow (nullptr if none). */
+    Socket *socketFor(const FlowKey &flow) const;
+
+    ConnectionMap &connectionTable() { return connMap; }
+    const ConnectionMap &connectionTable() const { return connMap; }
+
+    /**
+     * Key identifying a (NIC, RX queue) pair on a poll list. The queue
+     * occupies the low 32 bits so NICs with >2^8 queues cannot alias.
+     */
+    static std::uint64_t
+    pollKey(int nic_index, int queue)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(nic_index))
+                << 32) |
+               static_cast<std::uint32_t>(queue);
+    }
 
     stats::Scalar softirqRuns;
     stats::Scalar framesDelivered;
     stats::Scalar txBackpressure;
+    stats::Scalar framesUnmatched;    ///< no flow, no usable listener
+    stats::Scalar synsAccepted;       ///< children minted from SYNs
+    stats::Scalar acceptDropsBacklog; ///< SYNs refused: backlog full
+    stats::Scalar acceptDropsPool;    ///< SYNs refused: pool exhausted
 
   private:
     os::Kernel &kernel;
     SkbPool &pool;
-
-    struct Binding
-    {
-        Socket *socket = nullptr;
-        Nic *nic = nullptr;
-        sim::Addr hashBucket = 0; ///< ehash chain head line
-    };
+    ConnectionMap connMap;
 
     /** One NET_RX poll-list entry: a NIC RX queue awaiting service. */
     struct PollRef
@@ -90,25 +128,19 @@ class Driver : public stats::Group
         int queue = 0;
     };
 
-    std::unordered_map<int, Binding> bindings;
     std::vector<std::deque<PollRef>> pollList; ///< per CPU
-    /** (nic index << 8 | queue) of entries already on some poll list. */
+    /** pollKey()s of entries already on some poll list. */
     std::unordered_set<std::uint64_t> queued;
     SteeringPolicy *steer = nullptr;
-
-    static std::uint64_t
-    pollKey(const Nic &nic, int queue)
-    {
-        return (static_cast<std::uint64_t>(
-                    static_cast<std::uint32_t>(nic.index()))
-                << 8) |
-               static_cast<std::uint32_t>(queue);
-    }
+    SocketPool *sockPool = nullptr;
 
     void onIsr(os::ExecContext &ctx, Nic &nic, int queue);
     void netRxAction(os::ExecContext &ctx);
     void deliver(os::ExecContext &ctx, const Packet &pkt,
                  const SkBuff &skb);
+    /** Lookup miss: try the listener table / SYN-accept path. */
+    void acceptOrDrop(os::ExecContext &ctx, const Packet &pkt,
+                      const SkBuff &skb);
     void onTxComplete(os::ExecContext &ctx, const Packet &pkt);
 };
 

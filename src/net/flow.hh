@@ -1,0 +1,157 @@
+/**
+ * @file
+ * FlowKey: the 4-tuple that identifies a TCP flow on the system under
+ * test.
+ *
+ * The key is always expressed from the SUT's perspective (local =
+ * SUT-side address/port, remote = peer-side), so the *same* key value
+ * identifies a flow in both wire directions — senders stamp packets
+ * with the key of the SUT socket that owns the flow, which lets the
+ * receive path demux without normalizing a directional tuple.
+ *
+ * Hashing contract (shared by net::ConnectionMap and the steering
+ * policies): the canonical serialization of a FlowKey is the 12-byte
+ * big-endian concatenation produced by bytes() —
+ *   localAddr(4) | remoteAddr(4) | localPort(2) | remotePort(2)
+ * Toeplitz (RSS) and Flow Director hash exactly those bytes;
+ * ConnectionMap's bucket index is flowHash32() over the same fields.
+ * Two FlowKeys collide in the connection table iff their mixed hashes
+ * collide — tests construct adversarial keys through bucketOf().
+ */
+
+#ifndef NETAFFINITY_NET_FLOW_HH
+#define NETAFFINITY_NET_FLOW_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+/** SUT-perspective TCP 4-tuple. A default-constructed key is invalid. */
+struct FlowKey
+{
+    std::uint32_t localAddr = 0;  ///< SUT-side IPv4 address
+    std::uint32_t remoteAddr = 0; ///< peer-side IPv4 address
+    std::uint16_t localPort = 0;  ///< SUT-side port
+    std::uint16_t remotePort = 0; ///< peer-side port
+
+    bool
+    valid() const
+    {
+        return localAddr != 0 || remoteAddr != 0 || localPort != 0 ||
+               remotePort != 0;
+    }
+
+    bool
+    operator==(const FlowKey &o) const
+    {
+        return localAddr == o.localAddr && remoteAddr == o.remoteAddr &&
+               localPort == o.localPort && remotePort == o.remotePort;
+    }
+
+    /** Canonical 12-byte big-endian serialization (hashing contract). */
+    std::array<std::uint8_t, 12>
+    bytes() const
+    {
+        std::array<std::uint8_t, 12> b{};
+        auto put32 = [&b](std::size_t at, std::uint32_t v) {
+            b[at + 0] = static_cast<std::uint8_t>(v >> 24);
+            b[at + 1] = static_cast<std::uint8_t>(v >> 16);
+            b[at + 2] = static_cast<std::uint8_t>(v >> 8);
+            b[at + 3] = static_cast<std::uint8_t>(v);
+        };
+        put32(0, localAddr);
+        put32(4, remoteAddr);
+        b[8] = static_cast<std::uint8_t>(localPort >> 8);
+        b[9] = static_cast<std::uint8_t>(localPort);
+        b[10] = static_cast<std::uint8_t>(remotePort >> 8);
+        b[11] = static_cast<std::uint8_t>(remotePort);
+        return b;
+    }
+
+    /** "a.b.c.d:p<->a.b.c.d:p" for panics and trace labels. */
+    std::string
+    describe() const
+    {
+        auto ip = [](std::uint32_t a) {
+            return sim::format("%u.%u.%u.%u", (a >> 24) & 0xff,
+                               (a >> 16) & 0xff, (a >> 8) & 0xff,
+                               a & 0xff);
+        };
+        return sim::format("%s:%u<->%s:%u", ip(localAddr).c_str(),
+                           localPort, ip(remoteAddr).c_str(),
+                           remotePort);
+    }
+};
+
+/**
+ * 32-bit mix of a FlowKey (splitmix64 finalizer over the packed
+ * tuple). This is the connection table's bucket hash and the packet
+ * span-id discriminator; steering uses Toeplitz over bytes() instead.
+ */
+inline std::uint32_t
+flowHash32(const FlowKey &k)
+{
+    std::uint64_t h = (static_cast<std::uint64_t>(k.localAddr) << 32) |
+                      k.remoteAddr;
+    h += ((static_cast<std::uint64_t>(k.localPort) << 16) |
+          k.remotePort) *
+         0x9e3779b97f4a7c15ull;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+/** std::unordered_map adaptor. */
+struct FlowKeyHash
+{
+    std::size_t
+    operator()(const FlowKey &k) const
+    {
+        return flowHash32(k);
+    }
+};
+
+/** SUT address used by single-NIC/per-connection provisioning. */
+inline std::uint32_t
+sutAddr(int nic_index)
+{
+    // 10.0.<nic>.1
+    return (10u << 24) | (static_cast<std::uint32_t>(nic_index) << 8) |
+           1u;
+}
+
+/** Peer address facing @p nic_index. */
+inline std::uint32_t
+peerAddr(int nic_index)
+{
+    // 192.168.<nic>.2
+    return (192u << 24) | (168u << 16) |
+           (static_cast<std::uint32_t>(nic_index) << 8) | 2u;
+}
+
+/**
+ * Mint the FlowKey for pre-bound connection @p conn (the ttcp-style
+ * provisioning path: one long-lived flow per NIC, SUT port 5001).
+ */
+inline FlowKey
+connFlowKey(int conn)
+{
+    FlowKey k;
+    k.localAddr = sutAddr(conn);
+    k.remoteAddr = peerAddr(conn);
+    k.localPort = 5001;
+    k.remotePort = static_cast<std::uint16_t>(40000 + conn);
+    return k;
+}
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_FLOW_HH

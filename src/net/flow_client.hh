@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The flow-churn client box: a protocol-faithful, CPU-cost-free peer
+ * that opens, drives, and closes many concurrent TCP flows against a
+ * SUT listener.
+ *
+ * Where RemotePeer models one long-lived ttcp endpoint, FlowClientPeer
+ * models the *population* the steering literature cares about: flows
+ * arrive in a seeded Poisson process (optionally in connect storms),
+ * carry heavy-tailed (bounded-Pareto) byte counts or fixed-geometry
+ * RPC exchanges, and actively close when done — exercising the SUT's
+ * listen/accept path, connection-table churn, and socket recycling.
+ *
+ * Every flow runs its own TcpConnection with per-flow RTO/delayed-ACK
+ * events (no per-packet scans over the population), so 10k concurrent
+ * flows cost O(1) per packet on the client side.
+ */
+
+#ifndef NETAFFINITY_NET_FLOW_CLIENT_HH
+#define NETAFFINITY_NET_FLOW_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/flow.hh"
+#include "src/net/tcp_connection.hh"
+#include "src/net/wire.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/random.hh"
+#include "src/stats/stats.hh"
+
+namespace na::net {
+
+/** Traffic-mix parameters for one client box. */
+struct FlowClientConfig
+{
+    /** SUT-side listen address/port flows connect to. */
+    std::uint32_t serverAddr = 0;
+    std::uint16_t serverPort = 5001;
+    /** Client-side address stamped into minted FlowKeys. */
+    std::uint32_t clientAddr = 0;
+
+    /** Concurrency cap: arrivals beyond it are deferred, not lost. */
+    int maxConcurrentFlows = 64;
+    /** Total flows to generate (0 = unbounded until stopArrivals). */
+    std::uint64_t totalFlows = 0;
+
+    /** Bounded-Pareto flow-size distribution (client -> server). */
+    std::uint32_t flowSizeMin = 2048;
+    std::uint32_t flowSizeMax = 1 << 20;
+    double flowSizeShape = 1.2; ///< tail index alpha
+
+    /** Mean flow interarrival (ticks); arrivals are exponential. */
+    double meanInterarrivalTicks = 2'000'000;
+    /** Flows launched per arrival event (connect storms when > 1). */
+    int stormSize = 1;
+
+    /** RPC mode: request/response exchanges instead of bulk bytes. */
+    bool rpc = false;
+    std::uint32_t rpcRequestBytes = 128;
+    std::uint32_t rpcResponseBytes = 4096;
+    int rpcExchangesPerFlow = 1;
+
+    TcpConfig tcp;
+};
+
+/** Per-flow-size-bucket completion log (log2 buckets). */
+struct FlowSizeBucket
+{
+    std::uint64_t maxBytes = 0; ///< inclusive upper bound
+    std::uint64_t flows = 0;
+    std::uint64_t bytes = 0; ///< client payload bytes sent
+};
+
+/** One client box driving a churning flow population. */
+class FlowClientPeer : public stats::Group
+{
+  public:
+    FlowClientPeer(stats::Group *parent, const std::string &name,
+                   sim::EventQueue &eq, Wire &wire,
+                   const FlowClientConfig &config, std::uint64_t seed);
+    ~FlowClientPeer();
+
+    /** Attach to the wire and schedule the first arrival. */
+    void start();
+
+    /** Stop generating new flows; in-flight flows drain normally. */
+    void stopArrivals();
+
+    std::uint64_t flowsLaunched() const { return launched; }
+    std::uint64_t
+    flowsCompletedCount() const
+    {
+        return static_cast<std::uint64_t>(flowsCompleted.value());
+    }
+    std::size_t liveFlows() const { return flows.size(); }
+
+    /** Client payload bytes sent over flows that fully completed. */
+    std::uint64_t completedBytesSent() const { return doneBytesSent; }
+
+    /** @return completion log since the last resetFlowLog(). */
+    const std::vector<FlowSizeBucket> &sizeBuckets() const
+    {
+        return buckets;
+    }
+
+    /** Clear the measurement-window completion log. */
+    void resetFlowLog();
+
+    stats::Scalar flowsStarted;
+    stats::Scalar flowsCompleted;
+    stats::Scalar csumDrops;
+    stats::Scalar latePackets; ///< packets for already-reaped flows
+    stats::Scalar deferredArrivals; ///< arrivals held by the cap
+
+  private:
+    /** One live client-side flow. */
+    struct CFlow
+    {
+        FlowKey key;
+        TcpConnection conn;
+        std::uint64_t targetBytes = 0; ///< bulk mode: bytes to send
+        std::uint64_t sent = 0;        ///< bytes appended so far
+        int exchangesDone = 0;         ///< rpc mode
+        bool requestOutstanding = false;
+        std::uint64_t respConsumed = 0;
+        sim::LambdaEvent rtoEvent;
+        sim::LambdaEvent delackEvent;
+
+        CFlow(FlowClientPeer &owner, const FlowKey &k,
+              const TcpConfig &tcp);
+    };
+
+    sim::EventQueue &eq;
+    Wire &wire;
+    FlowClientConfig cfg;
+    sim::Random rng;
+    bool arrivalsEnabled = false;
+    std::uint64_t launched = 0;  ///< flows actually started
+    std::uint64_t requested = 0; ///< arrival slots drawn (incl. deferred)
+    std::uint64_t deferred = 0;  ///< arrivals waiting for a free slot
+    std::uint16_t nextPort = 1024;
+    std::uint64_t doneBytesSent = 0;
+
+    std::unordered_map<FlowKey, std::unique_ptr<CFlow>, FlowKeyHash>
+        flows;
+    std::vector<FlowSizeBucket> buckets; ///< log2-indexed
+    std::vector<FlowKey> pendingReap;
+    sim::LambdaEvent arrivalEvent;
+    sim::LambdaEvent reapEvent;
+
+    void onPacket(const Packet &pkt);
+    void onArrival();
+    void scheduleNextArrival();
+    /** Start up to @p n flows now; the rest wait for free slots. */
+    void tryStart(int n);
+    void startFlow();
+    std::uint32_t drawFlowSize();
+    FlowKey mintKey();
+    void pumpFlow(CFlow &f);
+    void sendSegments(CFlow &f);
+    void updateTimers(CFlow &f);
+    bool completed(const CFlow &f) const;
+    /**
+     * Queue @p f for reaping on a same-tick event. Reaping destroys
+     * the flow's member events, so it must never run inside one of
+     * their own callbacks.
+     */
+    void scheduleReap(const CFlow &f);
+    void reapCompleted();
+    void recordCompletion(const CFlow &f);
+    /** Timer callback body shared by both per-flow events. */
+    void flowTimerFired(CFlow &f);
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_FLOW_CLIENT_HH

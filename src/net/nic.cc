@@ -283,7 +283,7 @@ Nic::onWirePacket(const Packet &pkt)
         tl && tl->wants(sim::TraceFlag::Tcp)) {
         tl->asyncBegin(sim::TraceFlag::Tcp, packetSpanId(pkt),
                        kernel.now(),
-                       sim::format("pkt:conn%d", pkt.connId));
+                       sim::format("pkt:%08x", flowHash32(pkt.flow)));
     }
     rxq.pendingRx.push_back(PendingRx{pkt, skb, desc});
     requestIrq(qi);

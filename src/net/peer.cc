@@ -11,7 +11,7 @@ constexpr sim::Tick peerDelackTicks = 2'000'000;
 
 RemotePeer::RemotePeer(stats::Group *parent, const std::string &name,
                        sim::EventQueue &eq_ref, Wire &wire_ref,
-                       int conn_id, PeerRole role,
+                       const FlowKey &flow_key, PeerRole role,
                        const TcpConfig &tcp_config,
                        const PeerRpcConfig &rpc_config)
     : stats::Group(parent, name),
@@ -19,7 +19,7 @@ RemotePeer::RemotePeer(stats::Group *parent, const std::string &name,
       segsOut(this, "segs_out", "segments sent"),
       csumDrops(this, "csum_drops",
                 "corrupt segments caught by the checksum"),
-      eq(eq_ref), wire(wire_ref), connId(conn_id), peerRole(role),
+      eq(eq_ref), wire(wire_ref), key(flow_key), peerRole(role),
       conn(tcp_config), rpc(rpc_config),
       rtoEvent(name + ".rto", [this] {
           conn.onRtoTimer(eq.now());
@@ -52,7 +52,7 @@ RemotePeer::sendSegments(const std::vector<Segment> &segs)
 {
     for (const Segment &seg : segs) {
         Packet pkt;
-        pkt.connId = connId;
+        pkt.flow = key;
         pkt.seg = seg;
         ++segsOut;
         wire.sendFromB(pkt);

@@ -48,7 +48,7 @@ class RemotePeer : public stats::Group
 {
   public:
     RemotePeer(stats::Group *parent, const std::string &name,
-               sim::EventQueue &eq, Wire &wire, int conn_id,
+               sim::EventQueue &eq, Wire &wire, const FlowKey &flow_key,
                PeerRole role, const TcpConfig &tcp_config = TcpConfig{},
                const PeerRpcConfig &rpc_config = PeerRpcConfig{});
     ~RemotePeer();
@@ -80,7 +80,7 @@ class RemotePeer : public stats::Group
   private:
     sim::EventQueue &eq;
     Wire &wire;
-    int connId;
+    FlowKey key; ///< SUT-perspective key stamped on every packet
     PeerRole peerRole;
     TcpConnection conn;
     bool sending = true;

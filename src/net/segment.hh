@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/net/flow.hh"
+
 namespace na::net {
 
 /** TCP header flags. */
@@ -52,7 +54,7 @@ struct Segment
 /** A segment in flight on a wire, tagged for demux and completion. */
 struct Packet
 {
-    int connId = -1;    ///< flow identifier (stands in for the 5-tuple)
+    FlowKey flow;       ///< SUT-perspective 4-tuple (demux key)
     Segment seg;
     /**
      * Sender-side skb slot to free at TX completion (pure ACKs and
@@ -77,16 +79,14 @@ struct Packet
 
 /**
  * @return correlation id tying a packet's timeline span (NIC arrival
- *         to socket delivery) across async begin/end events:
- *         connection in the high half, sequence number (truncated) in
- *         the low half.
+ *         to socket delivery) across async begin/end events: the
+ *         flow's 32-bit hash in the high half, sequence number
+ *         (truncated) in the low half.
  */
 inline std::uint64_t
 packetSpanId(const Packet &pkt)
 {
-    return (static_cast<std::uint64_t>(
-                static_cast<std::uint32_t>(pkt.connId))
-            << 32) |
+    return (static_cast<std::uint64_t>(flowHash32(pkt.flow)) << 32) |
            (pkt.seg.seq & 0xffffffffu);
 }
 

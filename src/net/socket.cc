@@ -18,7 +18,7 @@ constexpr sim::Tick delackTicks = 80'000'000;
 
 Socket::Socket(stats::Group *parent, const std::string &name,
                os::Kernel &kernel_ref, Driver &driver_ref,
-               SkbPool &pool_ref, int conn_id,
+               SkbPool &pool_ref, const FlowKey &flow_key,
                const TcpConfig &tcp_config)
     : stats::Group(parent, name),
       appBytesSent(this, "app_bytes_sent", "bytes accepted from app"),
@@ -26,7 +26,7 @@ Socket::Socket(stats::Group *parent, const std::string &name,
       segsIn(this, "segs_in", "segments received"),
       segsOut(this, "segs_out", "segments transmitted"),
       kernel(kernel_ref), driver(driver_ref), pool(pool_ref),
-      id(conn_id), conn(tcp_config),
+      key(flow_key), conn(tcp_config),
       sk(kernel_ref.addressSpace().alloc(mem::Region::KernelData, 1536)),
       routeLine(
           kernel_ref.addressSpace().alloc(mem::Region::KernelData, 64)),
@@ -107,6 +107,84 @@ Socket::connect(os::ExecContext &ctx)
     writers.sleepOn(ctx.task);
 }
 
+void
+Socket::configureListen(int backlog_slots)
+{
+    if (backlog_slots <= 0)
+        sim::panic("socket listen with backlog %d", backlog_slots);
+    isListener = true;
+    backlog = backlog_slots;
+}
+
+void
+Socket::adoptFromListener(const Socket &listener)
+{
+    nonBlocking = listener.nonBlocking;
+    wake = listener.wake;
+}
+
+Socket *
+Socket::accept(os::ExecContext &ctx)
+{
+    if (!isListener)
+        sim::panic("accept on a non-listening socket");
+    ctx.charge(prof::FuncId::SysAccept, 350,
+               {cpu::MemTouch{sk, 128, false}});
+    sockLockWindow(ctx);
+    if (acceptQueue.empty()) {
+        if (nonBlocking)
+            return nullptr;
+        if (!ctx.task)
+            sim::panic("blocking accept outside task context");
+        acceptors.sleepOn(ctx.task);
+        return nullptr;
+    }
+    Socket *child = acceptQueue.front();
+    acceptQueue.pop_front();
+    --pendingChildren;
+    // Transferring the new sock to the caller touches both socks.
+    ctx.charge(prof::FuncId::SysAccept, 250,
+               {cpu::MemTouch{sk, 64, true},
+                cpu::MemTouch{child->skAddr(), 128, true}});
+    return child;
+}
+
+void
+Socket::onChildEstablished(os::ExecContext &ctx, Socket &child)
+{
+    acceptQueue.push_back(&child);
+    if (!acceptors.empty())
+        kernel.wakeUpOne(ctx, acceptors);
+    if (wake)
+        wake(ctx, *this);
+}
+
+void
+Socket::reset(os::ExecContext &ctx, const FlowKey &new_key)
+{
+    if (rtxTimer != os::invalidTimer) {
+        kernel.timers().cancel(rtxTimer);
+        rtxTimer = os::invalidTimer;
+    }
+    if (delackTimer != os::invalidTimer) {
+        kernel.timers().cancel(delackTimer);
+        delackTimer = os::invalidTimer;
+    }
+    for (const TxSkb &t : txQueue)
+        pool.free(ctx, t.skb);
+    txQueue.clear();
+    for (const RxChunk &c : rxQueue)
+        pool.free(ctx, c.skb);
+    rxQueue.clear();
+    for (auto &[seq, c] : oooStash)
+        pool.free(ctx, c.skb);
+    oooStash.clear();
+    promotedEnd = 0;
+    parent = nullptr;
+    conn = TcpConnection(conn.config());
+    key = new_key;
+}
+
 std::uint32_t
 Socket::send(os::ExecContext &ctx, sim::Addr user_buf, std::uint32_t len)
 {
@@ -182,7 +260,7 @@ Socket::send(os::ExecContext &ctx, sim::Addr user_buf, std::uint32_t len)
     tcpPush(ctx);
     sockLockWindow(ctx);
 
-    if (out_of_space && accepted < len) {
+    if (out_of_space && accepted < len && !nonBlocking) {
         // Blocking write: the syscall sleeps until sk_stream_write_space
         // opens enough room (it does NOT return a short count).
         if (!ctx.task)
@@ -206,6 +284,8 @@ Socket::recv(os::ExecContext &ctx, sim::Addr user_buf, std::uint32_t len)
         const bool eof = conn.finReceived();
         if (eof)
             return -1;
+        if (nonBlocking)
+            return 0; // EAGAIN
         if (!ctx.task)
             sim::panic("blocking recv outside task context");
         readers.sleepOn(ctx.task);
@@ -276,7 +356,7 @@ Socket::transmitSegment(os::ExecContext &ctx, const Segment &seg)
 {
     ++segsOut;
     Packet pkt;
-    pkt.connId = id;
+    pkt.flow = key;
     pkt.seg = seg;
 
     sim::Addr data_addr = 0;
@@ -290,7 +370,8 @@ Socket::transmitSegment(os::ExecContext &ctx, const Segment &seg)
             }
         }
         if (!owner)
-            sim::panic("socket %d: no skb for seq %llu", id,
+            sim::panic("socket %s: no skb for seq %llu",
+                       key.describe().c_str(),
                        (unsigned long long)seg.seq);
         data_addr =
             owner->skb.dataAddr + (seg.seq - owner->seqStart);
@@ -320,7 +401,7 @@ Socket::transmitSegment(os::ExecContext &ctx, const Segment &seg)
 
     ctx.charge(prof::FuncId::IpQueueXmit, 200,
                {cpu::MemTouch{routeLine, 32, false}});
-    if (!driver.transmit(ctx, id, pkt, data_addr) &&
+    if (!driver.transmit(ctx, pkt, data_addr) &&
         pkt.freeSlotOnTxComplete >= 0) {
         // Ring full: no TxDone will ever fire for this frame, so the
         // control skb must be released here or it leaks from the pool.
@@ -465,9 +546,15 @@ Socket::onSegmentSoftirq(os::ExecContext &ctx, const Packet &pkt,
         pool.free(ctx, skb);
     }
 
-    if (!was_established && established() && !writers.empty()) {
-        // connect() completed.
-        kernel.wakeUpAll(ctx, writers);
+    if (!was_established && established()) {
+        if (parent) {
+            // Passive open completed: hand ourselves to the listener.
+            parent->onChildEstablished(ctx, *this);
+        }
+        if (!writers.empty()) {
+            // connect() completed.
+            kernel.wakeUpAll(ctx, writers);
+        }
     }
     if (conn.finReceived() && !readers.empty())
         kernel.wakeUpAll(ctx, readers);
@@ -483,6 +570,9 @@ Socket::onSegmentSoftirq(os::ExecContext &ctx, const Packet &pkt,
     // ACKs may have opened the window for queued data.
     tcpPush(ctx);
     sockLockWindow(ctx);
+
+    if (wake)
+        wake(ctx, *this);
 }
 
 void

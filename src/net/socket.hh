@@ -9,16 +9,25 @@
  * timer arming. The process half (send/recv, task context) and the
  * softirq half (onSegmentSoftirq, interrupt CPU) contend for the same
  * socket lock and cache lines — which is the whole affinity story.
+ *
+ * Sockets have a full lifecycle: connect() for active opens,
+ * configureListen()/accept() for the server side (the driver creates
+ * child sockets from a SocketPool when a SYN matches a listener), and
+ * reset() to recycle a closed socket — its simulated kernel objects
+ * (struct sock, route line, lock word) keep their addresses across
+ * reuse, exactly like a slab-recycled sock.
  */
 
 #ifndef NETAFFINITY_NET_SOCKET_HH
 #define NETAFFINITY_NET_SOCKET_HH
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/net/flow.hh"
 #include "src/net/skb.hh"
 #include "src/net/tcp_connection.hh"
 #include "src/os/spinlock.hh"
@@ -36,15 +45,24 @@ namespace na::net {
 
 class Driver;
 
-/** One established TCP socket on the system under test. */
+/** One TCP socket on the system under test. */
 class Socket : public stats::Group
 {
   public:
+    /**
+     * Fired from softirq context whenever the socket becomes
+     * actionable (data readable, EOF, a child ready to accept, or the
+     * connection fully closed). Event-driven apps use it to queue the
+     * socket for service instead of blocking a task per flow.
+     */
+    using WakeHook = std::function<void(os::ExecContext &, Socket &)>;
+
     Socket(stats::Group *parent, const std::string &name,
            os::Kernel &kernel, Driver &driver, SkbPool &pool,
-           int conn_id, const TcpConfig &tcp_config = TcpConfig{});
+           const FlowKey &flow_key,
+           const TcpConfig &tcp_config = TcpConfig{});
 
-    int connId() const { return id; }
+    const FlowKey &flow() const { return key; }
     TcpConnection &tcp() { return conn; }
     const TcpConnection &tcp() const { return conn; }
     sim::Addr skAddr() const { return sk; }
@@ -61,19 +79,82 @@ class Socket : public stats::Group
     /**
      * sendmsg: copy as much of [user_buf, user_buf+len) into the socket
      * as fits, transmit what the windows allow.
-     * @return bytes accepted; 0 means the task went to sleep.
+     * @return bytes accepted; 0 means the task went to sleep (or, on a
+     *         non-blocking socket, that the buffer is full).
      */
     std::uint32_t send(os::ExecContext &ctx, sim::Addr user_buf,
                        std::uint32_t len);
 
     /**
      * recvmsg: copy available in-order data to the user buffer.
-     * @return bytes read; 0 means the task went to sleep; -1 means EOF.
+     * @return bytes read; 0 means the task went to sleep (or EAGAIN on
+     *         a non-blocking socket); -1 means EOF.
      */
     int recv(os::ExecContext &ctx, sim::Addr user_buf, std::uint32_t len);
 
     /** Application close (FIN). */
     void close(os::ExecContext &ctx);
+    /** @} */
+
+    /** @name Listen / accept lifecycle @{ */
+    /** Turn this socket into a listener with a bounded accept queue. */
+    void configureListen(int backlog_slots);
+
+    bool listening() const { return isListener; }
+
+    /**
+     * Pop an established child connection.
+     * @return the child socket; nullptr if none is ready (the task
+     *         sleeps unless the socket is non-blocking).
+     */
+    Socket *accept(os::ExecContext &ctx);
+
+    /** @return true if the SYN backlog has room for another child. */
+    bool
+    acceptSlotAvailable() const
+    {
+        return pendingChildren < backlog;
+    }
+
+    /** Driver: a SYN consumed one backlog slot. */
+    void notePendingChild() { ++pendingChildren; }
+
+    /** Driver: child socket entering the passive handshake. */
+    void beginPassive() { conn.openPassive(); }
+
+    void setParentListener(Socket *listener) { parent = listener; }
+
+    /** Copy the listener's wake hook + blocking mode onto a child. */
+    void adoptFromListener(const Socket &listener);
+
+    /** Softirq: a child completed its handshake; queue it for accept. */
+    void onChildEstablished(os::ExecContext &ctx, Socket &child);
+
+    std::size_t acceptQueueDepth() const { return acceptQueue.size(); }
+    /** @} */
+
+    /** @name Event-driven mode @{ */
+    void setNonBlocking(bool nb) { nonBlocking = nb; }
+    void setWakeHook(WakeHook hook) { wake = std::move(hook); }
+
+    /**
+     * @return true once both directions are shut down (passive close
+     *         reached CLOSED, or active close reached TIME_WAIT) —
+     *         the point where the owner may recycle the socket.
+     */
+    bool
+    fullyClosed() const
+    {
+        return (conn.state() == TcpState::Closed && conn.finReceived()) ||
+               conn.state() == TcpState::TimeWait;
+    }
+
+    /**
+     * Recycle a closed socket for a new flow: cancel timers, return
+     * queued skbs to the pool, and reset the protocol engine. The
+     * simulated sock/route/lock addresses are retained (slab reuse).
+     */
+    void reset(os::ExecContext &ctx, const FlowKey &new_key);
     /** @} */
 
     /** @name Softirq-context API (called by the Driver) @{ */
@@ -113,7 +194,7 @@ class Socket : public stats::Group
     os::Kernel &kernel;
     Driver &driver;
     SkbPool &pool;
-    int id;
+    FlowKey key;
     TcpConnection conn;
     sim::Addr sk;        ///< struct sock (1.5 KiB)
     sim::Addr routeLine; ///< dst cache entry
@@ -130,6 +211,18 @@ class Socket : public stats::Group
 
     os::TimerId rtxTimer = os::invalidTimer;
     os::TimerId delackTimer = os::invalidTimer;
+
+    bool nonBlocking = false;
+    WakeHook wake;
+
+    // Listener state.
+    bool isListener = false;
+    int backlog = 0;
+    /** Children holding a backlog slot (embryonic + unaccepted). */
+    int pendingChildren = 0;
+    std::deque<Socket *> acceptQueue;
+    os::WaitQueue acceptors;
+    Socket *parent = nullptr; ///< listener this child came from
 
     /** Brief lock_sock/release_sock spinlock window. */
     void sockLockWindow(os::ExecContext &ctx);

@@ -1,0 +1,56 @@
+#include "src/net/socket_pool.hh"
+
+#include "src/net/socket.hh"
+#include "src/sim/logging.hh"
+
+namespace na::net {
+
+SocketPool::SocketPool(stats::Group *parent, os::Kernel &kernel_ref,
+                       Driver &driver_ref, SkbPool &skb_pool,
+                       std::size_t capacity,
+                       const TcpConfig &tcp_config)
+    : stats::Group(parent, "socket_pool"),
+      acquired(this, "acquired", "sockets handed out"),
+      released(this, "released", "sockets recycled"),
+      exhausted(this, "exhausted", "acquires refused (pool empty)"),
+      oooArrivals(this, "ooo_arrivals",
+                  "out-of-order segment arrivals over recycled flows"),
+      kernel(kernel_ref), driver(driver_ref), skbPool(skb_pool),
+      cap(capacity), tcp(tcp_config)
+{
+}
+
+SocketPool::~SocketPool() = default;
+
+Socket *
+SocketPool::acquire(os::ExecContext &ctx, const FlowKey &key)
+{
+    Socket *s = nullptr;
+    if (!freeStack.empty()) {
+        s = freeStack.back();
+        freeStack.pop_back();
+        s->reset(ctx, key);
+    } else if (created.size() < cap) {
+        created.push_back(std::make_unique<Socket>(
+            this, sim::format("flow_sock%zu", created.size()), kernel,
+            driver, skbPool, key, tcp));
+        s = created.back().get();
+    } else {
+        ++exhausted;
+        return nullptr;
+    }
+    ++acquired;
+    return s;
+}
+
+void
+SocketPool::release(os::ExecContext &ctx, Socket &socket)
+{
+    oooArrivals += static_cast<double>(socket.tcp().oooArrivalCount());
+    // Scrub now so parked sockets hold no skb-pool slots.
+    socket.reset(ctx, FlowKey{});
+    freeStack.push_back(&socket);
+    ++released;
+}
+
+} // namespace na::net

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A bounded slab of recyclable sockets for server-side accepts.
+ *
+ * The driver acquires a socket per accepted SYN and the owning app
+ * releases it once the flow fully closes. Sockets are created lazily
+ * up to the capacity and then recycled — their simulated kernel
+ * objects (struct sock, route line, lock word) keep their addresses
+ * across reuse, mirroring slab allocation of struct sock. When the
+ * pool is empty, accepts are dropped (the driver counts them), which
+ * is the model's listen-overflow behaviour.
+ */
+
+#ifndef NETAFFINITY_NET_SOCKET_POOL_HH
+#define NETAFFINITY_NET_SOCKET_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/net/flow.hh"
+#include "src/net/tcp_connection.hh"
+#include "src/stats/stats.hh"
+
+namespace na::os {
+class ExecContext;
+class Kernel;
+} // namespace na::os
+
+namespace na::net {
+
+class Driver;
+class SkbPool;
+class Socket;
+
+/** Recyclable server-socket slab. */
+class SocketPool : public stats::Group
+{
+  public:
+    SocketPool(stats::Group *parent, os::Kernel &kernel, Driver &driver,
+               SkbPool &skb_pool, std::size_t capacity,
+               const TcpConfig &tcp_config = TcpConfig{});
+    ~SocketPool();
+
+    /**
+     * @return a closed socket rekeyed to @p key, or nullptr if the
+     *         pool is exhausted (counted).
+     */
+    Socket *acquire(os::ExecContext &ctx, const FlowKey &key);
+
+    /** Return a fully-closed socket; frees any straggler skbs. */
+    void release(os::ExecContext &ctx, Socket &socket);
+
+    std::size_t capacity() const { return cap; }
+    std::size_t inUse() const { return created.size() - freeStack.size(); }
+
+    stats::Scalar acquired;
+    stats::Scalar released;
+    stats::Scalar exhausted; ///< acquire attempts that found no socket
+    /** Out-of-order segment arrivals harvested from sockets at
+     *  release, before reset() wipes the protocol engine — the SUT-side
+     *  reordering signal Flow Director migrations produce. */
+    stats::Scalar oooArrivals;
+
+  private:
+    os::Kernel &kernel;
+    Driver &driver;
+    SkbPool &skbPool;
+    std::size_t cap;
+    TcpConfig tcp;
+    std::vector<std::unique_ptr<Socket>> created;
+    std::vector<Socket *> freeStack;
+};
+
+} // namespace na::net
+
+#endif // NETAFFINITY_NET_SOCKET_POOL_HH

@@ -95,7 +95,7 @@ class RssPolicy : public SteeringPolicy
     rxQueue(int nic, const Packet &pkt) override
     {
         (void)nic;
-        return hashQueue(pkt.connId);
+        return hashQueue(pkt.flow);
     }
 
     std::uint32_t
@@ -117,10 +117,9 @@ class RssPolicy : public SteeringPolicy
 
   protected:
     int
-    hashQueue(int flow_id) const
+    hashQueue(const FlowKey &flow) const
     {
-        const std::uint32_t h =
-            toeplitzHash(static_cast<std::uint32_t>(flow_id));
+        const std::uint32_t h = toeplitzHash(flow);
         return indirection[h &
                            (static_cast<std::uint32_t>(cfg.rssTableSize) -
                             1u)];
@@ -154,20 +153,20 @@ class FlowDirectorPolicy final : public RssPolicy
     int
     rxQueue(int nic, const Packet &pkt) override
     {
-        const auto it = flows.find(flowKey(nic, pkt.connId));
+        const auto it = flows.find(FdKey{nic, pkt.flow});
         if (it != flows.end()) {
             ++counters.flowMatches;
             return it->second;
         }
         ++counters.flowMisses;
-        return hashQueue(pkt.connId);
+        return hashQueue(pkt.flow);
     }
 
     void
     noteTransmit(int nic, const Packet &pkt, sim::CpuId cpu) override
     {
         const int q = queueServing(cpu);
-        const std::uint64_t key = flowKey(nic, pkt.connId);
+        const FdKey key{nic, pkt.flow};
         auto it = flows.find(key);
         if (it == flows.end()) {
             if (static_cast<int>(flows.size()) >= cfg.flowTableSize)
@@ -186,14 +185,30 @@ class FlowDirectorPolicy final : public RssPolicy
     SteeringStats stats() const override { return counters; }
 
   private:
-    static std::uint64_t
-    flowKey(int nic, int conn_id)
+    /** Exact-match table key: the 4-tuple scoped to its NIC. */
+    struct FdKey
     {
-        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                    nic))
-                << 32) |
-               static_cast<std::uint32_t>(conn_id);
-    }
+        int nic;
+        FlowKey flow;
+
+        bool
+        operator==(const FdKey &o) const
+        {
+            return nic == o.nic && flow == o.flow;
+        }
+    };
+
+    struct FdKeyHash
+    {
+        std::size_t
+        operator()(const FdKey &k) const
+        {
+            return (static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(k.nic))
+                    << 32) ^
+                   flowHash32(k.flow);
+        }
+    };
 
     /** Queue whose vector targets @p cpu (first match, else modulo). */
     int
@@ -206,18 +221,18 @@ class FlowDirectorPolicy final : public RssPolicy
         return static_cast<int>(cpu) % nQueues;
     }
 
-    std::unordered_map<std::uint64_t, int> flows;
+    std::unordered_map<FdKey, int, FdKeyHash> flows;
     SteeringStats counters;
 };
 
 } // namespace
 
 std::uint32_t
-toeplitzHash(std::uint32_t flow_id)
+toeplitzHash(const std::uint8_t *data, std::size_t len)
 {
     // Left-aligned 32-bit window over the key, shifted one bit per
     // input bit; XOR the window for every set input bit (verbatim from
-    // the RSS spec, specialized to a 4-byte input).
+    // the RSS spec). The 40-byte key admits inputs up to 36 bytes.
     std::uint32_t result = 0;
     std::uint32_t window = (static_cast<std::uint32_t>(toeplitzKey[0])
                             << 24) |
@@ -226,17 +241,37 @@ toeplitzHash(std::uint32_t flow_id)
                            (static_cast<std::uint32_t>(toeplitzKey[2])
                             << 8) |
                            static_cast<std::uint32_t>(toeplitzKey[3]);
-    for (int bit = 0; bit < 32; ++bit) {
-        if (flow_id & (0x80000000u >> bit))
+    const std::size_t bits = len * 8;
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+        if (data[bit / 8] & (0x80u >> (bit % 8)))
             result ^= window;
-        const int next = 4 + (bit + 1) / 8;
-        const int shift = 7 - (bit + 1) % 8;
+        const std::size_t next = 4 + (bit + 1) / 8;
+        const std::size_t shift = 7 - (bit + 1) % 8;
         window = (window << 1) |
                  ((static_cast<std::uint32_t>(toeplitzKey[next]) >>
                    shift) &
                   1u);
     }
     return result;
+}
+
+std::uint32_t
+toeplitzHash(std::uint32_t flow_id)
+{
+    const std::uint8_t be[4] = {
+        static_cast<std::uint8_t>(flow_id >> 24),
+        static_cast<std::uint8_t>(flow_id >> 16),
+        static_cast<std::uint8_t>(flow_id >> 8),
+        static_cast<std::uint8_t>(flow_id),
+    };
+    return toeplitzHash(be, sizeof(be));
+}
+
+std::uint32_t
+toeplitzHash(const FlowKey &flow)
+{
+    const std::array<std::uint8_t, 12> b = flow.bytes();
+    return toeplitzHash(b.data(), b.size());
 }
 
 std::unique_ptr<SteeringPolicy>

@@ -193,11 +193,20 @@ class SteeringPolicy
 };
 
 /**
- * Toeplitz hash (Microsoft RSS specification) of a 32-bit flow id.
- * Deterministic across platforms; used by Rss and the FlowDirector
- * fallback path.
+ * Toeplitz hash (Microsoft RSS specification) over an arbitrary input,
+ * MSB-first, under the default 40-byte secret key. Deterministic
+ * across platforms; used by Rss and the FlowDirector fallback path.
  */
+std::uint32_t toeplitzHash(const std::uint8_t *data, std::size_t len);
+
+/** Toeplitz hash of a 32-bit id (big-endian serialization). */
 std::uint32_t toeplitzHash(std::uint32_t flow_id);
+
+/**
+ * Toeplitz hash of a flow's canonical 12-byte serialization (see
+ * flow.hh for the hashing contract shared with ConnectionMap).
+ */
+std::uint32_t toeplitzHash(const FlowKey &flow);
 
 /**
  * Build the policy for @p config.

@@ -392,6 +392,7 @@ TcpConnection::onData(const Segment &seg, std::vector<Segment> &replies)
             }
         } else {
             // Out of order: buffer and duplicate-ack the gap.
+            ++oooArrivals;
             auto [it, inserted] = ooo.emplace(seg.seq, seg_end);
             if (!inserted && seg_end > it->second)
                 it->second = seg_end;

@@ -185,6 +185,10 @@ class TcpConnection
     std::uint64_t retransmitCount() const { return retransmits; }
     std::uint64_t dupAckCount() const { return dupAcksSeen; }
     std::size_t oooQueueSize() const { return ooo.size(); }
+    /** @return data segments that arrived ahead of the next expected
+     *          byte and were buffered (the reordering Flow Director's
+     *          flow migrations induce). */
+    std::uint64_t oooArrivalCount() const { return oooArrivals; }
     /** Smoothed RTT estimate (0 before the first sample). */
     sim::Tick srttTicks() const { return srtt; }
     /** RTT variance estimate. */
@@ -211,6 +215,7 @@ class TcpConnection
     bool fastRetransmitPending = false;
     std::uint64_t retransmits = 0;
     std::uint64_t dupAcksSeen = 0;
+    std::uint64_t oooArrivals = 0;
     bool finQueued = false;   ///< close() called, FIN not yet sent
     bool finSent = false;
     std::uint64_t finSeq = 0;

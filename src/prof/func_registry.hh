@@ -136,7 +136,12 @@ namespace na::prof {
     FUNC(TtcpLoop,      "ttcp_main_loop",     User, 768, 0.08,            \
          0.0020, 1.00, 0)                                                 \
     FUNC(UserApp,       "user_application",   User, 4096, 0.12,           \
-         0.0050, 1.10, 0)
+         0.0050, 1.10, 0)                                                 \
+    /* Connection setup/teardown (appended so earlier ids keep slots) */  \
+    FUNC(SysAccept,     "sys_accept",         Interface, 2816, 0.19,      \
+         0.0030, 1.60, 1600)                                              \
+    FUNC(TcpConnRequest,"tcp_v4_conn_request",Engine, 2816, 0.16,         \
+         0.0045, 2.20, 0)
 
 /** Compile-time identifier of every simulated function. */
 enum class FuncId : std::uint16_t

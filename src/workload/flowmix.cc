@@ -1,0 +1,165 @@
+#include "src/workload/flowmix.hh"
+
+#include <algorithm>
+
+#include "src/net/driver.hh"
+#include "src/os/exec_context.hh"
+#include "src/os/kernel.hh"
+
+namespace na::workload {
+
+FlowMixApp::FlowMixApp(stats::Group *parent, const std::string &name,
+                       os::Kernel &kernel_ref, net::Driver &driver_ref,
+                       net::Socket &listener_ref,
+                       const FlowMixConfig &config)
+    : stats::Group(parent, name),
+      accepted(this, "accepted", "children popped via accept()"),
+      retired(this, "retired", "children fully closed and recycled"),
+      appBytesRead(this, "bytes_read", "payload bytes read from children"),
+      appBytesSent(this, "bytes_sent", "RPC response bytes accepted"),
+      responses(this, "responses", "RPC responses queued"),
+      syscalls(this, "syscalls", "accept/read/write syscalls issued"),
+      kernel(kernel_ref), driver(driver_ref), listener(listener_ref),
+      cfg(config),
+      readBuf(kernel_ref.addressSpace().alloc(mem::Region::UserData,
+                                              config.readChunk)),
+      respBuf(kernel_ref.addressSpace().alloc(
+          mem::Region::UserData,
+          config.rpc ? config.rpcResponseBytes : 64))
+{
+    listener.setNonBlocking(true);
+    listener.setWakeHook(
+        [this](os::ExecContext &ctx, net::Socket &socket) {
+            onSocketWake(ctx, socket);
+        });
+}
+
+void
+FlowMixApp::onSocketWake(os::ExecContext &ctx, net::Socket &socket)
+{
+    // Children adopt the listener's hook, so this fires both for
+    // "accept queue gained a child" (socket == listener) and for
+    // "child became actionable" (data, ACK opening send space, FIN).
+    if (&socket != &listener)
+        markReady(&socket);
+    kernel.wakeUpAll(ctx, readyWq);
+}
+
+void
+FlowMixApp::markReady(net::Socket *socket)
+{
+    if (readySet.insert(socket).second)
+        ready.push_back(socket);
+}
+
+os::StepStatus
+FlowMixApp::step(os::ExecContext &ctx)
+{
+    const bool acceptedSome = drainAcceptQueue(ctx);
+
+    if (!ready.empty()) {
+        net::Socket *child = ready.front();
+        ready.pop_front();
+        readySet.erase(child);
+        // The child may have been retired after being queued.
+        if (children.find(child) != children.end())
+            serviceChild(ctx, *child);
+        return os::StepStatus::Continue;
+    }
+    if (acceptedSome)
+        return os::StepStatus::Continue;
+
+    // Nothing actionable: park until a wake hook fires.
+    readyWq.sleepOn(ctx.task);
+    return os::StepStatus::Blocked;
+}
+
+bool
+FlowMixApp::drainAcceptQueue(os::ExecContext &ctx)
+{
+    bool any = false;
+    while (listener.acceptQueueDepth() > 0) {
+        ctx.charge(prof::FuncId::TtcpLoop, 50, {});
+        ++syscalls;
+        net::Socket *child = listener.accept(ctx);
+        if (!child)
+            break;
+        any = true;
+        ++accepted;
+        children.emplace(child, ChildState{});
+        // Handshake data (or even a FIN) may already be queued.
+        markReady(child);
+    }
+    return any;
+}
+
+void
+FlowMixApp::serviceChild(os::ExecContext &ctx, net::Socket &child)
+{
+    ChildState &st = children[&child];
+    ctx.charge(prof::FuncId::TtcpLoop, 50, {});
+
+    // Flush any response bytes an earlier round could not fit into the
+    // send buffer; the ACK that opens space re-queues the child.
+    if (st.respPending) {
+        ctx.charge(prof::FuncId::SysWrite, 350, {});
+        ++syscalls;
+        const std::uint32_t n =
+            child.send(ctx, respBuf, st.respPending);
+        st.respPending -= n;
+        appBytesSent += n;
+        if (st.respPending)
+            return;
+    }
+
+    ctx.charge(prof::FuncId::SysRead, 350, {});
+    ++syscalls;
+    const int r = child.recv(ctx, readBuf, cfg.readChunk);
+    if (r > 0) {
+        appBytesRead += r;
+        st.consumed += static_cast<std::uint64_t>(r);
+        if (cfg.rpc) {
+            const std::uint64_t full_reqs =
+                st.consumed / cfg.rpcRequestBytes;
+            while (st.respQueued < full_reqs) {
+                st.respPending += cfg.rpcResponseBytes;
+                ++st.respQueued;
+                ++responses;
+            }
+            if (st.respPending) {
+                ctx.charge(prof::FuncId::SysWrite, 350, {});
+                ++syscalls;
+                const std::uint32_t n =
+                    child.send(ctx, respBuf, st.respPending);
+                st.respPending -= n;
+                appBytesSent += n;
+            }
+        }
+        // More data may remain buffered; service again next step.
+        markReady(&child);
+        return;
+    }
+    if (r < 0 && !st.closedByUs) {
+        // EOF: the client finished its flow; close our half. The final
+        // ACK completes the passive close and re-wakes the child.
+        child.close(ctx);
+        st.closedByUs = true;
+    }
+    if (child.fullyClosed())
+        retireChild(ctx, child);
+}
+
+void
+FlowMixApp::retireChild(os::ExecContext &ctx, net::Socket &child)
+{
+    children.erase(&child);
+    if (readySet.erase(&child)) {
+        const auto it = std::find(ready.begin(), ready.end(), &child);
+        if (it != ready.end())
+            ready.erase(it);
+    }
+    ++retired;
+    driver.releaseSocket(ctx, child);
+}
+
+} // namespace na::workload

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tagged workload selection for SystemConfig.
+ *
+ * A System runs exactly one workload kind; the Spec variant makes that
+ * choice explicit instead of a pile of parallel optional fields. The
+ * paper's single-flow ttcp remains the default alternative (and keeps
+ * its config byte layout), while FlowMix provisions the many-flow
+ * listen/accept plane: one FlowMixApp server per NIC fed by a
+ * FlowClientPeer generating churning, heavy-tailed flows.
+ */
+
+#ifndef NETAFFINITY_WORKLOAD_SPEC_HH
+#define NETAFFINITY_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "src/workload/ttcp.hh"
+
+namespace na::workload {
+
+/** Many-flow churn workload parameters (per connection/NIC). */
+struct FlowMixConfig
+{
+    /** Client-side concurrency cap; arrivals beyond it defer. */
+    int maxConcurrentFlows = 64;
+    /** Total flows to generate per NIC (0 = unbounded). */
+    std::uint64_t totalFlows = 0;
+
+    /** Bounded-Pareto flow sizes (client payload per flow). */
+    std::uint32_t flowSizeMin = 2048;
+    std::uint32_t flowSizeMax = 1 << 20;
+    double flowSizeShape = 1.2; ///< tail index alpha
+
+    /** Mean exponential flow interarrival, in ticks. */
+    double meanInterarrivalTicks = 200'000;
+    /** Flows per arrival event (> 1 models connect storms). */
+    int stormSize = 1;
+
+    /** RPC mode: fixed request/response exchanges per flow. */
+    bool rpc = false;
+    std::uint32_t rpcRequestBytes = 128;
+    std::uint32_t rpcResponseBytes = 4096;
+    int rpcExchangesPerFlow = 1;
+
+    /** Server-side listen/accept plane. */
+    std::uint16_t listenPort = 5001;
+    int listenBacklog = 128;
+    /** Bytes per server read() call. */
+    std::uint32_t readChunk = 16 * 1024;
+};
+
+/** Discriminator for Spec (stable tokens in results_json v5). */
+enum class Kind
+{
+    Ttcp,
+    FlowMix,
+};
+
+/** The one workload a System runs. */
+using Spec = std::variant<TtcpConfig, FlowMixConfig>;
+
+inline Kind
+kindOf(const Spec &spec)
+{
+    return std::holds_alternative<TtcpConfig>(spec) ? Kind::Ttcp
+                                                    : Kind::FlowMix;
+}
+
+/** Stable serialization token ("ttcp" / "mix"). */
+std::string_view kindToken(Kind kind);
+
+/** Inverse of kindToken; throws std::runtime_error on unknown. */
+Kind kindFromToken(std::string_view token);
+
+/**
+ * Sweep-point label suffix, e.g. " wl:mix(z=1.2,n=4096)". Empty for
+ * ttcp so existing labels stay byte-identical.
+ */
+std::string specLabel(const Spec &spec);
+
+/**
+ * Reject inconsistent parameter mixes.
+ * @throws std::runtime_error describing the first violation.
+ */
+void validateSpec(const Spec &spec);
+
+} // namespace na::workload
+
+#endif // NETAFFINITY_WORKLOAD_SPEC_HH

@@ -212,8 +212,8 @@ TEST(SampleProfiler, SystemLevelSamplingTracksExactBinShares)
     // percent over a full experiment run.
     core::SystemConfig cfg;
     cfg.numConnections = 2;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().msgSize = 65536;
     core::System sys(cfg);
 
     SampleProfiler profiler(sys.kernel().numCpus(), 7);

@@ -35,8 +35,8 @@ TEST_P(AffinityProperty, RunInvariantsHold)
 {
     const auto [mode, size, aff] = GetParam();
     SystemConfig cfg;
-    cfg.ttcp.mode = mode;
-    cfg.ttcp.msgSize = size;
+    cfg.ttcp().mode = mode;
+    cfg.ttcp().msgSize = size;
     cfg.affinity = aff;
 
     System sys(cfg);
@@ -137,8 +137,8 @@ TEST(AffinityProperty, RotationNeverLeavesProvisionedMask)
     SystemConfig cfg;
     cfg.numConnections = 2;
     cfg.platform.numCpus = 4;
-    cfg.ttcp.mode = workload::TtcpMode::Receive;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Receive;
+    cfg.ttcp().msgSize = 65536;
     cfg.affinity = AffinityMode::None;
     cfg.irqRotationTicks = 500'000;
     cfg.steering.kind = net::SteeringKind::Rss;
@@ -175,8 +175,8 @@ TEST(AffinityOrdering, PaperHeadlinesAt64KbTx)
     int i = 0;
     for (AffinityMode m : allAffinityModes) {
         SystemConfig cfg;
-        cfg.ttcp.mode = workload::TtcpMode::Transmit;
-        cfg.ttcp.msgSize = 65536;
+        cfg.ttcp().mode = workload::TtcpMode::Transmit;
+        cfg.ttcp().msgSize = 65536;
         cfg.affinity = m;
         r[static_cast<std::size_t>(i++)] =
             Experiment::run(cfg, quickSchedule());
@@ -200,8 +200,8 @@ TEST(AffinityOrdering, PaperHeadlinesAt64KbTx)
 TEST(AffinityOrdering, FullAffinityCutsClearsAndMissesPerByte)
 {
     SystemConfig cfg;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().msgSize = 65536;
     cfg.affinity = AffinityMode::None;
     const RunResult none = Experiment::run(cfg, quickSchedule());
     cfg.affinity = AffinityMode::Full;
@@ -221,8 +221,8 @@ TEST(AffinityOrdering, CostFallsWithTransferSize)
     double last = 1e9;
     for (std::uint32_t size : {128u, 1024u, 8192u, 65536u}) {
         SystemConfig cfg;
-        cfg.ttcp.mode = workload::TtcpMode::Transmit;
-        cfg.ttcp.msgSize = size;
+        cfg.ttcp().mode = workload::TtcpMode::Transmit;
+        cfg.ttcp().msgSize = size;
         cfg.affinity = AffinityMode::Full;
         const RunResult r = Experiment::run(cfg, quickSchedule());
         EXPECT_LT(r.ghzPerGbps, last)
@@ -234,8 +234,8 @@ TEST(AffinityOrdering, CostFallsWithTransferSize)
 TEST(AffinityOrdering, DeterministicGivenSeed)
 {
     SystemConfig cfg;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
-    cfg.ttcp.msgSize = 8192;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().msgSize = 8192;
     cfg.affinity = AffinityMode::None;
     const RunResult a = Experiment::run(cfg, quickSchedule());
     const RunResult b = Experiment::run(cfg, quickSchedule());
@@ -251,8 +251,8 @@ TEST(AffinityOrdering, DeterministicGivenSeed)
 TEST(AffinityOrdering, RxShowsCpu0BottleneckWithoutAffinity)
 {
     SystemConfig cfg;
-    cfg.ttcp.mode = workload::TtcpMode::Receive;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Receive;
+    cfg.ttcp().msgSize = 65536;
     cfg.affinity = AffinityMode::None;
     const RunResult r = Experiment::run(cfg, quickSchedule());
     // CPU0 carries all interrupt+softirq work: it must be the hotter

@@ -120,15 +120,15 @@ TEST(Campaign, ResultsKeepSubmissionOrder)
 
     ASSERT_EQ(rs.size(), points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
-        EXPECT_EQ(rs.point(i).config.ttcp.msgSize,
-                  points[i].config.ttcp.msgSize);
-        EXPECT_EQ(rs.point(i).config.ttcp.mode,
-                  points[i].config.ttcp.mode);
+        EXPECT_EQ(rs.point(i).config.ttcp().msgSize,
+                  points[i].config.ttcp().msgSize);
+        EXPECT_EQ(rs.point(i).config.ttcp().mode,
+                  points[i].config.ttcp().mode);
         EXPECT_EQ(rs.point(i).label, points[i].label);
         // Lookup keyed on (mode, size, affinity) resolves to the same
         // slot as positional access.
-        EXPECT_EQ(&rs.at(points[i].config.ttcp.mode,
-                         points[i].config.ttcp.msgSize,
+        EXPECT_EQ(&rs.at(points[i].config.ttcp().mode,
+                         points[i].config.ttcp().msgSize,
                          points[i].config.affinity),
                   &rs.result(i));
     }
@@ -144,8 +144,8 @@ TEST(Campaign, SystemHookRunsOncePerPointWithItsIndex)
     opts.systemHook = [&calls](core::System &system,
                                const core::CampaignPoint &point,
                                std::size_t index) {
-        EXPECT_EQ(system.config().ttcp.msgSize,
-                  point.config.ttcp.msgSize);
+        EXPECT_EQ(system.config().ttcp().msgSize,
+                  point.config.ttcp().msgSize);
         calls.at(index).fetch_add(1);
     };
     core::Campaign::run(points, opts);
@@ -173,12 +173,12 @@ TEST(SweepBuilder, CrossesAxesInDeterministicOrder)
             .build();
     ASSERT_EQ(points.size(), 2u * 2u * 4u);
     // Mode outermost, affinity innermost.
-    EXPECT_EQ(points[0].config.ttcp.mode, workload::TtcpMode::Transmit);
-    EXPECT_EQ(points[0].config.ttcp.msgSize, 128u);
+    EXPECT_EQ(points[0].config.ttcp().mode, workload::TtcpMode::Transmit);
+    EXPECT_EQ(points[0].config.ttcp().msgSize, 128u);
     EXPECT_EQ(points[0].config.affinity, core::AffinityMode::None);
     EXPECT_EQ(points[1].config.affinity, core::AffinityMode::Irq);
-    EXPECT_EQ(points[4].config.ttcp.msgSize, 65536u);
-    EXPECT_EQ(points[8].config.ttcp.mode, workload::TtcpMode::Receive);
+    EXPECT_EQ(points[4].config.ttcp().msgSize, 65536u);
+    EXPECT_EQ(points[8].config.ttcp().mode, workload::TtcpMode::Receive);
     EXPECT_EQ(points[0].label, "TX 128B No Aff");
 }
 
@@ -226,8 +226,8 @@ TEST(ResultsJson, RoundTripsThroughputUtilAndCounters)
         const core::RunResult &r = rs.result(i);
 
         EXPECT_EQ(rec.label, p.label);
-        EXPECT_EQ(rec.mode, p.config.ttcp.mode);
-        EXPECT_EQ(rec.msgSize, p.config.ttcp.msgSize);
+        EXPECT_EQ(rec.mode, p.config.ttcp().mode);
+        EXPECT_EQ(rec.msgSize, p.config.ttcp().msgSize);
         EXPECT_EQ(rec.affinity, p.config.affinity);
         EXPECT_EQ(rec.connections, p.config.numConnections);
         EXPECT_EQ(rec.cpus, p.config.platform.numCpus);

@@ -71,7 +71,7 @@ TEST(ConfigValidate, RejectsLossProbabilityOutsideUnitInterval)
 TEST(ConfigValidate, RejectsZeroMessageSize)
 {
     core::SystemConfig cfg = goodConfig();
-    cfg.ttcp.msgSize = 0;
+    cfg.ttcp().msgSize = 0;
     EXPECT_THROW(cfg.validate(), std::runtime_error);
 }
 

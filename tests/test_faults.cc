@@ -333,7 +333,7 @@ TEST(Degradation, FailFastAggregatesEveryFailureInFull)
     }
 }
 
-TEST(ResultsJsonV4, DegradedPointsRoundTripWithFaultLabel)
+TEST(ResultsJsonV5, DegradedPointsRoundTripWithFaultLabel)
 {
     core::Campaign::Options opts;
     opts.maxAttempts = 2;
@@ -343,7 +343,7 @@ TEST(ResultsJsonV4, DegradedPointsRoundTripWithFaultLabel)
 
     std::stringstream ss;
     core::writeResultsJson(ss, rs);
-    EXPECT_NE(ss.str().find("\"schema_version\": 4"),
+    EXPECT_NE(ss.str().find("\"schema_version\": 5"),
               std::string::npos);
 
     const core::JsonCampaign parsed = core::readResultsJson(ss);
@@ -366,8 +366,8 @@ TEST(RingFull, TinyTxRingSurfacesDropsInRunResult)
 {
     core::SystemConfig cfg;
     cfg.numConnections = 2;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().msgSize = 65536;
     cfg.nic.txRingSize = 4; // far below the offered load
     // Recovery from a ring-full drop is pure RTO (no ACK clock once
     // the whole burst is gone), and kernel timers only run from the

@@ -22,8 +22,8 @@ smallConfig(workload::TtcpMode mode, int conns = 2,
 {
     SystemConfig cfg;
     cfg.numConnections = conns;
-    cfg.ttcp.mode = mode;
-    cfg.ttcp.msgSize = msg;
+    cfg.ttcp().mode = mode;
+    cfg.ttcp().msgSize = msg;
     return cfg;
 }
 
@@ -178,8 +178,9 @@ TEST(NetStack, SegmentsFlowThroughDriverDemux)
     sys.runFor(20'000'000);
     EXPECT_GT(sys.driver().framesDelivered.value(), 0.0);
     EXPECT_GT(sys.driver().softirqRuns.value(), 0.0);
-    EXPECT_EQ(sys.driver().socketFor(0), &sys.socket(0));
-    EXPECT_EQ(sys.driver().socketFor(99), nullptr);
+    EXPECT_EQ(sys.driver().socketFor(net::connFlowKey(0)),
+              &sys.socket(0));
+    EXPECT_EQ(sys.driver().socketFor(net::connFlowKey(99)), nullptr);
 }
 
 TEST(NetStack, NagleCoalescesSmallWrites)
@@ -267,9 +268,10 @@ TEST(NetStack, CloseDrainsDataThenFins)
     net::Wire wire(&root, "wire", eq, 2.0e9, 1.0e9, 10'000);
     net::Nic nic(&root, "nic", 0, kernel, pool, wire);
     driver.attachNic(nic);
-    net::Socket socket(&root, "sock", kernel, driver, pool, 0);
+    net::Socket socket(&root, "sock", kernel, driver, pool,
+                       net::connFlowKey(0));
     driver.bindSocket(socket, nic);
-    net::RemotePeer peer(&root, "peer", eq, wire, 0,
+    net::RemotePeer peer(&root, "peer", eq, wire, net::connFlowKey(0),
                          net::PeerRole::Sink);
     peer.start();
 

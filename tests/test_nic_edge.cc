@@ -18,8 +18,8 @@ TEST(NicEdge, TinyRxRingDropsAndTcpRecovers)
 {
     SystemConfig cfg;
     cfg.numConnections = 1;
-    cfg.ttcp.mode = workload::TtcpMode::Receive;
-    cfg.ttcp.msgSize = 65536;
+    cfg.ttcp().mode = workload::TtcpMode::Receive;
+    cfg.ttcp().msgSize = 65536;
     cfg.nic.rxRingSize = 8; // absurdly small: bursts overflow
     cfg.nic.irqGapTicks = 400'000; // slow service: ring backs up
     cfg.tcp.rtoTicks = 10'000'000;
@@ -38,7 +38,7 @@ TEST(NicEdge, InterruptStaysMaskedUntilDrained)
 {
     SystemConfig cfg;
     cfg.numConnections = 1;
-    cfg.ttcp.mode = workload::TtcpMode::Transmit;
+    cfg.ttcp().mode = workload::TtcpMode::Transmit;
     System sys(cfg);
     ASSERT_TRUE(sys.establishAll(4'000'000'000));
     sys.runFor(20'000'000);
@@ -53,7 +53,7 @@ TEST(NicEdge, ControlSkbsFreedOnTxComplete)
     // freed at TX completion. Without that path the pool would drain.
     SystemConfig cfg;
     cfg.numConnections = 1;
-    cfg.ttcp.mode = workload::TtcpMode::Receive;
+    cfg.ttcp().mode = workload::TtcpMode::Receive;
     cfg.skbPoolSlots = cfg.nic.rxRingSize + 64; // tight
     System sys(cfg);
     ASSERT_TRUE(sys.establishAll(4'000'000'000));
@@ -85,7 +85,7 @@ TEST(ExperimentApi, ExtractComputesDerivedMetrics)
 {
     SystemConfig cfg;
     cfg.numConnections = 2;
-    cfg.ttcp.msgSize = 8192;
+    cfg.ttcp().msgSize = 8192;
     System sys(cfg);
     RunSchedule sched;
     sched.warmup = 10'000'000;
@@ -131,7 +131,7 @@ TEST(ExperimentApi, UtilizationNeverExceedsOne)
 {
     SystemConfig cfg;
     cfg.numConnections = 4;
-    cfg.ttcp.msgSize = 1024;
+    cfg.ttcp().msgSize = 1024;
     System sys(cfg);
     const RunResult r = Experiment::measure(sys);
     for (int c = 0; c < cfg.platform.numCpus; ++c) {
@@ -150,7 +150,7 @@ TEST(ExperimentApi, ConvergenceModeExtendsUntilStable)
 {
     SystemConfig cfg;
     cfg.numConnections = 2;
-    cfg.ttcp.msgSize = 8192;
+    cfg.ttcp().msgSize = 8192;
 
     // Fixed single short window...
     System fixed(cfg);

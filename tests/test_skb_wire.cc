@@ -146,7 +146,7 @@ class WireTest : public ::testing::Test
     mkPkt(std::uint32_t len)
     {
         Packet p;
-        p.connId = 1;
+        p.flow = FlowKey{1, 2, 3, 4};
         p.seg.len = len;
         return p;
     }

@@ -260,7 +260,7 @@ net::Packet
 packetFor(int conn)
 {
     net::Packet p;
-    p.connId = conn;
+    p.flow = net::connFlowKey(conn);
     p.seg.len = 1448;
     return p;
 }
@@ -274,7 +274,7 @@ TEST(Toeplitz, IsDeterministicAndSpreads)
     EXPECT_NE(h0, h1);
     // Zero input has no set bits, so the hash is exactly zero.
     EXPECT_EQ(h0, 0u);
-    // Distinct low-entropy inputs (the common connId pattern) should
+    // Distinct low-entropy inputs (the common small-flow pattern) should
     // not collapse onto a handful of values.
     std::set<std::uint32_t> seen;
     for (std::uint32_t f = 0; f < 64; ++f)

@@ -205,7 +205,7 @@ TEST(TcpRecovery, FaultDrivenRecoveryCountersAreSeededDeterministic)
 {
     core::SystemConfig cfg;
     cfg.numConnections = 2;
-    cfg.ttcp.msgSize = 4096;
+    cfg.ttcp().msgSize = 4096;
     cfg.faults.tag = "recovery";
     cfg.faults.toSut.lossProb = 0.005;
     cfg.faults.toPeer.lossProb = 0.005;

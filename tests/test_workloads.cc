@@ -32,12 +32,14 @@ struct Rig
           pool(&root, kernel, 1024), driver(&root, kernel, pool),
           wire(&root, "wire", eq, 2.0e9, 1.0e9, 10'000),
           nic(&root, "nic", 0, kernel, pool, wire),
-          socket(&root, "sock", kernel, driver, pool, 0, tcp)
+          socket(&root, "sock", kernel, driver, pool, net::connFlowKey(0),
+                 tcp)
     {
         driver.attachNic(nic);
         driver.bindSocket(socket, nic);
         peer = std::make_unique<net::RemotePeer>(
-            &root, "peer", eq, wire, 0, role, tcp, rpc);
+            &root, "peer", eq, wire, net::connFlowKey(0), role, tcp,
+            rpc);
         peer->start();
     }
 
