@@ -272,13 +272,10 @@ main(int argc, char **argv)
             if (!fi)
                 continue;
             f.drops += static_cast<std::uint64_t>(
-                fi->dropsLoss.value() + fi->dropsBurst.value() +
-                fi->dropsFlap.value());
-            f.corrupts +=
-                static_cast<std::uint64_t>(fi->corrupts.value());
-            f.dups += static_cast<std::uint64_t>(fi->dups.value());
-            f.reorders +=
-                static_cast<std::uint64_t>(fi->reorders.value());
+                fi->dropsLoss() + fi->dropsBurst() + fi->dropsFlap());
+            f.corrupts += static_cast<std::uint64_t>(fi->corrupts());
+            f.dups += static_cast<std::uint64_t>(fi->dups());
+            f.reorders += static_cast<std::uint64_t>(fi->reorders());
             f.csumDrops +=
                 static_cast<std::uint64_t>(fi->rxCsumDrops.value());
         }

@@ -2,39 +2,58 @@
  * @file
  * Versioned substrate performance tracker.
  *
- * Measures the two rates the paper-reproduction sweeps are gated on —
- * raw event-queue throughput and end-to-end campaign-point rate — and
- * writes them to a JSON file (default BENCH_substrate.json, or argv[1])
- * so successive commits can be compared:
+ * Measures the rates the paper-reproduction sweeps are gated on — raw
+ * event-queue throughput, end-to-end campaign-point rate, and the
+ * multi-lane speedup on the flow-churn workload — and writes them to a
+ * JSON file (default BENCH_substrate.json, or argv[1]) so successive
+ * commits can be compared:
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "events_per_sec": ...,        // event queue schedule+dispatch rate
  *     "sim_ns_per_wall_ms": ...,    // simulated ns advanced per wall ms
+ *     "hw_threads": ...,            // hardware concurrency at run time
+ *     "lane_scaling": [             // flow-churn run per lane count
+ *       {lanes, wall_ms, events, events_per_sec, speedup}, ...
+ *     ],
  *     "campaign_points": [ {label, wall_ms, throughput_mbps}, ... ],
- *     "total_wall_ms": ...
+ *     "total_wall_ms": ...,
+ *     "history": [ {label, when, events_per_sec,
+ *                   churn_lanes1_eps, churn_best_eps, speedup}, ... ]
  *   }
  *
+ * The history array is carried forward from any existing file at the
+ * output path and a row for this run is appended — per-PR regression
+ * tracking without external tooling. Everything else is overwritten.
+ *
  * The binary re-reads the file after writing and exits nonzero if it is
- * missing, empty, or does not round-trip — so the ctest registration
- * fails on malformed output rather than silently tracking nothing.
+ * missing, empty, or does not round-trip. When the host has >= 2
+ * hardware threads it additionally gates on the lane speedup: threaded
+ * lanes must reach >= 1.3x single-lane events/sec on the churn
+ * workload, or the exit code is nonzero. On a single-core host the
+ * speedup is recorded but not gated — there is no parallel hardware to
+ * demonstrate it on.
  *
  * NA_BENCH_FAST=1 shrinks the workload for CI smoke use; numbers are
  * then only good for validating the pipeline, not for comparisons.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/campaign.hh"
 #include "src/core/sweep.hh"
+#include "src/core/system.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/logging.hh"
 
@@ -76,6 +95,102 @@ struct PointTiming
     double simNs = 0;
 };
 
+struct LaneTiming
+{
+    int lanes = 1;
+    double wallMs = 0;
+    std::uint64_t events = 0;
+    double eventsPerSec = 0;
+    double speedup = 1.0; ///< vs the lanes=1 row
+};
+
+/** The ext_flows-style churn config the lane rows are measured on. */
+core::SystemConfig
+churnConfig(bool fast)
+{
+    core::SystemConfig cfg;
+    cfg.numConnections = fast ? 2 : 4;
+    cfg.platform.numCpus = 2;
+    workload::FlowMixConfig mix;
+    mix.maxConcurrentFlows = 32;
+    mix.flowSizeMin = 512;
+    mix.flowSizeMax = 32 * 1024;
+    mix.flowSizeShape = 1.2;
+    mix.meanInterarrivalTicks = 30'000; // 15 us: brisk churn
+    mix.listenBacklog = 256;
+    cfg.workload = mix;
+    return cfg;
+}
+
+/** One churn run at @p lanes; fills everything but speedup. */
+LaneTiming
+measureChurn(bool fast, int lanes)
+{
+    core::SystemConfig cfg = churnConfig(fast);
+    cfg.lanes = lanes;
+    cfg.laneThreads = true;
+    core::RunSchedule sched;
+    sched.warmup = fast ? 2'000'000 : 10'000'000;
+    sched.measure = fast ? 20'000'000 : 100'000'000;
+
+    core::System sys(cfg);
+    LaneTiming t;
+    t.lanes = lanes;
+    const auto start = Clock::now();
+    (void)core::Experiment::measure(sys, sched);
+    t.wallMs = wallMsSince(start);
+    t.events = sys.totalProcessedEvents();
+    if (t.wallMs > 0.0) {
+        t.eventsPerSec =
+            static_cast<double>(t.events) / (t.wallMs / 1000.0);
+    }
+    return t;
+}
+
+/**
+ * Carve the inner text of the "history" array out of a previous
+ * output file so this run's row can be appended to it. Returns the
+ * raw row text (possibly empty) — rows are opaque; only the array
+ * brackets are parsed.
+ */
+std::string
+priorHistoryRows(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::size_t key = text.find("\"history\"");
+    if (key == std::string::npos)
+        return {};
+    const std::size_t open = text.find('[', key);
+    if (open == std::string::npos)
+        return {};
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '[')
+            ++depth;
+        else if (text[i] == ']' && --depth == 0) {
+            std::string inner = text.substr(open + 1, i - open - 1);
+            // Trim whitespace-only content to empty.
+            if (inner.find_first_not_of(" \t\r\n") == std::string::npos)
+                return {};
+            // Trim edges so re-emission stays stable across runs.
+            while (!inner.empty() &&
+                   (inner.back() == '\n' || inner.back() == ' '))
+                inner.pop_back();
+            const std::size_t first =
+                inner.find_first_not_of(" \t\r\n");
+            if (first != std::string::npos)
+                inner.erase(0, first);
+            return inner;
+        }
+    }
+    return {};
+}
+
 } // namespace
 
 int
@@ -87,6 +202,7 @@ main(int argc, char **argv)
         return v && v[0] && std::strcmp(v, "0") != 0;
     }();
     const char *path = argc > 1 ? argv[1] : "BENCH_substrate.json";
+    const unsigned hw_threads = std::thread::hardware_concurrency();
 
     // --- Event queue rate -------------------------------------------
     const std::uint64_t events = fast ? 200'000 : 2'000'000;
@@ -96,6 +212,27 @@ main(int argc, char **argv)
                              "failed\n");
         return 1;
     }
+
+    // --- Lane scaling on the churn workload -------------------------
+    std::vector<LaneTiming> lane_rows;
+    for (int lanes : {1, 2, 3}) {
+        LaneTiming t = measureChurn(fast, lanes);
+        if (t.events == 0 || t.wallMs <= 0.0) {
+            std::fprintf(stderr,
+                         "substrate_perf: churn run (lanes=%d) "
+                         "produced no events\n",
+                         lanes);
+            return 1;
+        }
+        lane_rows.push_back(t);
+    }
+    const double base_eps = lane_rows[0].eventsPerSec;
+    double best_eps = base_eps;
+    for (LaneTiming &t : lane_rows) {
+        t.speedup = base_eps > 0.0 ? t.eventsPerSec / base_eps : 0.0;
+        best_eps = std::max(best_eps, t.eventsPerSec);
+    }
+    const double best_speedup = base_eps > 0.0 ? best_eps / base_eps : 0;
 
     // --- End-to-end campaign points ---------------------------------
     core::SystemConfig base;
@@ -145,9 +282,15 @@ main(int argc, char **argv)
     const double sim_ns_per_wall_ms = total_sim_ns / total_wall_ms;
 
     // --- Emit + self-validate ---------------------------------------
+    const std::string prior = priorHistoryRows(path);
+    const char *label_env = std::getenv("NA_BENCH_LABEL");
+    const std::string run_label = label_env && label_env[0]
+                                      ? label_env
+                                      : (fast ? "fast" : "full");
+
     std::ostringstream json;
-    char buf[256];
-    json << "{\n  \"schema_version\": 1,\n";
+    char buf[320];
+    json << "{\n  \"schema_version\": 2,\n";
     std::snprintf(buf, sizeof buf, "  \"events_per_sec\": %.1f,\n",
                   events_per_sec);
     json << buf;
@@ -155,6 +298,23 @@ main(int argc, char **argv)
                   "  \"sim_ns_per_wall_ms\": %.1f,\n",
                   sim_ns_per_wall_ms);
     json << buf;
+    std::snprintf(buf, sizeof buf, "  \"hw_threads\": %u,\n",
+                  hw_threads);
+    json << buf;
+    json << "  \"lane_scaling\": [\n";
+    for (std::size_t i = 0; i < lane_rows.size(); ++i) {
+        const LaneTiming &t = lane_rows[i];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"lanes\": %d, \"wall_ms\": %.2f, "
+                      "\"events\": %llu, \"events_per_sec\": %.1f, "
+                      "\"speedup\": %.3f}%s\n",
+                      t.lanes, t.wallMs,
+                      static_cast<unsigned long long>(t.events),
+                      t.eventsPerSec, t.speedup,
+                      i + 1 < lane_rows.size() ? "," : "");
+        json << buf;
+    }
+    json << "  ],\n";
     json << "  \"campaign_points\": [\n";
     for (std::size_t i = 0; i < timings.size(); ++i) {
         std::snprintf(buf, sizeof buf,
@@ -166,9 +326,22 @@ main(int argc, char **argv)
         json << buf;
     }
     json << "  ],\n";
-    std::snprintf(buf, sizeof buf, "  \"total_wall_ms\": %.2f\n",
+    std::snprintf(buf, sizeof buf, "  \"total_wall_ms\": %.2f,\n",
                   total_wall_ms);
-    json << buf << "}\n";
+    json << buf;
+    json << "  \"history\": [\n";
+    if (!prior.empty())
+        json << "    " << prior << ",\n";
+    std::snprintf(buf, sizeof buf,
+                  "    {\"label\": \"%s\", \"when\": %lld, "
+                  "\"events_per_sec\": %.1f, "
+                  "\"churn_lanes1_eps\": %.1f, "
+                  "\"churn_best_eps\": %.1f, \"speedup\": %.3f}\n",
+                  run_label.c_str(),
+                  static_cast<long long>(std::time(nullptr)),
+                  events_per_sec, base_eps, best_eps, best_speedup);
+    json << buf;
+    json << "  ]\n}\n";
     const std::string payload = json.str();
 
     {
@@ -184,7 +357,7 @@ main(int argc, char **argv)
     std::stringstream readback;
     readback << in.rdbuf();
     if (readback.str().empty() || readback.str() != payload ||
-        payload.find("\"schema_version\": 1") == std::string::npos) {
+        payload.find("\"schema_version\": 2") == std::string::npos) {
         std::fprintf(stderr,
                      "substrate_perf: %s is empty or malformed\n",
                      path);
@@ -192,8 +365,20 @@ main(int argc, char **argv)
     }
 
     std::printf("substrate_perf: %.0f events/s, %.0f sim-ns/wall-ms, "
-                "%zu points in %.0f ms -> %s\n",
-                events_per_sec, sim_ns_per_wall_ms, timings.size(),
-                total_wall_ms, path);
+                "churn lanes1 %.0f ev/s -> best %.0f ev/s (%.2fx, "
+                "%u hw threads), %zu points in %.0f ms -> %s\n",
+                events_per_sec, sim_ns_per_wall_ms, base_eps, best_eps,
+                best_speedup, hw_threads, timings.size(), total_wall_ms,
+                path);
+
+    // Cores-aware speedup gate: parallel lanes must pay for themselves
+    // wherever there is parallel hardware to run them on.
+    if (hw_threads >= 2 && best_speedup < 1.3) {
+        std::fprintf(stderr,
+                     "substrate_perf: lane speedup %.2fx below the "
+                     "1.3x gate on %u hardware threads\n",
+                     best_speedup, hw_threads);
+        return 1;
+    }
     return 0;
 }

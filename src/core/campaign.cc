@@ -1,5 +1,6 @@
 #include "src/core/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -216,6 +217,22 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
     };
 
     int n_threads = resolveThreads(options.numThreads);
+    // Each multi-lane point runs config.lanes threads of its own;
+    // budget the auto-derived pool against the widest point so
+    // campaign x lane oversubscription stays bounded by the hardware.
+    // An explicit request (Options::numThreads or NA_CAMPAIGN_THREADS)
+    // is honoured as given.
+    if (options.numThreads <= 0 &&
+        std::getenv("NA_CAMPAIGN_THREADS") == nullptr) {
+        int max_lanes = 1;
+        for (const CampaignPoint &p : points) {
+            if (p.config.lanes > 1 && p.config.laneThreads)
+                max_lanes = std::max(max_lanes, p.config.lanes);
+        }
+        if (max_lanes > 1) {
+            n_threads = std::max(1, n_threads / max_lanes);
+        }
+    }
     if (points.size() < static_cast<std::size_t>(n_threads))
         n_threads = static_cast<int>(points.size());
     if (n_threads < 1)

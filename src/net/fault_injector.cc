@@ -2,10 +2,15 @@
 
 namespace na::net {
 
-FaultInjector::FaultInjector(stats::Group *parent,
-                             const std::string &name,
-                             const sim::FaultPlan &plan,
-                             std::uint64_t seed)
+namespace {
+
+/** Decorrelates the toSut stream from the toPeer one. */
+constexpr std::uint64_t dirStreamDelta = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
+
+FaultInjector::DirStats::DirStats(stats::Group *parent,
+                                  const std::string &name)
     : stats::Group(parent, name),
       dropsLoss(this, "drops_loss", "packets dropped, Bernoulli loss"),
       dropsBurst(this, "drops_burst",
@@ -13,13 +18,24 @@ FaultInjector::FaultInjector(stats::Group *parent,
       dropsFlap(this, "drops_flap", "packets dropped, link down"),
       corrupts(this, "corrupts", "packets flagged corrupt"),
       dups(this, "dups", "packets duplicated"),
-      reorders(this, "reorders", "packets delayed for reordering"),
+      reorders(this, "reorders", "packets delayed for reordering")
+{
+}
+
+FaultInjector::FaultInjector(stats::Group *parent,
+                             const std::string &name,
+                             const sim::FaultPlan &plan,
+                             std::uint64_t seed)
+    : stats::Group(parent, name),
+      toPeerStats(this, "to_peer"),
+      toSutStats(this, "to_sut"),
       rxCsumDrops(this, "rx_csum_drops",
                   "corrupt frames caught by the checksum path"),
       rxStallDrops(this, "rx_stall_drops",
                    "frames dropped during RX ring stall windows"),
       irqsLost(this, "irqs_lost", "interrupts lost or coalesced"),
-      fp(plan), rng(seed)
+      fp(plan), rng{sim::Random(seed),
+                    sim::Random(seed + dirStreamDelta)}
 {
 }
 
@@ -36,44 +52,46 @@ FaultInjector::WireDecision
 FaultInjector::onWirePacket(bool from_sut, sim::Tick now)
 {
     WireDecision d;
+    DirStats &ds = from_sut ? toPeerStats : toSutStats;
     if (linkDown(now)) {
-        ++dropsFlap;
+        ++ds.dropsFlap;
         d.drop = true;
         return d;
     }
     const sim::FaultDirection &dir = from_sut ? fp.toPeer : fp.toSut;
     if (!dir.enabled())
         return d;
+    sim::Random &r = rng[from_sut ? 0 : 1];
 
     if (dir.geGoodToBad > 0.0) {
         bool &bad = geBad[from_sut ? 0 : 1];
         if (bad) {
-            if (rng.chance(dir.geBadToGood))
+            if (r.chance(dir.geBadToGood))
                 bad = false;
-        } else if (rng.chance(dir.geGoodToBad)) {
+        } else if (r.chance(dir.geGoodToBad)) {
             bad = true;
         }
-        if (bad && rng.chance(dir.geBadLoss)) {
-            ++dropsBurst;
+        if (bad && r.chance(dir.geBadLoss)) {
+            ++ds.dropsBurst;
             d.drop = true;
             return d;
         }
     }
-    if (dir.lossProb > 0.0 && rng.chance(dir.lossProb)) {
-        ++dropsLoss;
+    if (dir.lossProb > 0.0 && r.chance(dir.lossProb)) {
+        ++ds.dropsLoss;
         d.drop = true;
         return d;
     }
-    if (dir.corruptProb > 0.0 && rng.chance(dir.corruptProb)) {
-        ++corrupts;
+    if (dir.corruptProb > 0.0 && r.chance(dir.corruptProb)) {
+        ++ds.corrupts;
         d.corrupt = true;
     }
-    if (dir.dupProb > 0.0 && rng.chance(dir.dupProb)) {
-        ++dups;
+    if (dir.dupProb > 0.0 && r.chance(dir.dupProb)) {
+        ++ds.dups;
         d.duplicate = true;
     }
-    if (dir.reorderProb > 0.0 && rng.chance(dir.reorderProb)) {
-        ++reorders;
+    if (dir.reorderProb > 0.0 && r.chance(dir.reorderProb)) {
+        ++ds.reorders;
         d.extraDelayTicks = dir.reorderDelayTicks;
     }
     return d;
@@ -94,7 +112,7 @@ FaultInjector::rxStallActive(sim::Tick now)
 bool
 FaultInjector::irqLost()
 {
-    if (fp.irqLossProb <= 0.0 || !rng.chance(fp.irqLossProb))
+    if (fp.irqLossProb <= 0.0 || !rng[0].chance(fp.irqLossProb))
         return false;
     ++irqsLost;
     return true;

@@ -4,9 +4,14 @@
  * and per interrupt, with counters for every fault that fired.
  *
  * One FaultInjector serves one connection's wire + NIC pair (they are
- * installed together by core::System), so its RNG stream is consumed
- * in event order on that system's single event queue — deterministic
- * regardless of how many campaign worker threads run other systems.
+ * installed together by core::System). Everything is per-direction so
+ * the injector works under the lane scheduler, where the SUT-to-peer
+ * direction is consulted by the host lane and the peer-to-SUT direction
+ * by the peer's lane: each direction has its own RNG stream (consumed
+ * in that lane's deterministic event order) and its own counter group,
+ * so no state is ever written by two lanes. The NIC-side faults (lost
+ * interrupts, RX stalls, checksum catches) are host-only and share the
+ * toPeer direction's stream.
  *
  * The injector is only constructed when the plan is enabled; wires and
  * NICs hold a nullable pointer, so faults-off runs take one untaken
@@ -40,15 +45,28 @@ class FaultInjector : public stats::Group
         sim::Tick extraDelayTicks = 0; ///< reordering delay
     };
 
+    /** Wire-fault counters for one direction (single-writer lane). */
+    struct DirStats : public stats::Group
+    {
+        DirStats(stats::Group *parent, const std::string &name);
+
+        stats::Scalar dropsLoss;  ///< Bernoulli wire drops
+        stats::Scalar dropsBurst; ///< Gilbert-Elliott (Bad-state) drops
+        stats::Scalar dropsFlap;  ///< drops inside link-down windows
+        stats::Scalar corrupts;   ///< packets flagged corrupt
+        stats::Scalar dups;       ///< packets duplicated
+        stats::Scalar reorders;   ///< packets delayed for reordering
+    };
+
     FaultInjector(stats::Group *parent, const std::string &name,
                   const sim::FaultPlan &plan, std::uint64_t seed);
 
     const sim::FaultPlan &plan() const { return fp; }
 
     /**
-     * Decide the fate of one packet. Draws from the injector's RNG in
+     * Decide the fate of one packet. Draws from the direction's RNG in
      * a fixed order (flap, burst chain, loss, corrupt, dup, reorder),
-     * counting every fault that fires.
+     * counting every fault that fires into the direction's group.
      * @param from_sut true for SUT -> peer (the plan's toPeer side)
      */
     WireDecision onWirePacket(bool from_sut, sim::Tick now);
@@ -71,19 +89,51 @@ class FaultInjector : public stats::Group
     /** RX-side checksum catch of an injected corruption (counted). */
     void noteCsumDrop() { ++rxCsumDrops; }
 
-    stats::Scalar dropsLoss;    ///< Bernoulli wire drops
-    stats::Scalar dropsBurst;   ///< Gilbert-Elliott (Bad-state) drops
-    stats::Scalar dropsFlap;    ///< drops inside link-down windows
-    stats::Scalar corrupts;     ///< packets flagged corrupt
-    stats::Scalar dups;         ///< packets duplicated
-    stats::Scalar reorders;     ///< packets delayed for reordering
+    DirStats toPeerStats; ///< SUT -> peer faults (host lane writes)
+    DirStats toSutStats;  ///< peer -> SUT faults (peer lane writes)
+
+    /** @name Direction-summed totals for reporting (quiescent readers
+     *  only — result extraction, tests, benches) @{ */
+    double dropsLoss() const
+    {
+        return toPeerStats.dropsLoss.value() +
+               toSutStats.dropsLoss.value();
+    }
+    double dropsBurst() const
+    {
+        return toPeerStats.dropsBurst.value() +
+               toSutStats.dropsBurst.value();
+    }
+    double dropsFlap() const
+    {
+        return toPeerStats.dropsFlap.value() +
+               toSutStats.dropsFlap.value();
+    }
+    double corrupts() const
+    {
+        return toPeerStats.corrupts.value() +
+               toSutStats.corrupts.value();
+    }
+    double dups() const
+    {
+        return toPeerStats.dups.value() + toSutStats.dups.value();
+    }
+    double reorders() const
+    {
+        return toPeerStats.reorders.value() +
+               toSutStats.reorders.value();
+    }
+    /** @} */
+
     stats::Scalar rxCsumDrops;  ///< corrupt frames caught by checksum
     stats::Scalar rxStallDrops; ///< frames dropped in stall windows
     stats::Scalar irqsLost;     ///< MSIs lost/coalesced
 
   private:
     sim::FaultPlan fp;
-    sim::Random rng;
+    /** Per-direction streams: [0] toPeer (host lane, also the NIC's
+     *  interrupt-loss draws), [1] toSut (peer lane). */
+    sim::Random rng[2];
     /** Gilbert-Elliott state per direction: [0] toPeer, [1] toSut. */
     bool geBad[2] = {false, false};
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/sim/logging.hh"
+#include "src/sim/trace.hh"
 
 namespace na::net {
 
@@ -26,29 +27,47 @@ bucketIndex(std::uint64_t bytes)
 }
 } // namespace
 
-FlowClientPeer::CFlow::CFlow(FlowClientPeer &owner, const FlowKey &k,
-                             const TcpConfig &tcp)
-    : key(k), conn(tcp),
-      rtoEvent(sim::format("%s.rto:%s", owner.groupName().c_str(),
-                           k.describe().c_str()),
+FlowClientPeer::CFlow::CFlow(FlowClientPeer &owner)
+    : conn(owner.cfg.tcp),
+      // Cheap static names on the hot path; reset() builds the
+      // per-flow name only while event tracing is on.
+      rtoEvent("cflow.rto",
                [&owner, this] {
                    conn.onRtoTimer(owner.eq.now());
                    owner.flowTimerFired(*this);
                }),
-      delackEvent(sim::format("%s.delack:%s", owner.groupName().c_str(),
-                              k.describe().c_str()),
-                  [&owner, this] {
-                      std::vector<Segment> replies;
-                      conn.onDelackTimer(owner.eq.now(), replies);
-                      for (const Segment &seg : replies) {
-                          Packet pkt;
-                          pkt.flow = key;
-                          pkt.seg = seg;
-                          owner.wire.sendFromB(pkt);
-                      }
-                      owner.flowTimerFired(*this);
-                  })
+      delackEvent("cflow.delack", [&owner, this] {
+          owner.scratch.clear();
+          conn.onDelackTimer(owner.eq.now(), owner.scratch);
+          for (const Segment &seg : owner.scratch) {
+              Packet pkt;
+              pkt.flow = key;
+              pkt.seg = seg;
+              owner.wire.sendFromB(pkt);
+          }
+          owner.flowTimerFired(*this);
+      })
 {
+}
+
+void
+FlowClientPeer::CFlow::reset(FlowClientPeer &owner, const FlowKey &k)
+{
+    key = k;
+    conn = TcpConnection(owner.cfg.tcp);
+    targetBytes = 0;
+    sent = 0;
+    exchangesDone = 0;
+    requestOutstanding = false;
+    respConsumed = 0;
+    if (sim::traceEnabled(sim::TraceFlag::Event)) {
+        rtoEvent.setName(sim::format("%s.rto:%s",
+                                     owner.groupName().c_str(),
+                                     k.describe().c_str()));
+        delackEvent.setName(sim::format("%s.delack:%s",
+                                        owner.groupName().c_str(),
+                                        k.describe().c_str()));
+    }
 }
 
 FlowClientPeer::FlowClientPeer(stats::Group *parent,
@@ -164,7 +183,14 @@ void
 FlowClientPeer::startFlow()
 {
     const FlowKey key = mintKey();
-    auto flow = std::make_unique<CFlow>(*this, key, cfg.tcp);
+    std::unique_ptr<CFlow> flow;
+    if (!flowPool.empty()) {
+        flow = std::move(flowPool.back());
+        flowPool.pop_back();
+    } else {
+        flow = std::make_unique<CFlow>(*this);
+    }
+    flow->reset(*this, key);
     CFlow &f = *flow;
     flows.emplace(key, std::move(flow));
     ++launched;
@@ -262,7 +288,9 @@ FlowClientPeer::pumpFlow(CFlow &f)
 void
 FlowClientPeer::sendSegments(CFlow &f)
 {
-    for (const Segment &seg : f.conn.pullSegments(eq.now())) {
+    scratch.clear();
+    f.conn.pullSegments(eq.now(), scratch);
+    for (const Segment &seg : scratch) {
         Packet pkt;
         pkt.flow = f.key;
         pkt.seg = seg;
@@ -333,9 +361,9 @@ FlowClientPeer::onPacket(const Packet &pkt)
         return;
     }
     CFlow &f = *it->second;
-    std::vector<Segment> replies;
-    f.conn.onSegment(pkt.seg, eq.now(), replies);
-    for (const Segment &seg : replies) {
+    scratch.clear();
+    f.conn.onSegment(pkt.seg, eq.now(), scratch);
+    for (const Segment &seg : scratch) {
         Packet out;
         out.flow = f.key;
         out.seg = seg;
@@ -367,6 +395,7 @@ FlowClientPeer::reapCompleted()
         recordCompletion(f);
         eq.deschedule(&f.rtoEvent);
         eq.deschedule(&f.delackEvent);
+        flowPool.push_back(std::move(it->second));
         flows.erase(it);
     }
     pendingReap.clear();

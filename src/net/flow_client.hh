@@ -117,7 +117,11 @@ class FlowClientPeer : public stats::Group
     stats::Scalar deferredArrivals; ///< arrivals held by the cap
 
   private:
-    /** One live client-side flow. */
+    /**
+     * One live client-side flow. Recycled through flowPool: the member
+     * events (and their captures) survive reuse; reset() re-arms the
+     * protocol state for the next flow.
+     */
     struct CFlow
     {
         FlowKey key;
@@ -130,8 +134,10 @@ class FlowClientPeer : public stats::Group
         sim::LambdaEvent rtoEvent;
         sim::LambdaEvent delackEvent;
 
-        CFlow(FlowClientPeer &owner, const FlowKey &k,
-              const TcpConfig &tcp);
+        explicit CFlow(FlowClientPeer &owner);
+
+        /** Re-arm a pooled flow for @p k (events must be idle). */
+        void reset(FlowClientPeer &owner, const FlowKey &k);
     };
 
     sim::EventQueue &eq;
@@ -147,6 +153,10 @@ class FlowClientPeer : public stats::Group
 
     std::unordered_map<FlowKey, std::unique_ptr<CFlow>, FlowKeyHash>
         flows;
+    /** Reaped CFlows awaiting reuse; grows to peak concurrency only. */
+    std::vector<std::unique_ptr<CFlow>> flowPool;
+    /** Reply/pull scratch reused across packets (capacity persists). */
+    std::vector<Segment> scratch;
     std::vector<FlowSizeBucket> buckets; ///< log2-indexed
     std::vector<FlowKey> pendingReap;
     sim::LambdaEvent arrivalEvent;

@@ -35,7 +35,8 @@ Nic::TxDmaEvent::process()
     if (dataAddr && dmaLen)
         nic.kernel.snoopDomain().dmaRead(dataAddr, dmaLen);
     nic.wire.sendFromA(pkt);
-    nic.freeTxDmaEvents.push_back(this);
+    nextFree = nic.freeTxDma;
+    nic.freeTxDma = this;
 }
 
 Nic::TxDoneEvent::TxDoneEvent(Nic &nic_ref)
@@ -52,7 +53,8 @@ Nic::TxDoneEvent::process()
     // TX completions always signal through queue 0's vector (one TX
     // ring, legacy e1000 wiring).
     nic.requestIrq(0);
-    nic.freeTxDoneEvents.push_back(this);
+    nextFree = nic.freeTxDone;
+    nic.freeTxDone = this;
 }
 
 Nic::ModerationEvent::ModerationEvent(Nic &nic_ref, int queue_idx)
@@ -160,9 +162,10 @@ Nic::~Nic()
 Nic::TxDmaEvent *
 Nic::allocTxDmaEvent()
 {
-    if (!freeTxDmaEvents.empty()) {
-        TxDmaEvent *ev = freeTxDmaEvents.back();
-        freeTxDmaEvents.pop_back();
+    if (freeTxDma) {
+        TxDmaEvent *ev = freeTxDma;
+        freeTxDma = ev->nextFree;
+        ev->nextFree = nullptr;
         return ev;
     }
     txDmaEvents.push_back(std::make_unique<TxDmaEvent>(*this));
@@ -172,9 +175,10 @@ Nic::allocTxDmaEvent()
 Nic::TxDoneEvent *
 Nic::allocTxDoneEvent()
 {
-    if (!freeTxDoneEvents.empty()) {
-        TxDoneEvent *ev = freeTxDoneEvents.back();
-        freeTxDoneEvents.pop_back();
+    if (freeTxDone) {
+        TxDoneEvent *ev = freeTxDone;
+        freeTxDone = ev->nextFree;
+        ev->nextFree = nullptr;
         return ev;
     }
     txDoneEvents.push_back(std::make_unique<TxDoneEvent>(*this));

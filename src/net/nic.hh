@@ -169,9 +169,10 @@ class Nic : public stats::Group
     };
 
     /**
-     * DMA pull from the doorbell to the wire handoff. Pooled per NIC so
-     * the steady-state TX path allocates nothing (the old scheduleLambda
-     * path built a name string and a closure per frame).
+     * DMA pull from the doorbell to the wire handoff. Pooled per NIC
+     * through an intrusive freelist so the steady-state TX path
+     * allocates nothing (the old scheduleLambda path built a name
+     * string and a closure per frame).
      */
     class TxDmaEvent : public sim::Event
     {
@@ -182,6 +183,7 @@ class Nic : public stats::Group
         Packet pkt;
         sim::Addr dataAddr = 0;
         std::uint32_t dmaLen = 0;
+        TxDmaEvent *nextFree = nullptr; ///< intrusive freelist link
 
       private:
         Nic &nic;
@@ -196,6 +198,7 @@ class Nic : public stats::Group
 
         Packet pkt;
         int descIdx = 0;
+        TxDoneEvent *nextFree = nullptr; ///< intrusive freelist link
 
       private:
         Nic &nic;
@@ -242,10 +245,13 @@ class Nic : public stats::Group
     int txNextDesc = 0;
     int txInFlight = 0;
 
+    /** Owner vectors grow only to the in-flight high-water mark; the
+     *  free lists are intrusive (nextFree), so recycling touches no
+     *  vector storage at all. */
     std::vector<std::unique_ptr<TxDmaEvent>> txDmaEvents;
-    std::vector<TxDmaEvent *> freeTxDmaEvents;
+    TxDmaEvent *freeTxDma = nullptr;
     std::vector<std::unique_ptr<TxDoneEvent>> txDoneEvents;
-    std::vector<TxDoneEvent *> freeTxDoneEvents;
+    TxDoneEvent *freeTxDone = nullptr;
 
     RxDeliver rxDeliver;
     TxComplete txComplete;

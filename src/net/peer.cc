@@ -26,9 +26,9 @@ RemotePeer::RemotePeer(stats::Group *parent, const std::string &name,
           pump();
       }),
       delackEvent(name + ".delack", [this] {
-          std::vector<Segment> replies;
-          conn.onDelackTimer(eq.now(), replies);
-          sendSegments(replies);
+          scratch.clear();
+          conn.onDelackTimer(eq.now(), scratch);
+          sendSegments(scratch);
           updateTimers();
       })
 {
@@ -99,7 +99,9 @@ RemotePeer::pump()
             ++rpcInFlight;
         }
     }
-    sendSegments(conn.pullSegments(eq.now()));
+    scratch.clear();
+    conn.pullSegments(eq.now(), scratch);
+    sendSegments(scratch);
     updateTimers();
 }
 
@@ -113,9 +115,9 @@ RemotePeer::onPacket(const Packet &pkt)
         return;
     }
     ++segsIn;
-    std::vector<Segment> replies;
-    conn.onSegment(pkt.seg, eq.now(), replies);
-    sendSegments(replies);
+    scratch.clear();
+    conn.onSegment(pkt.seg, eq.now(), scratch);
+    sendSegments(scratch);
 
     switch (peerRole) {
       case PeerRole::Sink:

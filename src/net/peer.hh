@@ -92,6 +92,9 @@ class RemotePeer : public stats::Group
     sim::LambdaEvent rtoEvent;
     sim::LambdaEvent delackEvent;
 
+    /** Reply/pull scratch reused across packets (capacity persists). */
+    std::vector<Segment> scratch;
+
     void onPacket(const Packet &pkt);
     void pump();
     void sendSegments(const std::vector<Segment> &segs);

@@ -533,14 +533,20 @@ std::vector<Segment>
 TcpConnection::pullSegments(sim::Tick now)
 {
     std::vector<Segment> out;
+    pullSegments(now, out);
+    return out;
+}
 
+void
+TcpConnection::pullSegments(sim::Tick now, std::vector<Segment> &out)
+{
     if (rstPending) {
         Segment rst;
         rst.seq = sndNxt;
         rst.flags = flagRst;
         out.push_back(rst);
         rstPending = false;
-        return out;
+        return;
     }
 
     // SYN (first transmission or RTO retransmission).
@@ -552,7 +558,7 @@ TcpConnection::pullSegments(sim::Tick now)
         out.push_back(syn);
         sndNxt = iss + 1;
         armRto(now);
-        return out;
+        return;
     }
 
     // SYN-ACK retransmission.
@@ -567,7 +573,7 @@ TcpConnection::pullSegments(sim::Tick now)
         synAckPending = false;
         ++retransmits;
         armRto(now);
-        return out;
+        return;
     }
 
     const bool can_send = st == TcpState::Established ||
@@ -578,7 +584,7 @@ TcpConnection::pullSegments(sim::Tick now)
         st != TcpState::TimeWait) {
         if (ackNow)
             pushAck(out);
-        return out;
+        return;
     }
 
     // Retransmission first (fast retransmit or RTO).
@@ -660,8 +666,6 @@ TcpConnection::pullSegments(sim::Tick now)
 
     if (ackNow)
         pushAck(out);
-
-    return out;
 }
 
 void

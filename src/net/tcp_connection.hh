@@ -155,6 +155,13 @@ class TcpConnection
      */
     std::vector<Segment> pullSegments(sim::Tick now);
 
+    /**
+     * Allocation-free variant: append the transmittable segments to
+     * @p out (not cleared first). Hot-path callers keep a scratch
+     * vector whose capacity is reused across packets.
+     */
+    void pullSegments(sim::Tick now, std::vector<Segment> &out);
+
     /** @return true if pullSegments would return anything. */
     bool hasPendingOutput(sim::Tick now) const;
 

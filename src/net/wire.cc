@@ -7,6 +7,13 @@
 
 namespace na::net {
 
+namespace {
+
+/** Decorrelates the B->A loss stream from the A->B one. */
+constexpr std::uint64_t dirStreamDelta = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
+
 Wire::DeliverEvent::DeliverEvent(Wire &wire_ref)
     : sim::Event(wire_ref.groupName() + ".deliver"), wire(wire_ref)
 {
@@ -30,53 +37,112 @@ Wire::Wire(stats::Group *parent, const std::string &name,
       pktsBtoA(this, "pkts_b_to_a", "packets peer -> SUT"),
       bytesAtoB(this, "bytes_a_to_b", "payload bytes SUT -> peer"),
       bytesBtoA(this, "bytes_b_to_a", "payload bytes peer -> SUT"),
-      losses(this, "losses", "packets dropped by injected loss"),
-      eq(eq_ref), freqHz(freq_hz), rate(bits_per_sec),
-      latency(latency_ticks), lossProb(loss_prob), rng(seed)
+      lossesAtoB(this, "losses_a_to_b",
+                 "packets dropped by injected loss, SUT -> peer"),
+      lossesBtoA(this, "losses_b_to_a",
+                 "packets dropped by injected loss, peer -> SUT"),
+      eqA(eq_ref), eqB(&eq_ref), freqHz(freq_hz), rate(bits_per_sec),
+      latency(latency_ticks), lossProb(loss_prob), rngAB(seed),
+      rngBA(seed + dirStreamDelta)
 {
 }
 
 Wire::~Wire()
 {
-    // The queue may outlive us (System tears members down before its
-    // EventQueue member), so take in-flight deliveries off it first.
-    for (auto &ev : deliverEvents) {
+    // The queues may outlive us (System tears members down before the
+    // scheduler and its lane queues), so take in-flight deliveries off
+    // them first. A->B events live on side B's queue and vice versa.
+    for (auto &ev : eventsAB) {
         if (ev->scheduled())
-            eq.deschedule(ev.get());
+            eqB->deschedule(ev.get());
+    }
+    for (auto &ev : eventsBA) {
+        if (ev->scheduled())
+            eqA.deschedule(ev.get());
     }
 }
 
-Wire::DeliverEvent *
-Wire::allocDeliverEvent()
+void
+Wire::setLanes(sim::LaneScheduler &sched, int lane_a, int lane_b)
 {
-    if (!freeDeliverEvents.empty()) {
-        DeliverEvent *ev = freeDeliverEvents.back();
-        freeDeliverEvents.pop_back();
+    if (latency < sched.lookahead())
+        sim::panic("wire %s: latency %llu below scheduler lookahead "
+                   "%llu — the conservative horizon would be violated",
+                   groupName().c_str(), (unsigned long long)latency,
+                   (unsigned long long)sched.lookahead());
+    lanes = &sched;
+    laneA = lane_a;
+    laneB = lane_b;
+    eqB = &sched.lane(lane_b);
+    if (lane_a != lane_b)
+        sched.addBarrierHook([this] { spliceRetired(); });
+}
+
+Wire::DeliverEvent *
+Wire::allocDeliverEvent(bool from_a)
+{
+    DeliverEvent *&free_head = from_a ? freeAB : freeBA;
+    if (free_head) {
+        DeliverEvent *ev = free_head;
+        free_head = ev->nextFree;
+        ev->nextFree = nullptr;
         return ev;
     }
-    deliverEvents.push_back(std::make_unique<DeliverEvent>(*this));
-    return deliverEvents.back().get();
+    auto &owner = from_a ? eventsAB : eventsBA;
+    owner.push_back(std::make_unique<DeliverEvent>(*this));
+    return owner.back().get();
 }
 
 void
 Wire::recycle(DeliverEvent *ev)
 {
-    freeDeliverEvents.push_back(ev);
+    if (lanes && laneA != laneB) {
+        // Processed on the receiver's lane while the sender may be
+        // allocating: park on the receiver-owned retire list; the
+        // barrier hook splices it back when all lanes are quiescent.
+        DeliverEvent *&retire_head = ev->fromA ? retireAB : retireBA;
+        ev->nextFree = retire_head;
+        retire_head = ev;
+        return;
+    }
+    DeliverEvent *&free_head = ev->fromA ? freeAB : freeBA;
+    ev->nextFree = free_head;
+    free_head = ev;
+}
+
+void
+Wire::spliceRetired()
+{
+    while (retireAB) {
+        DeliverEvent *ev = retireAB;
+        retireAB = ev->nextFree;
+        ev->nextFree = freeAB;
+        freeAB = ev;
+    }
+    while (retireBA) {
+        DeliverEvent *ev = retireBA;
+        retireBA = ev->nextFree;
+        ev->nextFree = freeBA;
+        freeBA = ev;
+    }
 }
 
 void
 Wire::send(const Packet &pkt, bool from_a)
 {
-    if (lossProb > 0.0 && rng.chance(lossProb)) {
-        ++losses;
+    sim::EventQueue &src = from_a ? eqA : *eqB;
+    const sim::Tick now = src.now();
+
+    if (lossProb > 0.0 && (from_a ? rngAB : rngBA).chance(lossProb)) {
+        ++(from_a ? lossesAtoB : lossesBtoA);
         return;
     }
 
     FaultInjector::WireDecision fd;
     if (faults) {
-        fd = faults->onWirePacket(from_a, eq.now());
+        fd = faults->onWirePacket(from_a, now);
         if (fd.drop) {
-            ++losses;
+            ++(from_a ? lossesAtoB : lossesBtoA);
             return;
         }
     }
@@ -86,7 +152,7 @@ Wire::send(const Packet &pkt, bool from_a)
         static_cast<sim::Tick>(std::ceil(bits / rate * freqHz));
 
     sim::Tick &busy = from_a ? busyUntilAB : busyUntilBA;
-    const sim::Tick start = busy > eq.now() ? busy : eq.now();
+    const sim::Tick start = busy > now ? busy : now;
     const sim::Tick done = start + ser_ticks;
     busy = done;
 
@@ -102,19 +168,33 @@ Wire::send(const Packet &pkt, bool from_a)
     if (!cb)
         sim::panic("wire %s: no receiver attached", groupName().c_str());
 
-    DeliverEvent *ev = allocDeliverEvent();
+    const sim::Tick when = done + latency + fd.extraDelayTicks;
+
+    DeliverEvent *ev = allocDeliverEvent(from_a);
     ev->pkt = pkt;
     ev->pkt.corrupt = fd.corrupt;
     ev->fromA = from_a;
-    eq.schedule(ev, done + latency + fd.extraDelayTicks);
 
+    DeliverEvent *dup = nullptr;
     if (fd.duplicate) {
         // The copy rides one tick behind the original, so the receiver
         // sees a clean duplicate rather than a coalesced double.
-        DeliverEvent *dup = allocDeliverEvent();
+        dup = allocDeliverEvent(from_a);
         dup->pkt = ev->pkt;
         dup->fromA = from_a;
-        eq.schedule(dup, done + latency + fd.extraDelayTicks + 1);
+    }
+
+    if (lanes && laneA != laneB) {
+        const int from_lane = from_a ? laneA : laneB;
+        const int to_lane = from_a ? laneB : laneA;
+        lanes->scheduleCross(from_lane, to_lane, ev, when);
+        if (dup)
+            lanes->scheduleCross(from_lane, to_lane, dup, when + 1);
+    } else {
+        sim::EventQueue &dst = from_a ? *eqB : eqA;
+        dst.schedule(ev, when);
+        if (dup)
+            dst.schedule(dup, when + 1);
     }
 }
 

@@ -78,7 +78,6 @@ class Event
     /** @return same-tick delivery priority. */
     int priority() const { return _priority; }
 
-  protected:
     /** Rename (pooled events reuse one object for many callbacks). */
     void setName(std::string name) { _name = std::move(name); }
 
@@ -167,6 +166,14 @@ class EventQueue
 
     /** @return number of events processed since construction. */
     std::uint64_t processedCount() const { return numProcessed; }
+
+    /**
+     * @return the tick of the earliest live event, or maxTick if none
+     *         are pending. Drains stale top entries as a side effect
+     *         (which cannot change delivery order). The lane scheduler
+     *         uses this to fast-forward windows over idle gaps.
+     */
+    Tick nextEventTick();
 
     /**
      * Run until the queue empties or simulated time would exceed

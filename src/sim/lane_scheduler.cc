@@ -1,0 +1,305 @@
+#include "src/sim/lane_scheduler.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/sim/logging.hh"
+
+namespace na::sim {
+
+LaneScheduler::LaneScheduler(EventQueue &lane0_queue,
+                             const Config &config)
+    : cfg(config)
+{
+    if (cfg.numLanes < 1)
+        throw std::runtime_error(
+            format("LaneScheduler: numLanes must be >= 1, got %d",
+                   cfg.numLanes));
+    if (cfg.lookahead < 1)
+        throw std::runtime_error(format(
+            "LaneScheduler: lookahead must be >= 1 tick, got %llu — a "
+            "zero-lookahead topology cannot execute windows "
+            "conservatively",
+            (unsigned long long)cfg.lookahead));
+
+    lanes.push_back(&lane0_queue);
+    for (int i = 1; i < cfg.numLanes; ++i) {
+        ownedLanes.push_back(std::make_unique<EventQueue>());
+        ownedLanes.back()->setStallThreshold(cfg.stallEventThreshold);
+        lanes.push_back(ownedLanes.back().get());
+    }
+
+    const std::size_t n = static_cast<std::size_t>(cfg.numLanes);
+    channels.resize(n * n);
+    for (std::size_t from = 0; from < n; ++from) {
+        for (std::size_t to = 0; to < n; ++to) {
+            if (from != to)
+                channels[from * n + to] =
+                    std::make_unique<Channel>(cfg.channelCapacity);
+        }
+    }
+    laneErrors.resize(n);
+
+    if (threaded())
+        startWorkers();
+}
+
+LaneScheduler::~LaneScheduler()
+{
+    if (!workers.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            quitting = true;
+            ++epoch;
+        }
+        cvStart.notify_all();
+        for (std::thread &t : workers)
+            t.join();
+    }
+    // Channels should be empty (run() drains or discards them); if a
+    // caller scheduled cross events and never ran, drop them — the
+    // events' owners still hold their storage.
+    discardChannels();
+}
+
+LaneScheduler::Channel &
+LaneScheduler::channel(int from, int to)
+{
+    return *channels[static_cast<std::size_t>(from) *
+                         static_cast<std::size_t>(cfg.numLanes) +
+                     static_cast<std::size_t>(to)];
+}
+
+void
+LaneScheduler::scheduleCross(int from, int to, Event *ev, Tick when)
+{
+    if (from == to) {
+        lane(to).schedule(ev, when);
+        return;
+    }
+    Channel &ch = channel(from, to);
+    const CrossMsg msg{ev, when};
+    if (!ch.ring.tryPush(msg)) {
+        // The ring never un-fills mid-window (drains happen only at
+        // barriers), so every later message this window spills too and
+        // FIFO order across ring + spill is preserved.
+        std::lock_guard<std::mutex> lk(ch.spillMu);
+        ch.spill.push_back(msg);
+        ++ch.spilled;
+    }
+}
+
+void
+LaneScheduler::addBarrierHook(std::function<void()> hook)
+{
+    barrierHooks.push_back(std::move(hook));
+}
+
+Tick
+LaneScheduler::earliestEvent()
+{
+    Tick next = maxTick;
+    for (EventQueue *q : lanes)
+        next = std::min(next, q->nextEventTick());
+    return next;
+}
+
+void
+LaneScheduler::startWorkers()
+{
+    workersRunning = 0;
+    for (int i = 1; i < cfg.numLanes; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+LaneScheduler::workerLoop(int lane_idx)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Tick w;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cvStart.wait(lk, [&] { return epoch != seen; });
+            seen = epoch;
+            if (quitting)
+                return;
+            w = windowEnd;
+        }
+        try {
+            lane(lane_idx).runUntil(w);
+        } catch (...) {
+            laneErrors[static_cast<std::size_t>(lane_idx)] =
+                std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            --workersRunning;
+        }
+        cvDone.notify_one();
+    }
+}
+
+void
+LaneScheduler::executeWindow(Tick w)
+{
+    ++numWindows;
+    if (!threaded()) {
+        // Serial mode: lanes run one after another on the caller. A
+        // lane exception aborts the window immediately — remaining
+        // lanes' state is irrelevant once the run is abandoned.
+        try {
+            for (EventQueue *q : lanes)
+                q->runUntil(w);
+        } catch (...) {
+            discardChannels();
+            throw;
+        }
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        windowEnd = w;
+        workersRunning = cfg.numLanes - 1;
+        ++epoch;
+    }
+    cvStart.notify_all();
+
+    try {
+        lane(0).runUntil(w);
+    } catch (...) {
+        laneErrors[0] = std::current_exception();
+    }
+
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        cvDone.wait(lk, [&] { return workersRunning == 0; });
+    }
+
+    for (std::exception_ptr &err : laneErrors) {
+        if (err) {
+            std::exception_ptr e = err;
+            for (std::exception_ptr &r : laneErrors)
+                r = nullptr;
+            discardChannels();
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+LaneScheduler::drainChannels(Tick barrier_tick)
+{
+    // Fixed (destination, source) order: the insertion sequence — and
+    // therefore every same-tick same-priority tie-break downstream — is
+    // identical on every run and in both execution modes.
+    for (int to = 0; to < cfg.numLanes; ++to) {
+        for (int from = 0; from < cfg.numLanes; ++from) {
+            if (from == to)
+                continue;
+            Channel &ch = channel(from, to);
+            CrossMsg msg;
+            while (ch.ring.tryPop(msg)) {
+                if (msg.when <= barrier_tick) {
+                    discardChannels();
+                    throw std::runtime_error(format(
+                        "lane horizon violation: event '%s' from lane "
+                        "%d to lane %d at tick %llu does not clear the "
+                        "barrier at %llu (lookahead %llu)",
+                        msg.ev->name().c_str(), from, to,
+                        (unsigned long long)msg.when,
+                        (unsigned long long)barrier_tick,
+                        (unsigned long long)cfg.lookahead));
+                }
+                lane(to).schedule(msg.ev, msg.when);
+                ++numCross;
+            }
+            if (ch.spilled == 0)
+                continue;
+            // Spill vector: same producer, strictly after the ring's
+            // contents. No lock needed — all lanes are quiescent — but
+            // keep the critical section for TSan's benefit.
+            std::vector<CrossMsg> spilled;
+            {
+                std::lock_guard<std::mutex> lk(ch.spillMu);
+                spilled.swap(ch.spill);
+                numOverflows += ch.spilled;
+                ch.spilled = 0;
+            }
+            for (const CrossMsg &m : spilled) {
+                if (m.when <= barrier_tick) {
+                    discardChannels();
+                    throw std::runtime_error(format(
+                        "lane horizon violation: event '%s' from lane "
+                        "%d to lane %d at tick %llu does not clear the "
+                        "barrier at %llu (lookahead %llu)",
+                        m.ev->name().c_str(), from, to,
+                        (unsigned long long)m.when,
+                        (unsigned long long)barrier_tick,
+                        (unsigned long long)cfg.lookahead));
+                }
+                lane(to).schedule(m.ev, m.when);
+                ++numCross;
+            }
+        }
+    }
+}
+
+void
+LaneScheduler::discardChannels()
+{
+    for (auto &ch : channels) {
+        if (!ch)
+            continue;
+        CrossMsg msg;
+        while (ch->ring.tryPop(msg)) {
+        }
+        std::lock_guard<std::mutex> lk(ch->spillMu);
+        ch->spill.clear();
+        ch->spilled = 0;
+    }
+}
+
+void
+LaneScheduler::runBarrier(Tick barrier_tick)
+{
+    ++numBarriers;
+    drainChannels(barrier_tick);
+    for (const auto &hook : barrierHooks)
+        hook();
+}
+
+void
+LaneScheduler::run(Tick until)
+{
+    if (cfg.numLanes == 1) {
+        lane(0).runUntil(until);
+        runBarrier(until);
+        return;
+    }
+
+    for (;;) {
+        // All lanes sit at the same tick here and channels are empty.
+        const Tick next = earliestEvent();
+        if (next > until) {
+            // Nothing (or nothing in range) left: advance clocks only.
+            for (EventQueue *q : lanes)
+                q->runUntil(until);
+            runBarrier(until);
+            return;
+        }
+        // Conservative window end: events execute at ticks >= next, so
+        // anything they send across a wire lands at or after
+        // next + 1 + lookahead > w. Also the fast-forward: idle gaps
+        // between next and the previous barrier cost no extra windows.
+        const Tick w =
+            until - next > cfg.lookahead ? next + cfg.lookahead : until;
+        executeWindow(w);
+        runBarrier(w);
+        if (w >= until)
+            return;
+    }
+}
+
+} // namespace na::sim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Conservative lookahead-windowed parallel event execution.
+ *
+ * The simulated topology has a natural partition: everything on the SUT
+ * side of a wire (kernel, NICs, driver, sockets, apps) versus the
+ * remote peers on the far side. The only interaction between the two is
+ * a packet crossing a wire, and a wire adds at least serialization (one
+ * tick or more) plus propagation latency L to every crossing. That
+ * makes L a conservative lookahead: if every lane has processed all
+ * events up to a barrier tick B, no event either side produces while
+ * executing the window (B, B+L] can be destined for a tick at or before
+ * B+L. Lanes therefore execute whole windows concurrently and exchange
+ * cross-lane events through bounded SPSC channels that are drained —
+ * single-threaded, in fixed lane order — at each barrier.
+ *
+ * Determinism: within a lane the EventQueue's (when, priority, seq)
+ * total order applies unchanged; cross-lane events are inserted at
+ * barriers in a fixed (destination, source) order, so their seq numbers
+ * — and hence all tie-breaks — are reproducible run to run, whether
+ * windows execute on worker threads or serially on the caller. Both
+ * execution modes produce identical simulations.
+ */
+
+#ifndef NETAFFINITY_SIM_LANE_SCHEDULER_HH
+#define NETAFFINITY_SIM_LANE_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/spsc.hh"
+#include "src/sim/types.hh"
+
+namespace na::sim {
+
+/** Windowed scheduler over one EventQueue per lane. */
+class LaneScheduler
+{
+  public:
+    struct Config
+    {
+        int numLanes = 2;
+        /**
+         * Conservative horizon: the minimum simulated delay of any
+         * cross-lane interaction. Every cross-lane event sent while
+         * executing a window must land strictly after the window's end;
+         * run() verifies this at each barrier and throws on violation.
+         */
+        Tick lookahead = 1;
+        /**
+         * Execute windows on persistent worker threads (lane 0 runs on
+         * the calling thread). When false, lanes run sequentially on
+         * the caller — same results, no concurrency; the right choice
+         * on single-core hosts and under heavyweight sanitizers.
+         */
+        bool useThreads = true;
+        /** Per-channel SPSC capacity (spill goes to a locked vector). */
+        std::size_t channelCapacity = 4096;
+        /** Non-progress guard copied onto the non-zero lanes' queues. */
+        std::uint64_t stallEventThreshold = 0;
+    };
+
+    /**
+     * @param lane0_queue the existing (host) event queue; lanes
+     *        1..numLanes-1 get queues owned by the scheduler. All
+     *        queues must be at the same tick (normally 0) when the
+     *        first run() happens.
+     */
+    LaneScheduler(EventQueue &lane0_queue, const Config &config);
+    ~LaneScheduler();
+
+    LaneScheduler(const LaneScheduler &) = delete;
+    LaneScheduler &operator=(const LaneScheduler &) = delete;
+
+    int numLanes() const { return static_cast<int>(lanes.size()); }
+    Tick lookahead() const { return cfg.lookahead; }
+    bool threaded() const { return cfg.useThreads && numLanes() > 1; }
+
+    /** The event queue lane @p i executes. */
+    EventQueue &lane(int i) { return *lanes[static_cast<std::size_t>(i)]; }
+
+    /**
+     * Route @p ev, produced on lane @p from while a window executes,
+     * to lane @p to at absolute tick @p when. The event is parked in
+     * the (from, to) channel and scheduled on the target queue at the
+     * next barrier, where when > barrier tick is enforced (the
+     * conservative-lookahead contract). Only lane @p from's thread may
+     * call this for a given (from, to) pair. from == to schedules
+     * directly (no channel, no horizon requirement).
+     */
+    void scheduleCross(int from, int to, Event *ev, Tick when);
+
+    /**
+     * Register a hook run at every barrier (and once at the end of each
+     * run()), while all lanes are quiescent. Used for cross-lane pool
+     * maintenance (e.g. net::Wire splicing receiver-retired delivery
+     * events back to sender freelists).
+     */
+    void addBarrierHook(std::function<void()> hook);
+
+    /**
+     * Advance every lane to @p until (absolute tick), window by window.
+     * On return all lane queues are exactly at @p until and all
+     * channels are empty. Windows end early at @p until, so callers may
+     * interleave run() with single-threaded inspection of any lane's
+     * state (e.g. System::establishAll polling sockets).
+     *
+     * @throws std::runtime_error on a horizon violation, or rethrows
+     *         the first (by lane index) exception a lane raised while
+     *         executing its window (e.g. the event-queue stall guard);
+     *         undelivered channel contents are discarded so teardown
+     *         never touches abandoned events.
+     */
+    void run(Tick until);
+
+    /** @name Introspection for tests, stats, and benchmarks @{ */
+    std::uint64_t barriers() const { return numBarriers; }
+    std::uint64_t crossEvents() const { return numCross; }
+    std::uint64_t channelOverflows() const { return numOverflows; }
+    std::uint64_t windows() const { return numWindows; }
+    /** @} */
+
+  private:
+    struct CrossMsg
+    {
+        Event *ev;
+        Tick when;
+    };
+
+    /**
+     * One directed lane-pair channel. The ring is written by the source
+     * lane during a window and drained only at barriers; once it fills,
+     * the remainder of the window's traffic spills — in order — to the
+     * mutex-guarded vector (the ring can never un-fill mid-window, so
+     * FIFO across both tiers is preserved).
+     */
+    struct Channel
+    {
+        explicit Channel(std::size_t cap) : ring(cap) {}
+        SpscRing<CrossMsg> ring;
+        std::mutex spillMu;
+        std::vector<CrossMsg> spill;
+        std::uint64_t spilled = 0; ///< guarded by spillMu
+    };
+
+    Config cfg;
+    std::vector<EventQueue *> lanes;       ///< [0] borrowed, rest owned
+    std::vector<std::unique_ptr<EventQueue>> ownedLanes;
+    std::vector<std::unique_ptr<Channel>> channels; ///< from * N + to
+    std::vector<std::function<void()>> barrierHooks;
+
+    std::uint64_t numBarriers = 0;
+    std::uint64_t numCross = 0;
+    std::uint64_t numOverflows = 0;
+    std::uint64_t numWindows = 0;
+
+    /** @name Worker-thread rendezvous (threaded mode only) @{ */
+    std::vector<std::thread> workers;
+    std::mutex mu;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    std::uint64_t epoch = 0;  ///< bumped to release workers on a window
+    Tick windowEnd = 0;       ///< target tick for the current window
+    int workersRunning = 0;
+    bool quitting = false;
+    std::vector<std::exception_ptr> laneErrors;
+    /** @} */
+
+    Channel &channel(int from, int to);
+    void startWorkers();
+    void workerLoop(int lane_idx);
+    void executeWindow(Tick w);
+    /** Drain all channels into their target queues; enforce horizon. */
+    void drainChannels(Tick barrier_tick);
+    void discardChannels();
+    void runBarrier(Tick barrier_tick);
+    /** @return earliest pending tick across lanes (maxTick if idle). */
+    Tick earliestEvent();
+};
+
+} // namespace na::sim
+
+#endif // NETAFFINITY_SIM_LANE_SCHEDULER_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A bounded single-producer / single-consumer ring buffer.
+ *
+ * The lane scheduler's cross-lane channels are built on this: during a
+ * lookahead window exactly one lane thread pushes into a given channel
+ * and nobody pops (consumption happens at the single-threaded barrier),
+ * so the classic two-index SPSC discipline is sufficient. Indices are
+ * monotonically increasing uint64s (never wrapped), masked into the
+ * power-of-two storage on access; acquire/release pairs on head/tail
+ * publish the element payloads between threads.
+ */
+
+#ifndef NETAFFINITY_SIM_SPSC_HH
+#define NETAFFINITY_SIM_SPSC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace na::sim {
+
+/**
+ * Fixed-capacity wait-free SPSC ring.
+ *
+ * tryPush() may only be called by the producer thread, tryPop() only by
+ * the consumer thread. Capacity is rounded up to a power of two.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots.resize(cap);
+        mask = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Producer side. @return false if the ring is full. */
+    bool
+    tryPush(const T &v)
+    {
+        const std::uint64_t t = tail.load(std::memory_order_relaxed);
+        const std::uint64_t h = head.load(std::memory_order_acquire);
+        if (t - h >= slots.size())
+            return false;
+        slots[t & mask] = v;
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. @return false if the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        const std::uint64_t t = tail.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        out = slots[h & mask];
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side size estimate (exact when the producer is idle). */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            tail.load(std::memory_order_acquire) -
+            head.load(std::memory_order_acquire));
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> slots;
+    std::size_t mask = 0;
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    alignas(64) std::atomic<std::uint64_t> tail{0};
+};
+
+} // namespace na::sim
+
+#endif // NETAFFINITY_SIM_SPSC_HH

@@ -239,8 +239,7 @@ TEST(FaultInjection, InjectorCountersFireAndFaultFreePathHasNone)
     for (int i = 0; i < sys.numConnections(); ++i) {
         const net::FaultInjector *fi = sys.faultInjector(i);
         ASSERT_NE(fi, nullptr);
-        injected += fi->dropsLoss.value() + fi->corrupts.value() +
-                    fi->dups.value();
+        injected += fi->dropsLoss() + fi->corrupts() + fi->dups();
     }
     EXPECT_GT(injected, 0.0);
 

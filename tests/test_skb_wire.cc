@@ -200,7 +200,7 @@ TEST_F(WireTest, LossDropsApproximatelyAtConfiguredRate)
         wire.sendFromA(mkPkt(100));
     eq.runUntil(1'000'000'000);
     EXPECT_NEAR(static_cast<double>(atB.size()), 500.0, 60.0);
-    EXPECT_NEAR(wire.losses.value(), 500.0, 60.0);
+    EXPECT_NEAR(wire.losses(), 500.0, 60.0);
 }
 
 TEST_F(WireTest, PayloadByteCountersTrackData)
