@@ -8,6 +8,8 @@
  *
  *   NA_CAMPAIGN_THREADS=N   worker threads (default: hardware)
  *   NA_CAMPAIGN_JSON=PATH   also export results to PATH as JSON
+ *   NA_CAMPAIGN_JSONL=PATH  stream each completed point to PATH as a
+ *                           JSONL record (crash-safe, resumable)
  */
 
 #ifndef NETAFFINITY_BENCH_BENCH_COMMON_HH
@@ -15,13 +17,13 @@
 
 #include <array>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/analysis/table.hh"
 #include "src/core/campaign.hh"
+#include "src/core/env.hh"
 #include "src/core/results_json.hh"
 #include "src/core/sweep.hh"
 #include "src/sim/logging.hh"
@@ -47,23 +49,28 @@ constexpr std::array<core::AffinityMode, 4> columnOrder = {
 
 /**
  * Run a campaign with the shared environment knobs applied: thread
- * count from NA_CAMPAIGN_THREADS (via Campaign::resolveThreads) and an
- * optional JSON export to $NA_CAMPAIGN_JSON.
+ * count from NA_CAMPAIGN_THREADS (via Campaign::resolveThreads), an
+ * optional JSON export to $NA_CAMPAIGN_JSON, and an optional JSONL
+ * stream to $NA_CAMPAIGN_JSONL (unless the caller already set one).
  */
 inline core::ResultSet
 runCampaign(std::vector<core::CampaignPoint> points,
             core::Campaign::Options options = {})
 {
+    if (options.jsonlPath.empty()) {
+        if (auto path = core::env::str("NA_CAMPAIGN_JSONL"))
+            options.jsonlPath = *path;
+    }
     core::ResultSet results =
         core::Campaign::run(std::move(points), options);
-    if (const char *path = std::getenv("NA_CAMPAIGN_JSON")) {
+    if (auto path = core::env::str("NA_CAMPAIGN_JSON")) {
         // Not sim::warn: benches run with setQuiet(true), and a failed
         // export should never be silent.
-        if (!core::writeResultsJsonFile(path, results)) {
+        if (!core::writeResultsJsonFile(*path, results)) {
             std::fprintf(stderr,
                          "warning: could not write campaign results "
                          "to %s\n",
-                         path);
+                         path->c_str());
         }
     }
     return results;

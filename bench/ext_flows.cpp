@@ -302,7 +302,7 @@ int
 main(int argc, char **argv)
 {
     sim::setQuiet(true);
-    bool smoke = std::getenv("NA_BENCH_FAST") != nullptr;
+    bool smoke = core::env::flag("NA_BENCH_FAST");
     std::string out_path = "BENCH_flows.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)

@@ -183,7 +183,7 @@ int
 main(int argc, char **argv)
 {
     sim::setQuiet(true);
-    bool fast = std::getenv("NA_BENCH_FAST") != nullptr;
+    bool fast = core::env::flag("NA_BENCH_FAST");
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--smoke"))
             fast = true;

@@ -56,10 +56,24 @@ main()
                          core::AffinityMode::Full})
             .build();
 
+    // The progress hook must fire exactly once per executed point,
+    // with a monotonically complete count; verify while we are here.
+    std::size_t progress_calls = 0;
+    std::size_t last_completed = 0;
+    bool progress_ok = true;
     core::Campaign::Options serial;
     serial.numThreads = 1;
     core::Campaign::Options parallel;
     parallel.numThreads = 2;
+    parallel.progressHook =
+        [&](const core::Campaign::Progress &p) {
+            ++progress_calls;
+            if (p.completed != last_completed + 1 ||
+                p.total != points.size() || p.lastLabel.empty()) {
+                progress_ok = false;
+            }
+            last_completed = p.completed;
+        };
 
     core::ResultSet a, b;
     try {
@@ -69,6 +83,14 @@ main()
         // Campaign errors name the failing point and its SystemConfig
         // summary; print them instead of dying on an unlabeled throw.
         std::fprintf(stderr, "smoke: %s\n", e.what());
+        return 1;
+    }
+
+    if (progress_calls != points.size() || !progress_ok) {
+        std::fprintf(stderr,
+                     "smoke: progress hook fired %zu times for %zu "
+                     "points (or reported inconsistent counts)\n",
+                     progress_calls, points.size());
         return 1;
     }
 

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "src/core/campaign.hh"
+#include "src/core/env.hh"
 #include "src/core/sweep.hh"
 #include "src/core/system.hh"
 #include "src/sim/event_queue.hh"
@@ -197,10 +198,7 @@ int
 main(int argc, char **argv)
 {
     sim::setQuiet(true);
-    const bool fast = []() {
-        const char *v = std::getenv("NA_BENCH_FAST");
-        return v && v[0] && std::strcmp(v, "0") != 0;
-    }();
+    const bool fast = core::env::flag("NA_BENCH_FAST");
     const char *path = argc > 1 ? argv[1] : "BENCH_substrate.json";
     const unsigned hw_threads = std::thread::hardware_concurrency();
 
@@ -283,10 +281,10 @@ main(int argc, char **argv)
 
     // --- Emit + self-validate ---------------------------------------
     const std::string prior = priorHistoryRows(path);
-    const char *label_env = std::getenv("NA_BENCH_LABEL");
-    const std::string run_label = label_env && label_env[0]
-                                      ? label_env
-                                      : (fast ? "fast" : "full");
+    std::string run_label =
+        core::env::str("NA_BENCH_LABEL").value_or("");
+    if (run_label.empty())
+        run_label = fast ? "fast" : "full";
 
     std::ostringstream json;
     char buf[320];

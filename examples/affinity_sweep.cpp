@@ -16,6 +16,8 @@
  *                                   [--fault-loss P] [--fault-corrupt P]
  *                                   [--fault-dup P] [--fault-reorder P]
  *                                   [--fault-irq-loss P] [--retries N]
+ *                                   [--jsonl PATH] [--resume PATH]
+ *                                   [--shard I/N]
  *
  * --interval-stats US records per-CPU per-bin counter deltas every US
  * simulated microseconds (exported in the --json file, schema v3).
@@ -25,6 +27,14 @@
  * directions for loss/dup/reorder, SUT-bound for corruption); --retries
  * bounds re-runs of a failing point before it is recorded as a
  * degraded PointFailure instead of aborting the sweep.
+ *
+ * --jsonl streams each completed point to PATH as a crash-safe JSONL
+ * record; --resume PATH skips points already completed in a previous
+ * stream (pass the same path to both to make the sweep restartable
+ * in place); --shard I/N runs only this process's share of the sweep
+ * (table rows owned by other shards read zero — merge the per-shard
+ * streams for the full document). A progress line is printed to
+ * stderr after each completed point.
  */
 
 #include <cstdio>
@@ -119,6 +129,20 @@ main(int argc, char **argv)
             cfg.faults.irqLossProb = std::atof(argv[++i]);
         } else if (!std::strcmp(argv[i], "--retries") && i + 1 < argc) {
             options.maxAttempts = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--jsonl") && i + 1 < argc) {
+            options.jsonlPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--resume") && i + 1 < argc) {
+            options.resumeFrom = argv[++i];
+        } else if (!std::strcmp(argv[i], "--shard") && i + 1 < argc) {
+            const char *spec = argv[++i];
+            const char *slash = std::strchr(spec, '/');
+            if (!slash || std::sscanf(spec, "%d/%d",
+                                      &options.shardIndex,
+                                      &options.shardCount) != 2) {
+                std::fprintf(stderr,
+                             "--shard wants I/N, got '%s'\n", spec);
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--rx] [--conns N] [--cpus N] "
@@ -128,11 +152,23 @@ main(int argc, char **argv)
                          "[--interval-stats US] [--timeline PATH] "
                          "[--fault-loss P] [--fault-corrupt P] "
                          "[--fault-dup P] [--fault-reorder P] "
-                         "[--fault-irq-loss P] [--retries N]\n",
+                         "[--fault-irq-loss P] [--retries N] "
+                         "[--jsonl PATH] [--resume PATH] "
+                         "[--shard I/N]\n",
                          argv[0]);
             return 2;
         }
     }
+
+    // Liveness: one stderr line per completed point, so long sweeps
+    // (and resumed/sharded ones) are observable while running.
+    options.progressHook = [](const core::Campaign::Progress &p) {
+        std::fprintf(stderr,
+                     "[%zu/%zu] %s%s%s\n", p.completed, p.total,
+                     p.lastLabel.c_str(),
+                     p.failures ? " (failures so far)" : "",
+                     p.resumed ? " (resumed sweep)" : "");
+    };
 
     // Chrome-trace capture of the first point: the tracer is attached
     // post-construction and the file written post-measurement, both on

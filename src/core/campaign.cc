@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
+#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "src/core/env.hh"
+#include "src/core/point_key.hh"
+#include "src/core/results_jsonl.hh"
 #include "src/sim/logging.hh"
 
 namespace na::core {
@@ -121,13 +125,48 @@ Campaign::resolveThreads(int requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("NA_CAMPAIGN_THREADS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
+    // env::intValue throws on junk ("abc", "4x") — the old std::atoi
+    // path silently read garbage as 0 and fell through to auto.
+    if (std::optional<long long> n =
+            env::intValue("NA_CAMPAIGN_THREADS")) {
+        if (*n < 0) {
+            throw std::runtime_error(sim::format(
+                "NA_CAMPAIGN_THREADS=%lld: thread count cannot be "
+                "negative (use 0 or unset for auto)",
+                *n));
+        }
+        if (*n > 0) {
+            return static_cast<int>(
+                std::min<long long>(*n, 1'000'000));
+        }
+        // An explicit 0 means auto, same as unset.
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+Campaign::applyPointSeeds(std::vector<CampaignPoint> &points,
+                          const Options &options)
+{
+    if (!options.derivePointSeeds)
+        return;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        points[i].config.platform.seed = pointSeed(options.seed, i);
+}
+
+std::vector<std::uint64_t>
+Campaign::pointKeys(const std::vector<CampaignPoint> &points)
+{
+    std::vector<std::uint64_t> keys(points.size());
+    PointKeyRegistry registry;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::string text = canonicalPointText(points[i].config,
+                                              points[i].schedule);
+        keys[i] = hashCanonicalText(text);
+        registry.add(keys[i], std::move(text), i);
+    }
+    return keys;
 }
 
 ResultSet
@@ -139,10 +178,15 @@ Campaign::run(std::vector<CampaignPoint> points)
 ResultSet
 Campaign::run(std::vector<CampaignPoint> points, const Options &options)
 {
-    if (options.derivePointSeeds) {
-        for (std::size_t i = 0; i < points.size(); ++i)
-            points[i].config.platform.seed = pointSeed(options.seed, i);
+    if (options.shardCount < 1 || options.shardIndex < 0 ||
+        options.shardIndex >= options.shardCount) {
+        throw std::runtime_error(sim::format(
+            "campaign: shard %d/%d is not a valid partition (want "
+            "0 <= index < count)",
+            options.shardIndex, options.shardCount));
     }
+
+    applyPointSeeds(points, options);
     // Fail fast, before any thread spawns, with the offending point.
     for (std::size_t i = 0; i < points.size(); ++i) {
         try {
@@ -155,17 +199,96 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
         }
     }
 
+    // Canonical keys: collision-checked, and identical points (same
+    // key, possible with derivePointSeeds off) execute once — the
+    // later duplicates alias the first slot's result.
+    constexpr std::size_t no_alias = static_cast<std::size_t>(-1);
+    std::vector<std::uint64_t> keys(points.size());
+    std::vector<std::size_t> alias(points.size(), no_alias);
+    {
+        PointKeyRegistry registry;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::string text = canonicalPointText(points[i].config,
+                                                  points[i].schedule);
+            keys[i] = hashCanonicalText(text);
+            const PointKeyRegistry::Entry e =
+                registry.add(keys[i], std::move(text), i);
+            if (e.duplicate)
+                alias[i] = e.firstIndex;
+        }
+    }
+
     std::vector<RunResult> results(points.size());
+    std::vector<char> prefilled(points.size(), 0);
+    std::size_t resumed = 0;
+    if (!options.resumeFrom.empty()) {
+        const JsonlFile prior = readResultsJsonlFile(options.resumeFrom);
+        const auto latest = prior.latestByKey();
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (alias[i] != no_alias)
+                continue;
+            const auto it = latest.find(keys[i]);
+            if (it == latest.end())
+                continue;
+            const RunResult &rec =
+                prior.records[it->second].rec.result;
+            if (rec.failed)
+                continue; // failed points re-run
+            results[i] = rec;
+            prefilled[i] = 1;
+            ++resumed;
+        }
+    }
+
+    // The points this process actually executes: not resumed, not a
+    // duplicate, and owned by this shard of the partition.
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (alias[i] != no_alias || prefilled[i])
+            continue;
+        if (static_cast<int>(i % static_cast<std::size_t>(
+                                     options.shardCount)) !=
+            options.shardIndex) {
+            continue;
+        }
+        queue.push_back(i);
+    }
+
+    std::unique_ptr<JsonlAppender> appender;
+    if (!options.jsonlPath.empty()) {
+        appender = std::make_unique<JsonlAppender>(options.jsonlPath);
+        if (!appender->ok()) {
+            throw std::runtime_error(sim::format(
+                "campaign: cannot open JSONL stream '%s' for append",
+                options.jsonlPath.c_str()));
+        }
+        // Resuming into a *different* stream: re-emit the prefilled
+        // records so the new file is self-contained. Resuming into
+        // the same file would only duplicate lines it already has.
+        if (options.jsonlPath != options.resumeFrom) {
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                if (prefilled[i])
+                    appender->append(points[i], results[i], keys[i]);
+            }
+        }
+    }
+
+    std::mutex io_mutex; // serializes appender + progress counters
+    std::size_t completed = 0;
+    std::size_t failures = 0;
+    bool append_ok = true;
+
     std::atomic<std::size_t> next{0};
     const int max_attempts =
         options.maxAttempts > 0 ? options.maxAttempts : 1;
 
     auto work = [&]() {
         while (true) {
-            const std::size_t i =
+            const std::size_t qi =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= points.size())
+            if (qi >= queue.size())
                 return;
+            const std::size_t i = queue[qi];
 
             std::string last_error;
             std::uint64_t ticks_reached = 0;
@@ -213,6 +336,32 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
                 results[i].failure.ticksReached = ticks_reached;
                 results[i].failure.attempts = max_attempts;
             }
+
+            // Persist + report while the point is fresh: the JSONL
+            // line is flushed before the next point starts, so a
+            // crash from here on loses nothing already completed.
+            std::lock_guard<std::mutex> guard(io_mutex);
+            if (appender && append_ok &&
+                !appender->append(points[i], results[i], keys[i])) {
+                append_ok = false;
+                std::fprintf(stderr,
+                             "warning: campaign JSONL stream '%s' "
+                             "failed; later points will not be "
+                             "persisted\n",
+                             appender->path().c_str());
+            }
+            ++completed;
+            if (results[i].failed)
+                ++failures;
+            if (options.progressHook) {
+                Progress p;
+                p.completed = completed;
+                p.total = queue.size();
+                p.failures = failures;
+                p.resumed = resumed;
+                p.lastLabel = points[i].label;
+                options.progressHook(p);
+            }
         }
     };
 
@@ -223,7 +372,7 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
     // An explicit request (Options::numThreads or NA_CAMPAIGN_THREADS)
     // is honoured as given.
     if (options.numThreads <= 0 &&
-        std::getenv("NA_CAMPAIGN_THREADS") == nullptr) {
+        env::raw("NA_CAMPAIGN_THREADS") == nullptr) {
         int max_lanes = 1;
         for (const CampaignPoint &p : points) {
             if (p.config.lanes > 1 && p.config.laneThreads)
@@ -233,8 +382,8 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
             n_threads = std::max(1, n_threads / max_lanes);
         }
     }
-    if (points.size() < static_cast<std::size_t>(n_threads))
-        n_threads = static_cast<int>(points.size());
+    if (queue.size() < static_cast<std::size_t>(n_threads))
+        n_threads = static_cast<int>(queue.size());
     if (n_threads < 1)
         n_threads = 1;
 
@@ -247,6 +396,13 @@ Campaign::run(std::vector<CampaignPoint> points, const Options &options)
             pool.emplace_back(work);
         for (std::thread &t : pool)
             t.join();
+    }
+
+    // Duplicate points never ran; alias them to the first copy's
+    // result now that the pool has drained.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (alias[i] != no_alias)
+            results[i] = results[alias[i]];
     }
 
     if (options.failFast) {

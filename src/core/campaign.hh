@@ -102,6 +102,22 @@ class ResultSet
 class Campaign
 {
   public:
+    /** Snapshot handed to Options::progressHook after each point. */
+    struct Progress
+    {
+        /** Points finished by this run so far (incl. failures). */
+        std::size_t completed = 0;
+        /** Points this run will execute (after resume-skip, shard
+         *  filtering, and dedupe). */
+        std::size_t total = 0;
+        /** Failed points among `completed`. */
+        std::size_t failures = 0;
+        /** Points prefilled from Options::resumeFrom, not re-run. */
+        std::size_t resumed = 0;
+        /** Label of the point that just finished. */
+        std::string lastLabel;
+    };
+
     struct Options
     {
         /**
@@ -170,6 +186,50 @@ class Campaign
         std::function<void(const CampaignPoint &, std::size_t, int,
                            const std::string &)>
             failureHook;
+
+        /**
+         * Deterministic point partitioning for multi-process sweeps:
+         * this run executes only the points whose submission index i
+         * satisfies i % shardCount == shardIndex. Per-point seeds
+         * still derive from the *global* submission index, so a
+         * sharded sweep merged back together (results_jsonl.hh:
+         * assembleResultSet) is bit-identical to the same sweep run
+         * unsharded. Non-owned slots in the returned ResultSet stay
+         * default-constructed.
+         */
+        int shardIndex = 0;
+        int shardCount = 1;
+
+        /**
+         * Stream every completed point (successes and failures) to
+         * this path as one JSONL record, appended and flushed as the
+         * point finishes — a crashed campaign keeps everything it
+         * completed. Empty disables. Records carry the canonical
+         * point key, so the file doubles as a resume source.
+         */
+        std::string jsonlPath;
+
+        /**
+         * Resume a previous campaign from its JSONL stream: points
+         * whose canonical key has a *successful* record in the file
+         * are prefilled from it and skipped; failed records (and
+         * points with no record) run normally, with exactly the seeds
+         * an un-resumed campaign would use. Prefilled results carry
+         * the schema-serialized fields only (bins stay zeroed, as
+         * after any JSON round trip). When jsonlPath names a
+         * different file, prefilled records are re-emitted there so
+         * the new stream is self-contained; when it names the same
+         * file they are already present and are not duplicated.
+         */
+        std::string resumeFrom;
+
+        /**
+         * Liveness reporting: invoked (serialized, on the finishing
+         * worker thread) after each executed point. Long sweeps
+         * should print something here instead of going silent for
+         * hours.
+         */
+        std::function<void(const Progress &)> progressHook;
     };
 
     /**
@@ -190,8 +250,29 @@ class Campaign
     static std::uint64_t retrySeed(std::uint64_t campaign_seed,
                                    std::size_t index, int attempt);
 
-    /** Resolve an Options::numThreads request to a concrete count. */
+    /**
+     * Resolve an Options::numThreads request to a concrete count.
+     * 0 = auto: NA_CAMPAIGN_THREADS when set (strictly parsed — junk
+     * or a negative count throws instead of silently meaning auto;
+     * an explicit 0 means auto), else the hardware concurrency.
+     */
     static int resolveThreads(int requested);
+
+    /**
+     * Apply Options::derivePointSeeds to @p points exactly as run()
+     * would (a no-op when disabled). Shard workers and merge tools
+     * call this so keys computed out-of-process match the campaign's.
+     */
+    static void applyPointSeeds(std::vector<CampaignPoint> &points,
+                                const Options &options);
+
+    /**
+     * Canonical keys of @p points (seeds must already be applied),
+     * collision-checked through a PointKeyRegistry. Duplicate keys
+     * (identical points) are allowed and returned as-is.
+     */
+    static std::vector<std::uint64_t>
+    pointKeys(const std::vector<CampaignPoint> &points);
 
     /**
      * Run every point and collect results in submission order.

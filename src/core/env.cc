@@ -1,0 +1,55 @@
+#include "src/core/env.hh"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/sim/logging.hh"
+
+namespace na::core::env {
+
+const char *
+raw(const char *name)
+{
+    return std::getenv(name);
+}
+
+std::optional<std::string>
+str(const char *name)
+{
+    if (const char *v = raw(name))
+        return std::string(v);
+    return std::nullopt;
+}
+
+std::optional<long long>
+intValue(const char *name)
+{
+    const char *v = raw(name);
+    if (!v)
+        return std::nullopt;
+    const char *end = v + std::strlen(v);
+    long long out = 0;
+    const auto [ptr, ec] = std::from_chars(v, end, out);
+    if (ec == std::errc::result_out_of_range) {
+        throw std::runtime_error(sim::format(
+            "%s='%s' overflows an integer", name, v));
+    }
+    if (ec != std::errc() || ptr != end) {
+        throw std::runtime_error(sim::format(
+            "%s='%s' is not an integer (digits only, no trailing "
+            "junk)",
+            name, v));
+    }
+    return out;
+}
+
+bool
+flag(const char *name)
+{
+    const char *v = raw(name);
+    return v && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+} // namespace na::core::env

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/core/json.hh"
+#include "src/core/results_record.hh"
 #include "src/prof/bins.hh"
 #include "src/sim/logging.hh"
 
@@ -34,31 +35,10 @@ affinityToken(AffinityMode a)
     }
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += sim::format("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
-}
-
 /**
- * Shortest round-trip representation via std::to_chars. The previous
- * %.17g printf path was both longer and locale-dependent (LC_NUMERIC
- * could emit a comma decimal point, silently corrupting the file).
+ * Shortest round-trip representation via std::to_chars. A printf
+ * "%.17g" would be both longer and locale-dependent (LC_NUMERIC could
+ * emit a comma decimal point, silently corrupting the file).
  */
 std::string
 dbl(double v)
@@ -73,16 +53,14 @@ dbl(double v)
 void
 writeIntervals(std::ostream &os, const prof::IntervalSeries &s)
 {
-    os << "        \"intervals\": {\n";
-    os << "          \"interval_ticks\": " << s.intervalTicks
+    os << "\"intervals\": {\"interval_ticks\": " << s.intervalTicks
        << ", \"num_cpus\": " << s.numCpus << ", \"num_queues\": "
-       << s.numQueues << ",\n";
-    os << "          \"windows\": [";
+       << s.numQueues << ", \"windows\": [";
     for (std::size_t w = 0; w < s.windows.size(); ++w) {
         const prof::IntervalWindow &win = s.windows[w];
-        os << (w ? ",\n" : "\n");
-        os << "            {\"start\": " << win.start << ", \"end\": "
-           << win.end << ", \"rx_frames_per_queue\": [";
+        os << (w ? ", " : "");
+        os << "{\"start\": " << win.start << ", \"end\": " << win.end
+           << ", \"rx_frames_per_queue\": [";
         for (std::size_t q = 0; q < win.rxFramesPerQueue.size(); ++q)
             os << (q ? ", " : "") << win.rxFramesPerQueue[q];
         os << "], \"deltas\": [";
@@ -90,8 +68,7 @@ writeIntervals(std::ostream &os, const prof::IntervalSeries &s)
             os << (i ? ", " : "") << win.binDeltas[i];
         os << "]}";
     }
-    os << "\n          ]\n";
-    os << "        },\n";
+    os << "]}, ";
 }
 
 prof::IntervalSeries
@@ -121,27 +98,26 @@ readIntervals(const Value &iv)
 void
 writeFlows(std::ostream &os, const FlowStats &f)
 {
-    os << "        \"flows\": {\n";
-    os << "          \"started\": " << f.started << ", \"completed\": "
+    os << "\"flows\": {";
+    os << "\"started\": " << f.started << ", \"completed\": "
        << f.completed << ", \"accepted\": " << f.accepted
-       << ", \"retired\": " << f.retired << ",\n";
-    os << "          \"accept_drops_backlog\": " << f.acceptDropsBacklog
+       << ", \"retired\": " << f.retired;
+    os << ", \"accept_drops_backlog\": " << f.acceptDropsBacklog
        << ", \"accept_drops_pool\": " << f.acceptDropsPool
-       << ", \"unmatched_frames\": " << f.unmatchedFrames << ",\n";
-    os << "          \"deferred_arrivals\": " << f.deferredArrivals
+       << ", \"unmatched_frames\": " << f.unmatchedFrames;
+    os << ", \"deferred_arrivals\": " << f.deferredArrivals
        << ", \"flow_migrations\": " << f.flowMigrations
        << ", \"flow_learns\": " << f.flowLearns << ", \"ooo_arrivals\": "
        << f.oooArrivals << ", \"live_connections\": "
-       << f.liveConnections << ",\n";
-    os << "          \"size_buckets\": [";
+       << f.liveConnections;
+    os << ", \"size_buckets\": [";
     for (std::size_t b = 0; b < f.sizeBuckets.size(); ++b) {
         const FlowSizeBucketStat &s = f.sizeBuckets[b];
-        os << (b ? ",\n                           " : "")
-           << "{\"max_bytes\": " << s.maxBytes << ", \"flows\": "
-           << s.flows << ", \"bytes\": " << s.bytes << "}";
+        os << (b ? ", " : "") << "{\"max_bytes\": " << s.maxBytes
+           << ", \"flows\": " << s.flows << ", \"bytes\": " << s.bytes
+           << "}";
     }
-    os << "]\n";
-    os << "        },\n";
+    os << "]}, ";
 }
 
 FlowStats
@@ -198,6 +174,193 @@ parseAffinityToken(const std::string &tok)
 
 } // namespace
 
+namespace detail {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+PointRecordView
+recordView(const CampaignPoint &point, const RunResult &result)
+{
+    const SystemConfig &c = point.config;
+    const bool is_ttcp = c.workloadKind() == workload::Kind::Ttcp;
+    PointRecordView v;
+    v.label = &point.label;
+    v.workload = std::string(workload::kindToken(c.workloadKind()));
+    v.mode = is_ttcp ? modeToken(c.ttcp().mode) : "-";
+    v.msgSize = is_ttcp ? c.ttcp().msgSize : 0;
+    v.affinity = affinityToken(c.affinity);
+    v.connections = c.numConnections;
+    v.cpus = c.platform.numCpus;
+    v.seed = c.platform.seed;
+    v.steering = std::string(net::steeringKindName(c.steering.kind));
+    v.queues = c.steering.numQueues;
+    v.faults = c.faults.enabled() ? c.faults.label() : "off";
+    v.result = &result;
+    return v;
+}
+
+PointRecordView
+recordView(const JsonRunRecord &rec)
+{
+    PointRecordView v;
+    v.label = &rec.label;
+    v.workload = rec.workload;
+    v.mode = rec.workload == "ttcp" ? modeToken(rec.mode) : "-";
+    v.msgSize = rec.msgSize;
+    v.affinity = affinityToken(rec.affinity);
+    v.connections = rec.connections;
+    v.cpus = rec.cpus;
+    v.seed = rec.seed;
+    v.steering = rec.steering;
+    v.queues = rec.queues;
+    v.faults = rec.faults;
+    v.result = &rec.result;
+    return v;
+}
+
+void
+writePointRecord(std::ostream &os, const PointRecordView &v)
+{
+    const RunResult &r = *v.result;
+    os << "\"label\": \"" << jsonEscape(*v.label) << "\", ";
+    os << "\"config\": {\"workload\": \"" << v.workload
+       << "\", \"mode\": \"" << v.mode << "\", \"msg_size\": "
+       << v.msgSize << ", \"affinity\": \"" << v.affinity
+       << "\", \"connections\": " << v.connections << ", \"cpus\": "
+       << v.cpus << ", \"seed\": " << v.seed << ", \"steering\": \""
+       << v.steering << "\", \"queues\": " << v.queues
+       << ", \"faults\": \"" << jsonEscape(v.faults) << "\"}, ";
+    os << "\"result\": {";
+    os << "\"seconds\": " << dbl(r.seconds) << ", ";
+    os << "\"payload_bytes\": " << r.payloadBytes << ", ";
+    os << "\"throughput_mbps\": " << dbl(r.throughputMbps) << ", ";
+    os << "\"cpu_util\": " << dbl(r.cpuUtil) << ", ";
+    os << "\"ghz_per_gbps\": " << dbl(r.ghzPerGbps) << ", ";
+    os << "\"util_per_cpu\": [";
+    for (int c = 0; c < v.cpus; ++c) {
+        os << (c ? ", " : "")
+           << dbl(r.utilPerCpu[static_cast<std::size_t>(c)]);
+    }
+    os << "], ";
+    os << "\"irqs\": " << r.irqs << ", \"ipis\": " << r.ipis
+       << ", \"migrations\": " << r.migrations
+       << ", \"context_switches\": " << r.contextSwitches << ", ";
+    os << "\"tx_drops_ring_full\": " << r.txDropsRingFull
+       << ", \"rx_drops_ring_full\": " << r.rxDropsRingFull << ", ";
+    os << "\"rx_frames_per_queue\": [";
+    for (std::size_t q = 0; q < r.rxFramesPerQueue.size(); ++q)
+        os << (q ? ", " : "") << r.rxFramesPerQueue[q];
+    os << "], ";
+    if (r.failed) {
+        os << "\"failure\": {\"reason\": \""
+           << jsonEscape(r.failure.reason)
+           << "\", \"config_summary\": \""
+           << jsonEscape(r.failure.configSummary)
+           << "\", \"ticks_reached\": " << r.failure.ticksReached
+           << ", \"attempts\": " << r.failure.attempts << "}, ";
+    }
+    if (r.flows.any())
+        writeFlows(os, r.flows);
+    if (!r.intervals.empty())
+        writeIntervals(os, r.intervals);
+    os << "\"event_totals\": {";
+    for (std::size_t e = 0; e < prof::numEvents; ++e) {
+        os << (e ? ", " : "") << '"'
+           << prof::eventName(static_cast<prof::Event>(e)) << "\": "
+           << r.eventTotals[e];
+    }
+    os << "}}";
+}
+
+JsonRunRecord
+parsePointRecord(const Value &pv)
+{
+    JsonRunRecord rec;
+    rec.label = pv.str("label");
+
+    const Value &cfg = pv.field("config");
+    if (cfg.has("workload"))
+        rec.workload = cfg.str("workload");
+    if (rec.workload == "ttcp")
+        rec.mode = parseModeToken(cfg.str("mode"));
+    rec.msgSize = static_cast<std::uint32_t>(cfg.num("msg_size"));
+    rec.affinity = parseAffinityToken(cfg.str("affinity"));
+    rec.connections = static_cast<int>(cfg.num("connections"));
+    rec.cpus = static_cast<int>(cfg.num("cpus"));
+    rec.seed = cfg.u64("seed");
+    rec.steering = cfg.str("steering");
+    rec.queues = static_cast<int>(cfg.num("queues"));
+    if (cfg.has("faults"))
+        rec.faults = cfg.str("faults");
+    rec.result.steeringPolicy = rec.steering;
+
+    const Value &res = pv.field("result");
+    rec.result.seconds = res.num("seconds");
+    rec.result.payloadBytes = res.u64("payload_bytes");
+    rec.result.throughputMbps = res.num("throughput_mbps");
+    rec.result.cpuUtil = res.num("cpu_util");
+    rec.result.ghzPerGbps = res.num("ghz_per_gbps");
+    const Value &util = res.field("util_per_cpu");
+    for (std::size_t c = 0;
+         c < util.items.size() && c < rec.result.utilPerCpu.size();
+         ++c) {
+        rec.result.utilPerCpu[c] = util.items[c].number;
+    }
+    rec.result.irqs = res.u64("irqs");
+    rec.result.ipis = res.u64("ipis");
+    rec.result.migrations = res.u64("migrations");
+    rec.result.contextSwitches = res.u64("context_switches");
+    if (res.has("tx_drops_ring_full"))
+        rec.result.txDropsRingFull = res.u64("tx_drops_ring_full");
+    if (res.has("rx_drops_ring_full"))
+        rec.result.rxDropsRingFull = res.u64("rx_drops_ring_full");
+    const Value &per_queue = res.field("rx_frames_per_queue");
+    for (const Value &qv : per_queue.items)
+        rec.result.rxFramesPerQueue.push_back(qv.asU64());
+    if (res.has("failure")) {
+        const Value &fv = res.field("failure");
+        rec.result.failed = true;
+        rec.result.failure.reason = fv.str("reason");
+        rec.result.failure.configSummary = fv.str("config_summary");
+        rec.result.failure.ticksReached = fv.u64("ticks_reached");
+        rec.result.failure.attempts =
+            static_cast<int>(fv.num("attempts"));
+    }
+    if (res.has("flows"))
+        rec.result.flows = readFlows(res.field("flows"));
+    if (res.has("intervals"))
+        rec.result.intervals = readIntervals(res.field("intervals"));
+    const Value &events = res.field("event_totals");
+    for (std::size_t e = 0; e < prof::numEvents; ++e) {
+        const auto ev = static_cast<prof::Event>(e);
+        auto it = events.fields.find(std::string(prof::eventName(ev)));
+        if (it != events.fields.end())
+            rec.result.eventTotals[e] = it->second.asU64();
+    }
+    return rec;
+}
+
+} // namespace detail
+
 void
 writeResultsJson(std::ostream &os, const ResultSet &results)
 {
@@ -207,70 +370,10 @@ writeResultsJson(std::ostream &os, const ResultSet &results)
     os << "  \"threads\": " << results.threadsUsed << ",\n";
     os << "  \"points\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const CampaignPoint &p = results.point(i);
-        const RunResult &r = results.result(i);
-        const SystemConfig &c = p.config;
-        os << (i ? ",\n" : "\n");
-        os << "    {\n";
-        const bool is_ttcp =
-            c.workloadKind() == workload::Kind::Ttcp;
-        os << "      \"label\": \"" << jsonEscape(p.label) << "\",\n";
-        os << "      \"config\": {\"workload\": \""
-           << workload::kindToken(c.workloadKind()) << "\", \"mode\": \""
-           << (is_ttcp ? modeToken(c.ttcp().mode) : "-")
-           << "\", \"msg_size\": " << (is_ttcp ? c.ttcp().msgSize : 0)
-           << ", \"affinity\": \"" << affinityToken(c.affinity)
-           << "\", \"connections\": " << c.numConnections
-           << ", \"cpus\": " << c.platform.numCpus
-           << ", \"seed\": " << c.platform.seed << ", \"steering\": \""
-           << steeringKindName(c.steering.kind) << "\", \"queues\": "
-           << c.steering.numQueues << ", \"faults\": \""
-           << jsonEscape(c.faults.enabled() ? c.faults.label() : "off")
-           << "\"},\n";
-        os << "      \"result\": {\n";
-        os << "        \"seconds\": " << dbl(r.seconds) << ",\n";
-        os << "        \"payload_bytes\": " << r.payloadBytes << ",\n";
-        os << "        \"throughput_mbps\": " << dbl(r.throughputMbps)
-           << ",\n";
-        os << "        \"cpu_util\": " << dbl(r.cpuUtil) << ",\n";
-        os << "        \"ghz_per_gbps\": " << dbl(r.ghzPerGbps) << ",\n";
-        os << "        \"util_per_cpu\": [";
-        for (int c2 = 0; c2 < c.platform.numCpus; ++c2) {
-            os << (c2 ? ", " : "")
-               << dbl(r.utilPerCpu[static_cast<std::size_t>(c2)]);
-        }
-        os << "],\n";
-        os << "        \"irqs\": " << r.irqs << ", \"ipis\": " << r.ipis
-           << ", \"migrations\": " << r.migrations
-           << ", \"context_switches\": " << r.contextSwitches << ",\n";
-        os << "        \"tx_drops_ring_full\": " << r.txDropsRingFull
-           << ", \"rx_drops_ring_full\": " << r.rxDropsRingFull
-           << ",\n";
-        os << "        \"rx_frames_per_queue\": [";
-        for (std::size_t q = 0; q < r.rxFramesPerQueue.size(); ++q)
-            os << (q ? ", " : "") << r.rxFramesPerQueue[q];
-        os << "],\n";
-        if (r.failed) {
-            os << "        \"failure\": {\"reason\": \""
-               << jsonEscape(r.failure.reason)
-               << "\", \"config_summary\": \""
-               << jsonEscape(r.failure.configSummary)
-               << "\", \"ticks_reached\": " << r.failure.ticksReached
-               << ", \"attempts\": " << r.failure.attempts << "},\n";
-        }
-        if (r.flows.any())
-            writeFlows(os, r.flows);
-        if (!r.intervals.empty())
-            writeIntervals(os, r.intervals);
-        os << "        \"event_totals\": {";
-        for (std::size_t e = 0; e < prof::numEvents; ++e) {
-            os << (e ? ", " : "") << '"'
-               << prof::eventName(static_cast<prof::Event>(e)) << "\": "
-               << r.eventTotals[e];
-        }
-        os << "}\n";
-        os << "      }\n";
-        os << "    }";
+        os << (i ? ",\n    {" : "\n    {");
+        detail::writePointRecord(
+            os, detail::recordView(results.point(i), results.result(i)));
+        os << "}";
     }
     os << "\n  ]\n}\n";
 }
@@ -310,72 +413,8 @@ readResultsJson(std::istream &is)
     if (!points.isArray())
         throw std::runtime_error("results json: 'points' is not a list");
 
-    for (const Value &pv : points.items) {
-        JsonRunRecord rec;
-        rec.label = pv.str("label");
-
-        const Value &cfg = pv.field("config");
-        if (cfg.has("workload"))
-            rec.workload = cfg.str("workload");
-        if (rec.workload == "ttcp")
-            rec.mode = parseModeToken(cfg.str("mode"));
-        rec.msgSize = static_cast<std::uint32_t>(cfg.num("msg_size"));
-        rec.affinity = parseAffinityToken(cfg.str("affinity"));
-        rec.connections = static_cast<int>(cfg.num("connections"));
-        rec.cpus = static_cast<int>(cfg.num("cpus"));
-        rec.seed = cfg.u64("seed");
-        rec.steering = cfg.str("steering");
-        rec.queues = static_cast<int>(cfg.num("queues"));
-        if (cfg.has("faults"))
-            rec.faults = cfg.str("faults");
-        rec.result.steeringPolicy = rec.steering;
-
-        const Value &res = pv.field("result");
-        rec.result.seconds = res.num("seconds");
-        rec.result.payloadBytes = res.u64("payload_bytes");
-        rec.result.throughputMbps = res.num("throughput_mbps");
-        rec.result.cpuUtil = res.num("cpu_util");
-        rec.result.ghzPerGbps = res.num("ghz_per_gbps");
-        const Value &util = res.field("util_per_cpu");
-        for (std::size_t c = 0;
-             c < util.items.size() && c < rec.result.utilPerCpu.size();
-             ++c) {
-            rec.result.utilPerCpu[c] = util.items[c].number;
-        }
-        rec.result.irqs = res.u64("irqs");
-        rec.result.ipis = res.u64("ipis");
-        rec.result.migrations = res.u64("migrations");
-        rec.result.contextSwitches = res.u64("context_switches");
-        if (res.has("tx_drops_ring_full"))
-            rec.result.txDropsRingFull = res.u64("tx_drops_ring_full");
-        if (res.has("rx_drops_ring_full"))
-            rec.result.rxDropsRingFull = res.u64("rx_drops_ring_full");
-        const Value &per_queue = res.field("rx_frames_per_queue");
-        for (const Value &qv : per_queue.items)
-            rec.result.rxFramesPerQueue.push_back(qv.asU64());
-        if (res.has("failure")) {
-            const Value &fv = res.field("failure");
-            rec.result.failed = true;
-            rec.result.failure.reason = fv.str("reason");
-            rec.result.failure.configSummary = fv.str("config_summary");
-            rec.result.failure.ticksReached = fv.u64("ticks_reached");
-            rec.result.failure.attempts =
-                static_cast<int>(fv.num("attempts"));
-        }
-        if (res.has("flows"))
-            rec.result.flows = readFlows(res.field("flows"));
-        if (res.has("intervals"))
-            rec.result.intervals = readIntervals(res.field("intervals"));
-        const Value &events = res.field("event_totals");
-        for (std::size_t e = 0; e < prof::numEvents; ++e) {
-            const auto ev = static_cast<prof::Event>(e);
-            auto it =
-                events.fields.find(std::string(prof::eventName(ev)));
-            if (it != events.fields.end())
-                rec.result.eventTotals[e] = it->second.asU64();
-        }
-        campaign.points.push_back(std::move(rec));
-    }
+    for (const Value &pv : points.items)
+        campaign.points.push_back(detail::parsePointRecord(pv));
     return campaign;
 }
 

@@ -87,7 +87,15 @@
 
 namespace na::core {
 
-/** Serialize a completed campaign to the schema above. */
+/** Current results schema version (monolithic and JSONL records). */
+constexpr int resultsSchemaVersion = 5;
+
+/**
+ * Serialize a completed campaign to the schema above. Each point is
+ * emitted as one compact line inside the pretty-printed top level —
+ * the identical record text a results JSONL stream carries
+ * (results_jsonl.hh), so the two formats convert losslessly.
+ */
 void writeResultsJson(std::ostream &os, const ResultSet &results);
 
 /** writeResultsJson() to @p path. @return false on I/O failure. */

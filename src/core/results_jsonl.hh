@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Streaming campaign results: one self-contained JSON record per line.
+ *
+ * The monolithic results document (results_json.hh) is written once,
+ * at the end, by whoever holds the whole ResultSet — a crashed
+ * overnight sweep loses everything and nothing is inspectable until
+ * the last point finishes. The JSONL stream is the production-scale
+ * alternative:
+ *
+ *   {"schema": 5, "point_key": "<16 hex>", "label": "...",
+ *    "config": {...}, "result": {...}}\n
+ *
+ * per completed point, appended and flushed as each point finishes.
+ * The config/result blocks are byte-for-byte the v2-v5 record the
+ * monolithic document carries, so the schema version ladder is shared
+ * (the "schema" token per line) and conversion in either direction is
+ * lossless. The point_key is the canonical config hash
+ * (point_key.hh): resume matches records to points by key, shard
+ * merges reassemble a ResultSet by key, and a key of all zeros means
+ * "unknown" (records converted from a monolithic document).
+ *
+ * Crash safety: an interrupted writer leaves at most one partial
+ * final line. The reader tolerates exactly that — an unterminated,
+ * unparseable tail is dropped (and flagged) instead of failing the
+ * whole file; a malformed *interior* line is still a hard error. The
+ * appender repairs such a tail (truncates it) before appending, so a
+ * resumed shard keeps a well-formed stream.
+ */
+
+#ifndef NETAFFINITY_CORE_RESULTS_JSONL_HH
+#define NETAFFINITY_CORE_RESULTS_JSONL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/campaign.hh"
+#include "src/core/results_json.hh"
+
+namespace na::core {
+
+/** One parsed JSONL line. */
+struct JsonlRecord
+{
+    /** Canonical point key (0 = unknown/converted). */
+    std::uint64_t key = 0;
+    /** Per-line schema token (2-5). */
+    int schemaVersion = 0;
+    /** The label/config/result payload, as the monolithic reader
+     *  would have produced it. */
+    JsonRunRecord rec;
+};
+
+/** A parsed JSONL stream. */
+struct JsonlFile
+{
+    /** Records in file order (duplicates by key preserved). */
+    std::vector<JsonlRecord> records;
+    /** True when an unterminated partial final line was dropped. */
+    bool truncatedTail = false;
+
+    /**
+     * @return record index of the *last* occurrence of every nonzero
+     *         key — resume semantics: a re-run point's newer record
+     *         supersedes its older one.
+     */
+    std::unordered_map<std::uint64_t, std::size_t> latestByKey() const;
+};
+
+/** Serialize one record (with trailing newline) to @p os. */
+void writeJsonlRecord(std::ostream &os, const CampaignPoint &point,
+                      const RunResult &result, std::uint64_t key);
+
+/**
+ * Parse a JSONL stream. Unterminated unparseable tail -> dropped and
+ * flagged; any other malformed line, bad point key, or unsupported
+ * per-line schema token -> std::runtime_error naming the line.
+ */
+JsonlFile readResultsJsonl(std::istream &is);
+
+/** readResultsJsonl() on @p path. @throws when the file cannot be
+ *  opened (a typo'd --resume path must not look like an empty
+ *  campaign). */
+JsonlFile readResultsJsonlFile(const std::string &path);
+
+/**
+ * Crash-safe line appender. Opening repairs a partial final line left
+ * by a crashed writer (truncates it), then appends; every append
+ * flushes, so a later crash again loses at most the in-flight line.
+ */
+class JsonlAppender
+{
+  public:
+    explicit JsonlAppender(const std::string &path);
+
+    bool ok() const { return static_cast<bool>(out); }
+    const std::string &path() const { return filePath; }
+
+    /** @return false on I/O failure (stream is left failed). */
+    bool append(const CampaignPoint &point, const RunResult &result,
+                std::uint64_t key);
+
+  private:
+    std::string filePath;
+    std::ofstream out;
+};
+
+/**
+ * Merge per-shard streams: within a file the latest record per key
+ * wins (resume re-runs append); across files a shared key is a
+ * partitioning bug and throws.
+ * @return surviving records, shard-major, in file order. Zero-key
+ *         records are passed through unmerged.
+ */
+std::vector<JsonlRecord>
+mergeShardFiles(const std::vector<JsonlFile> &shards);
+
+/**
+ * Rebuild a submission-ordered ResultSet from streamed records: the
+ * inverse of a sharded campaign. Applies the options' seed derivation
+ * to @p points, computes their keys, and fills every slot from the
+ * last record carrying that key.
+ *
+ * @throws std::runtime_error listing the labels of any points with no
+ *         record (an incomplete merge must not silently produce
+ *         zeroed rows).
+ */
+ResultSet assembleResultSet(std::vector<CampaignPoint> points,
+                            const Campaign::Options &options,
+                            const std::vector<JsonlRecord> &records,
+                            int threads_used);
+
+/**
+ * Converter: write records as a monolithic v5 document that
+ * readResultsJson() (and every pre-JSONL consumer) accepts.
+ */
+void writeMonolithicFromRecords(std::ostream &os,
+                                std::uint64_t campaign_seed,
+                                int threads,
+                                const std::vector<JsonlRecord> &records);
+
+/**
+ * Converter: explode a parsed monolithic document into JSONL records.
+ * Keys are 0 (the document does not store them); rekey by matching
+ * labels against a rebuilt point list if resume-compatibility is
+ * needed.
+ */
+std::vector<JsonlRecord>
+recordsFromMonolithic(const JsonCampaign &campaign);
+
+} // namespace na::core
+
+#endif // NETAFFINITY_CORE_RESULTS_JSONL_HH
