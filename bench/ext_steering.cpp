@@ -171,7 +171,7 @@ flowDirectorTable(const core::ResultSet &results,
 {
     std::printf("\n[5] Flow Director table bookkeeping\n\n");
     analysis::TableWriter t({"point", "matches", "misses", "learns",
-                             "migrations"});
+                             "learn drops", "migrations"});
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (results.point(i).config.steering.kind !=
             net::SteeringKind::FlowDirector) {
@@ -182,13 +182,15 @@ flowDirectorTable(const core::ResultSet &results,
                   analysis::TableWriter::integer(s.flowMatches),
                   analysis::TableWriter::integer(s.flowMisses),
                   analysis::TableWriter::integer(s.flowLearns),
+                  analysis::TableWriter::integer(s.flowLearnDrops),
                   analysis::TableWriter::integer(s.flowMigrations)});
     }
     t.print(std::cout);
     std::printf("Expected: a handful of learns (one per flow), a short "
                 "miss window before the first transmit, then steady "
-                "matches; migrations stay near zero because ttcp "
-                "senders settle onto stable CPUs.\n");
+                "matches; learn drops stay zero (the table is far "
+                "larger than the flow count) and migrations stay near "
+                "zero because ttcp senders settle onto stable CPUs.\n");
 }
 
 } // namespace

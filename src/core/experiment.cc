@@ -135,8 +135,28 @@ Experiment::extract(System &system, double seconds,
         const net::SteeringStats ss = system.steering().stats();
         f.flowMigrations = ss.flowMigrations;
         f.flowLearns = ss.flowLearns;
+        f.flowLearnDrops = ss.flowLearnDrops;
         f.oooArrivals = u64(system.socketPool().oooArrivals);
         f.liveConnections = drv.connectionTable().size();
+
+        // End-to-end reordering costs: SUT-side signals from the
+        // child-socket slab, sender-side recovery costs from the
+        // client boxes, and the migration driver's hop count.
+        ReorderStats &ro = r.reorder;
+        const net::SocketPool &sp = system.socketPool();
+        ro.oooArrivals = u64(sp.oooArrivals);
+        ro.oooWindows = u64(sp.oooWindows);
+        ro.oooWindowTicks = u64(sp.oooWindowTicks);
+        for (std::size_t b = 0; b < ro.oooDepthHist.size(); ++b)
+            ro.oooDepthHist[b] =
+                static_cast<std::uint64_t>(sp.oooDepth[b]);
+        for (int i = 0; i < system.numConnections(); ++i) {
+            const net::FlowClientPeer &fp = system.flowPeer(i);
+            ro.dupAckBursts += u64(fp.dupAckBursts);
+            ro.retransmits += u64(fp.retransmits);
+            ro.spuriousRetransmits += u64(fp.spuriousRetransmits);
+        }
+        ro.senderHops = system.senderHopCount();
     }
 
     r.steeringPolicy = std::string(system.steering().name());

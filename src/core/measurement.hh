@@ -75,6 +75,7 @@ struct FlowStats
     std::uint64_t deferredArrivals = 0;   ///< held by concurrency cap
     std::uint64_t flowMigrations = 0; ///< FD re-steers (reordering risk)
     std::uint64_t flowLearns = 0;     ///< FD exact-match inserts
+    std::uint64_t flowLearnDrops = 0; ///< FD learns refused: table full
     std::uint64_t oooArrivals = 0; ///< out-of-order segs at SUT children
     std::uint64_t liveConnections = 0; ///< conn-table entries at the end
     /** Completion log by log2 flow size (non-empty buckets only). */
@@ -84,6 +85,37 @@ struct FlowStats
     any() const
     {
         return started || accepted || completed || unmatchedFrames;
+    }
+};
+
+/**
+ * End-to-end reordering costs over the measurement window — the
+ * schema-v6 "reorder" result block. Only the mix workload populates
+ * it (ttcp runs and reorder-free mix runs leave any() == false and
+ * never emit the block). SUT-side counters are harvested from child
+ * sockets at recycle; sender-side counters from the client boxes at
+ * flow completion; senderHops from the migration driver.
+ */
+struct ReorderStats
+{
+    std::uint64_t oooArrivals = 0; ///< OOO data arrivals at SUT children
+    std::uint64_t oooWindows = 0;  ///< completed reordering windows
+    std::uint64_t oooWindowTicks = 0; ///< total ticks inside them
+    /** log2 histogram of ooo-queue depth at each OOO arrival:
+     *  1, 2-3, 4-7, ..., 128+. */
+    std::array<std::uint64_t, 8> oooDepthHist{};
+    std::uint64_t dupAckBursts = 0; ///< dup-ACK runs seen by senders
+    std::uint64_t retransmits = 0;  ///< client-sender retransmissions
+    /** Thereof proven unnecessary by the Eifel timestamp check. */
+    std::uint64_t spuriousRetransmits = 0;
+    /** Per-task CPU re-pins applied by the migration driver. */
+    std::uint64_t senderHops = 0;
+
+    bool
+    any() const
+    {
+        return oooArrivals || oooWindows || dupAckBursts ||
+               retransmits || spuriousRetransmits || senderHops;
     }
 };
 
@@ -127,6 +159,9 @@ struct RunResult
 
     /** Mix-workload counters (zero / empty for ttcp runs). */
     FlowStats flows;
+
+    /** End-to-end reordering costs (zero for ttcp / in-order runs). */
+    ReorderStats reorder;
 
     /**
      * Per-window counter deltas over the measurement window; empty

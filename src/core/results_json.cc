@@ -107,9 +107,10 @@ writeFlows(std::ostream &os, const FlowStats &f)
        << ", \"unmatched_frames\": " << f.unmatchedFrames;
     os << ", \"deferred_arrivals\": " << f.deferredArrivals
        << ", \"flow_migrations\": " << f.flowMigrations
-       << ", \"flow_learns\": " << f.flowLearns << ", \"ooo_arrivals\": "
-       << f.oooArrivals << ", \"live_connections\": "
-       << f.liveConnections;
+       << ", \"flow_learns\": " << f.flowLearns
+       << ", \"flow_learn_drops\": " << f.flowLearnDrops
+       << ", \"ooo_arrivals\": " << f.oooArrivals
+       << ", \"live_connections\": " << f.liveConnections;
     os << ", \"size_buckets\": [";
     for (std::size_t b = 0; b < f.sizeBuckets.size(); ++b) {
         const FlowSizeBucketStat &s = f.sizeBuckets[b];
@@ -134,6 +135,8 @@ readFlows(const Value &fv)
     f.deferredArrivals = fv.u64("deferred_arrivals");
     f.flowMigrations = fv.u64("flow_migrations");
     f.flowLearns = fv.u64("flow_learns");
+    if (fv.has("flow_learn_drops")) // v6+
+        f.flowLearnDrops = fv.u64("flow_learn_drops");
     f.oooArrivals = fv.u64("ooo_arrivals");
     f.liveConnections = fv.u64("live_connections");
     const Value &buckets = fv.field("size_buckets");
@@ -148,6 +151,45 @@ readFlows(const Value &fv)
         f.sizeBuckets.push_back(s);
     }
     return f;
+}
+
+void
+writeReorder(std::ostream &os, const ReorderStats &ro)
+{
+    os << "\"reorder\": {";
+    os << "\"ooo_arrivals\": " << ro.oooArrivals
+       << ", \"ooo_windows\": " << ro.oooWindows
+       << ", \"ooo_window_ticks\": " << ro.oooWindowTicks;
+    os << ", \"ooo_depth_hist\": [";
+    for (std::size_t b = 0; b < ro.oooDepthHist.size(); ++b)
+        os << (b ? ", " : "") << ro.oooDepthHist[b];
+    os << "]";
+    os << ", \"dup_ack_bursts\": " << ro.dupAckBursts
+       << ", \"retransmits\": " << ro.retransmits
+       << ", \"spurious_retransmits\": " << ro.spuriousRetransmits
+       << ", \"sender_hops\": " << ro.senderHops;
+    os << "}, ";
+}
+
+ReorderStats
+readReorder(const Value &rv)
+{
+    ReorderStats ro;
+    ro.oooArrivals = rv.u64("ooo_arrivals");
+    ro.oooWindows = rv.u64("ooo_windows");
+    ro.oooWindowTicks = rv.u64("ooo_window_ticks");
+    const Value &hist = rv.field("ooo_depth_hist");
+    if (!hist.isArray())
+        throw std::runtime_error(
+            "results json: reorder 'ooo_depth_hist' is not a list");
+    for (std::size_t b = 0;
+         b < hist.items.size() && b < ro.oooDepthHist.size(); ++b)
+        ro.oooDepthHist[b] = hist.items[b].asU64();
+    ro.dupAckBursts = rv.u64("dup_ack_bursts");
+    ro.retransmits = rv.u64("retransmits");
+    ro.spuriousRetransmits = rv.u64("spurious_retransmits");
+    ro.senderHops = rv.u64("sender_hops");
+    return ro;
 }
 
 workload::TtcpMode
@@ -280,6 +322,8 @@ writePointRecord(std::ostream &os, const PointRecordView &v)
     }
     if (r.flows.any())
         writeFlows(os, r.flows);
+    if (r.reorder.any())
+        writeReorder(os, r.reorder);
     if (!r.intervals.empty())
         writeIntervals(os, r.intervals);
     os << "\"event_totals\": {";
@@ -347,6 +391,8 @@ parsePointRecord(const Value &pv)
     }
     if (res.has("flows"))
         rec.result.flows = readFlows(res.field("flows"));
+    if (res.has("reorder")) // v6+
+        rec.result.reorder = readReorder(res.field("reorder"));
     if (res.has("intervals"))
         rec.result.intervals = readIntervals(res.field("intervals"));
     const Value &events = res.field("event_totals");
@@ -365,7 +411,7 @@ void
 writeResultsJson(std::ostream &os, const ResultSet &results)
 {
     os << "{\n";
-    os << "  \"schema_version\": 5,\n";
+    os << "  \"schema_version\": " << resultsSchemaVersion << ",\n";
     os << "  \"campaign_seed\": " << results.campaignSeed << ",\n";
     os << "  \"threads\": " << results.threadsUsed << ",\n";
     os << "  \"points\": [";
@@ -399,9 +445,10 @@ readResultsJson(std::istream &is)
     const int version = static_cast<int>(root.num("schema_version"));
     // Each version is the previous plus optional/additive fields
     // (v3: intervals; v4: faults token, ring-full drops, failure
-    // block; v5: workload token and the optional "flows" block), so
+    // block; v5: workload token and the optional "flows" block;
+    // v6: the optional "reorder" block and flow_learn_drops), so
     // one reader with has() guards serves all of them.
-    if (version < 2 || version > 5)
+    if (version < 2 || version > resultsSchemaVersion)
         throw std::runtime_error(
             "results json: unsupported schema_version");
 

@@ -2,15 +2,16 @@
  * @file
  * Campaign result export/import as JSON (campaign_results.json).
  *
- * Schema (version 5; v1 lacked the steering fields and
+ * Schema (version 6; v1 lacked the steering fields and
  * rx_frames_per_queue, v2 lacked the optional per-point "intervals"
  * block, v3 lacked the faults token, the ring-full drop counters, and
  * the optional per-point "failure" block, v4 lacked the workload
- * token and the optional "flows" block — the reader accepts 2
- * through 5):
+ * token and the optional "flows" block, v5 lacked the optional
+ * "reorder" block and flows.flow_learn_drops — the reader accepts 2
+ * through 6):
  *
  *   {
- *     "schema_version": 5,
+ *     "schema_version": 6,
  *     "campaign_seed": 42,
  *     "threads": 4,
  *     "points": [
@@ -50,10 +51,18 @@
  *             "accept_drops_backlog": 0, "accept_drops_pool": 0,
  *             "unmatched_frames": 0, "deferred_arrivals": 120,
  *             "flow_migrations": 5, "flow_learns": 9000,
+ *             "flow_learn_drops": 0,
  *             "ooo_arrivals": 3, "live_connections": 0,
  *             "size_buckets": [
  *               {"max_bytes": 4095, "flows": 12, "bytes": 40000}, ...
  *             ]
+ *           },
+ *           "reorder": {              // only when reordering occurred
+ *             "ooo_arrivals": 3, "ooo_windows": 2,
+ *             "ooo_window_ticks": 81000,
+ *             "ooo_depth_hist": [3, 0, 0, 0, 0, 0, 0, 0],
+ *             "dup_ack_bursts": 2, "retransmits": 1,
+ *             "spurious_retransmits": 1, "sender_hops": 40
  *           },
  *           "intervals": {            // only when interval stats ran
  *             "interval_ticks": 200000,
@@ -88,7 +97,7 @@
 namespace na::core {
 
 /** Current results schema version (monolithic and JSONL records). */
-constexpr int resultsSchemaVersion = 5;
+constexpr int resultsSchemaVersion = 6;
 
 /**
  * Serialize a completed campaign to the schema above. Each point is
@@ -134,7 +143,7 @@ struct JsonCampaign
 };
 
 /**
- * Parse a schema-version-2 through -5 results stream.
+ * Parse a schema-version-2 through -6 results stream.
  * @throws std::runtime_error on malformed input.
  */
 JsonCampaign readResultsJson(std::istream &is);

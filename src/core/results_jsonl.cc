@@ -31,11 +31,12 @@ parseLine(const std::string &line, std::size_t line_no)
     }
     JsonlRecord rec;
     rec.schemaVersion = static_cast<int>(v.num("schema"));
-    if (rec.schemaVersion < 2 || rec.schemaVersion > 5) {
+    if (rec.schemaVersion < 2 ||
+        rec.schemaVersion > resultsSchemaVersion) {
         throw std::runtime_error(sim::format(
             "results jsonl line %zu: unsupported schema token %d "
-            "(this reader understands 2 through 5)",
-            line_no, rec.schemaVersion));
+            "(this reader understands 2 through %d)",
+            line_no, rec.schemaVersion, resultsSchemaVersion));
     }
     try {
         rec.key = parsePointKey(v.str("point_key"));

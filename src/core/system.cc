@@ -361,6 +361,12 @@ System::System(const SystemConfig &config)
         }
     }
 
+    if (is_mix && cfg.mix().senderHopTicks > 0) {
+        hopEvent = std::make_unique<sim::LambdaEvent>(
+            "sender_hop", [this] { hopSenderTasks(); });
+        eq.schedule(hopEvent.get(), cfg.mix().senderHopTicks);
+    }
+
     if (cfg.statsIntervalUs > 0.0) {
         const sim::Tick interval = sim::secondsToTicks(
             cfg.statsIntervalUs * 1.0e-6, cfg.platform.freqHz);
@@ -377,6 +383,32 @@ System::System(const SystemConfig &config)
     }
 
     kern->start();
+}
+
+System::~System()
+{
+    if (hopEvent)
+        eq.deschedule(hopEvent.get());
+}
+
+void
+System::hopSenderTasks()
+{
+    // Scheduler-induced migration: rotate every server task to the
+    // next CPU. The task's next transmissions (window updates, RPC
+    // responses) leave from the new core; under Flow Director that
+    // re-learns its live flows onto the new core's RX queue while
+    // packets already behind the old queue's vector are still in
+    // flight — the reordering window bench/ext_reorder measures.
+    ++hopRound;
+    const int ncpu = cfg.platform.numCpus;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const int cpu =
+            (static_cast<int>(i) + hopRound) % ncpu;
+        kern->schedSetaffinity(tasks[i], 1u << cpu);
+        ++senderHops;
+    }
+    eq.schedule(hopEvent.get(), eq.now() + cfg.mix().senderHopTicks);
 }
 
 void

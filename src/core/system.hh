@@ -154,6 +154,7 @@ class System : public stats::Group
 {
   public:
     explicit System(const SystemConfig &config);
+    ~System();
 
     const SystemConfig &config() const { return cfg; }
     sim::EventQueue &eventQueue() { return eq; }
@@ -207,6 +208,9 @@ class System : public stats::Group
     net::FlowClientPeer &flowPeer(int i) { return *flowPeers[i]; }
     workload::FlowMixApp &mixApp(int i) { return *mixApps[i]; }
     net::SocketPool &socketPool() { return *sockPool; }
+    /** @return per-task CPU re-pins the migration driver applied
+     *          (mix.senderHopTicks > 0 only; see FlowMixConfig). */
+    std::uint64_t senderHopCount() const { return senderHops; }
     /** @} */
 
     /** The CPU connection @p i is affined to (under Irq/Proc/Full). */
@@ -278,6 +282,13 @@ class System : public stats::Group
     std::vector<std::unique_ptr<workload::TtcpApp>> apps;
     std::vector<std::unique_ptr<workload::FlowMixApp>> mixApps;
     std::vector<os::Task *> tasks;
+    /** Migration driver (armed when mix.senderHopTicks > 0): rotates
+     *  every server task to the next CPU each period, forcing Flow
+     *  Director to re-steer live flows mid-stream. */
+    std::unique_ptr<sim::LambdaEvent> hopEvent;
+    std::uint64_t senderHops = 0;
+    int hopRound = 0;
+    void hopSenderTasks();
     /** RX frames per interval window, all queues — the interval
      *  recorder's headline series surfaced through the stats tree
      *  (sysdump shows it). Populated at endMeasurement. */

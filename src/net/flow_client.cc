@@ -85,6 +85,12 @@ FlowClientPeer::FlowClientPeer(stats::Group *parent,
                   "segments arriving for already-reaped flows"),
       deferredArrivals(this, "deferred_arrivals",
                        "arrivals held back by the concurrency cap"),
+      retransmits(this, "retransmits",
+                  "retransmissions over completed flows"),
+      spuriousRetransmits(this, "spurious_retransmits",
+                          "Eifel-classified spurious retransmissions"),
+      dupAckBursts(this, "dup_ack_bursts",
+                   "duplicate-ACK bursts received over completed flows"),
       eq(eq_ref), wire(wire_ref), cfg(config), rng(seed),
       buckets(sizeBucketCount),
       arrivalEvent(name + ".arrival", [this] { onArrival(); }),
@@ -418,6 +424,10 @@ FlowClientPeer::recordCompletion(const CFlow &f)
 {
     ++flowsCompleted;
     doneBytesSent += f.sent;
+    retransmits += static_cast<double>(f.conn.retransmitCount());
+    spuriousRetransmits +=
+        static_cast<double>(f.conn.spuriousRetransmitCount());
+    dupAckBursts += static_cast<double>(f.conn.dupAckBurstCount());
     FlowSizeBucket &b = buckets[bucketIndex(f.sent)];
     ++b.flows;
     b.bytes += f.sent;

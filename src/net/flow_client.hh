@@ -115,6 +115,15 @@ class FlowClientPeer : public stats::Group
     stats::Scalar csumDrops;
     stats::Scalar latePackets; ///< packets for already-reaped flows
     stats::Scalar deferredArrivals; ///< arrivals held by the cap
+    /** @name Sender-side recovery costs, harvested per completed flow.
+     *  The client is the bulk data sender, so SUT-side reordering
+     *  (migration-induced OOO arrival) surfaces here as dup-ACK bursts
+     *  answered with retransmissions — spurious ones, when the Eifel
+     *  classifier proves the original arrived after all. @{ */
+    stats::Scalar retransmits;
+    stats::Scalar spuriousRetransmits;
+    stats::Scalar dupAckBursts;
+    /** @} */
 
   private:
     /**

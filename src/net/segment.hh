@@ -35,6 +35,16 @@ struct Segment
     std::uint32_t len = 0;  ///< payload bytes
     std::uint32_t wnd = 0;  ///< advertised receive window (bytes)
     std::uint8_t flags = 0;
+    /**
+     * RFC 7323 timestamp option (0 = absent). TSval carries the
+     * sender's tick clock; TSecr echoes the peer's last in-order
+     * TSval. Purely observational in this model — used by the Eifel
+     * spurious-retransmit classifier, never by protocol decisions —
+     * and already charged on the wire (wireBytes' 32-byte TCP header
+     * includes the timestamp option).
+     */
+    std::uint64_t tsVal = 0;
+    std::uint64_t tsEcho = 0;
 
     bool syn() const { return flags & flagSyn; }
     bool hasAck() const { return flags & flagAck; }

@@ -180,6 +180,7 @@ Socket::reset(os::ExecContext &ctx, const FlowKey &new_key)
         pool.free(ctx, c.skb);
     oooStash.clear();
     promotedEnd = 0;
+    promotedValid = false;
     parent = nullptr;
     conn = TcpConnection(conn.config());
     key = new_key;
@@ -434,12 +435,13 @@ Socket::promoteInOrder(os::ExecContext &ctx)
     while (!oooStash.empty()) {
         auto it = oooStash.begin();
         const std::uint64_t seq = it->first;
-        if (promotedEnd == 0) {
+        if (!promotedValid) {
             // The floor is the peer's first payload sequence number;
             // unknown until the handshake finishes.
-            if (conn.firstDataSeq() == 0)
+            if (!conn.firstDataSeqKnown())
                 break;
             promotedEnd = conn.firstDataSeq();
+            promotedValid = true;
         }
         if (seq > promotedEnd)
             break; // gap: wait for the retransmission
@@ -507,7 +509,7 @@ Socket::onSegmentSoftirq(os::ExecContext &ctx, const Packet &pkt,
 
         // Trim the prefix already promoted to the receive queue
         // (retransmissions that partially overlap delivered data).
-        if (promotedEnd != 0 && seq < promotedEnd) {
+        if (promotedValid && seq < promotedEnd) {
             const std::uint64_t dup = promotedEnd - seq;
             if (dup >= chunk.len) {
                 pool.free(ctx, skb); // entirely duplicate
@@ -522,14 +524,31 @@ Socket::onSegmentSoftirq(os::ExecContext &ctx, const Packet &pkt,
         }
 
         if (chunk.len > 0) {
-            auto [it, inserted] = oooStash.emplace(seq, chunk);
-            if (!inserted) {
-                // Same start: keep whichever covers more.
-                if (chunk.len > it->second.len) {
+            const std::uint64_t end = seq + chunk.len;
+            // A stashed chunk that already covers this range makes
+            // the arrival redundant; stashing it anyway would hold
+            // two skbs for the same bytes until promotion.
+            auto after = oooStash.upper_bound(seq);
+            bool covered = false;
+            if (after != oooStash.begin()) {
+                const auto prev = std::prev(after);
+                covered = prev->first + prev->second.len >= end;
+            }
+            if (covered) {
+                pool.free(ctx, skb);
+            } else {
+                // Conversely, drop stashed chunks this one covers.
+                while (after != oooStash.end() &&
+                       after->first + after->second.len <= end) {
+                    pool.free(ctx, after->second.skb);
+                    after = oooStash.erase(after);
+                }
+                auto [it, inserted] = oooStash.emplace(seq, chunk);
+                if (!inserted) {
+                    // Same start, and the new chunk reaches further
+                    // (the covered check above caught the rest).
                     pool.free(ctx, it->second.skb);
                     it->second = chunk;
-                } else {
-                    pool.free(ctx, skb);
                 }
             }
             keep_skb = true;

@@ -206,8 +206,12 @@ class Socket : public stats::Group
     std::deque<RxChunk> rxQueue;
     /** Out-of-order skbs stashed until the gap fills: seq -> entry. */
     std::map<std::uint64_t, RxChunk> oooStash;
-    /** Sequence number one past the last byte promoted to rxQueue. */
+    /** Sequence number one past the last byte promoted to rxQueue.
+     *  Only meaningful once promotedValid is set — an explicit flag,
+     *  not a 0 sentinel, because a peer ISN wrapping the 64-bit space
+     *  makes the legitimate first payload sequence number exactly 0. */
     std::uint64_t promotedEnd = 0;
+    bool promotedValid = false;
 
     os::TimerId rtxTimer = os::invalidTimer;
     os::TimerId delackTimer = os::invalidTimer;

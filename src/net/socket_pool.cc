@@ -15,6 +15,20 @@ SocketPool::SocketPool(stats::Group *parent, os::Kernel &kernel_ref,
       exhausted(this, "exhausted", "acquires refused (pool empty)"),
       oooArrivals(this, "ooo_arrivals",
                   "out-of-order segment arrivals over recycled flows"),
+      oooWindows(this, "ooo_windows",
+                 "completed reordering windows over recycled flows"),
+      oooWindowTicks(this, "ooo_window_ticks",
+                     "total ticks spent inside reordering windows"),
+      dupAckBursts(this, "dup_ack_bursts",
+                   "duplicate-ACK bursts received by recycled flows"),
+      retransmits(this, "retransmits",
+                  "retransmissions by recycled server engines"),
+      spuriousRetransmits(this, "spurious_retransmits",
+                          "Eifel-classified spurious retransmissions"),
+      oooDepth(this, "ooo_depth",
+               "ooo-queue depth at each out-of-order arrival (log2)",
+               {"1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127",
+                "128+"}),
       kernel(kernel_ref), driver(driver_ref), skbPool(skb_pool),
       cap(capacity), tcp(tcp_config)
 {
@@ -46,7 +60,18 @@ SocketPool::acquire(os::ExecContext &ctx, const FlowKey &key)
 void
 SocketPool::release(os::ExecContext &ctx, Socket &socket)
 {
-    oooArrivals += static_cast<double>(socket.tcp().oooArrivalCount());
+    const TcpConnection &tcp_conn = socket.tcp();
+    oooArrivals += static_cast<double>(tcp_conn.oooArrivalCount());
+    oooWindows += static_cast<double>(tcp_conn.oooWindowCount());
+    oooWindowTicks +=
+        static_cast<double>(tcp_conn.oooWindowTickTotal());
+    dupAckBursts += static_cast<double>(tcp_conn.dupAckBurstCount());
+    retransmits += static_cast<double>(tcp_conn.retransmitCount());
+    spuriousRetransmits +=
+        static_cast<double>(tcp_conn.spuriousRetransmitCount());
+    const auto &hist = tcp_conn.oooDepthHistogram();
+    for (std::size_t b = 0; b < hist.size(); ++b)
+        oooDepth[b] += static_cast<double>(hist[b]);
     // Scrub now so parked sockets hold no skb-pool slots.
     socket.reset(ctx, FlowKey{});
     freeStack.push_back(&socket);

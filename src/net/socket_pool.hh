@@ -61,6 +61,18 @@ class SocketPool : public stats::Group
      *  release, before reset() wipes the protocol engine — the SUT-side
      *  reordering signal Flow Director migrations produce. */
     stats::Scalar oooArrivals;
+    /** Completed reordering windows (ooo queue non-empty spans). */
+    stats::Scalar oooWindows;
+    /** Total ticks the released flows spent reordering. */
+    stats::Scalar oooWindowTicks;
+    /** Duplicate-ACK bursts the released engines received. */
+    stats::Scalar dupAckBursts;
+    /** Retransmissions by the released (server-side) engines. */
+    stats::Scalar retransmits;
+    /** Eifel-classified spurious retransmissions thereof. */
+    stats::Scalar spuriousRetransmits;
+    /** log2 histogram of ooo-queue depth at each OOO arrival. */
+    stats::Vector oooDepth;
 
   private:
     os::Kernel &kernel;

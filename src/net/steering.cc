@@ -169,8 +169,13 @@ class FlowDirectorPolicy final : public RssPolicy
         const FdKey key{nic, pkt.flow};
         auto it = flows.find(key);
         if (it == flows.end()) {
-            if (static_cast<int>(flows.size()) >= cfg.flowTableSize)
-                return; // table full: flow stays on the hash path
+            if (static_cast<int>(flows.size()) >= cfg.flowTableSize) {
+                // Table full: the flow stays on the hash path. Count
+                // it — a silent drop biases the learn/migration stats
+                // exactly when the table is stressed.
+                ++counters.flowLearnDrops;
+                return;
+            }
             flows.emplace(key, q);
             ++counters.flowLearns;
         } else if (it->second != q) {

@@ -107,6 +107,10 @@ struct SteeringStats
     std::uint64_t flowMisses = 0;    ///< RX fell back to the RSS hash
     std::uint64_t flowLearns = 0;    ///< new flow entries installed
     std::uint64_t flowMigrations = 0;///< re-learned onto another queue
+    /** Learn attempts rejected because the flow table was full —
+     *  silent before; exactly the condition under which the other
+     *  counters would otherwise be biased. */
+    std::uint64_t flowLearnDrops = 0;
 };
 
 /**

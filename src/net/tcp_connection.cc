@@ -126,7 +126,10 @@ TcpConnection::abort()
     st = TcpState::Closed;
     listening = false;
     rtoAt = sim::maxTick;
-    ooo.clear();
+    ooo.clear(); // a still-open reordering window closes with us
+    maybeCloseOooWindow();
+    irsKnown = false;
+    rtxMarks.clear();
 }
 
 std::uint32_t
@@ -253,6 +256,8 @@ TcpConnection::makeAck() const
     s.ack = rcvNxt;
     s.wnd = advertisedWindow();
     s.flags = flagAck;
+    s.tsVal = clockNow;
+    s.tsEcho = tsRecent;
     return s;
 }
 
@@ -275,6 +280,8 @@ TcpConnection::makeDataSegment(std::uint64_t seq, std::uint32_t len) const
     s.len = len;
     s.wnd = advertisedWindow();
     s.flags = flagAck;
+    s.tsVal = clockNow;
+    s.tsEcho = tsRecent;
     return s;
 }
 
@@ -301,11 +308,13 @@ TcpConnection::onAck(const Segment &seg, sim::Tick now,
                      std::vector<Segment> &replies)
 {
     rwnd = seg.wnd;
+    noteTsRecent(seg);
 
     if (seg.ack > sndNxt)
         return; // acks data we never sent; ignore
 
     if (seg.ack > sndUna) {
+        processEifelOnAck(seg);
         updateRttOnAck(seg.ack, now);
         const std::uint64_t acked = seg.ack - sndUna;
         sndUna = seg.ack;
@@ -338,6 +347,8 @@ TcpConnection::onAck(const Segment &seg, sim::Tick now,
                !seg.fin() && sndNxt > sndUna) {
         ++dupAcks;
         ++dupAcksSeen;
+        if (dupAcks == 1)
+            ++dupAckBursts;
         if (dupAcks == 3) {
             ssthresh = std::max<std::uint32_t>(inFlight() / 2,
                                                2 * cfg.mss);
@@ -351,20 +362,74 @@ TcpConnection::onAck(const Segment &seg, sim::Tick now,
 void
 TcpConnection::deliverInOrder()
 {
-    bool advanced = true;
-    while (advanced) {
-        advanced = false;
-        for (auto it = ooo.begin(); it != ooo.end();) {
-            if (it->first <= rcvNxt) {
-                if (it->second > rcvNxt) {
-                    rcvNxt = it->second;
-                    advanced = true;
-                }
-                it = ooo.erase(it);
-            } else {
-                break; // map is ordered; nothing else can merge
-            }
+    // Single forward pass: the map is keyed by start seq, so rcvNxt
+    // only ever grows as we walk, and the first entry starting beyond
+    // the (updated) rcvNxt proves every later entry is disjoint too.
+    auto it = ooo.begin();
+    while (it != ooo.end() && it->first <= rcvNxt) {
+        if (it->second > rcvNxt)
+            rcvNxt = it->second;
+        it = ooo.erase(it);
+    }
+}
+
+void
+TcpConnection::noteTsRecent(const Segment &seg)
+{
+    // RFC 7323: TS.Recent tracks the newest timestamp from a segment
+    // that is in sequence (fills or touches the left window edge).
+    // Out-of-order segments must not advance it — their timestamps
+    // would otherwise mask the reordering Eifel is built to expose.
+    if (seg.tsVal != 0 && seg.seq <= rcvNxt && seg.tsVal >= tsRecent)
+        tsRecent = seg.tsVal;
+}
+
+void
+TcpConnection::recordRtxMark(std::uint64_t end_seq)
+{
+    // Eifel keys on the *first* retransmission: if even the oldest
+    // retransmit was unnecessary, the loss signal was false.
+    for (const RtxMark &m : rtxMarks)
+        if (m.endSeq == end_seq)
+            return;
+    rtxMarks.push_back(RtxMark{end_seq, clockNow});
+}
+
+void
+TcpConnection::processEifelOnAck(const Segment &seg)
+{
+    for (auto it = rtxMarks.begin(); it != rtxMarks.end();) {
+        if (it->endSeq <= seg.ack) {
+            // A TSecr predating the first retransmission means the
+            // ACK answers the original transmission: the range was
+            // reordered, not lost.
+            if (seg.tsEcho != 0 && seg.tsEcho < it->rtxTs)
+                ++spuriousRetransmits;
+            it = rtxMarks.erase(it);
+        } else {
+            ++it;
         }
+    }
+}
+
+void
+TcpConnection::noteOooDepth()
+{
+    std::size_t depth = ooo.size(); // >= 1 at every call site
+    std::size_t b = 0;
+    while (b + 1 < oooDepthBuckets && (depth >> (b + 1)) != 0)
+        ++b;
+    ++oooDepthHist[b];
+}
+
+void
+TcpConnection::maybeCloseOooWindow()
+{
+    if (oooWindowOpen && ooo.empty()) {
+        if (clockNow > oooWindowOpenedAt)
+            oooWindowTicks += clockNow - oooWindowOpenedAt;
+        ++oooWindows;
+        oooWindowOpen = false;
     }
 }
 
@@ -384,6 +449,7 @@ TcpConnection::onData(const Segment &seg, std::vector<Segment> &replies)
         } else if (seg.seq <= rcvNxt) {
             rcvNxt = seg_end;
             deliverInOrder();
+            maybeCloseOooWindow();
             ++segsSinceAck;
             if (seg.len >= cfg.mss && segsSinceAck >= 2) {
                 ackNow = true;
@@ -391,11 +457,18 @@ TcpConnection::onData(const Segment &seg, std::vector<Segment> &replies)
                 delayedAckPending = true;
             }
         } else {
-            // Out of order: buffer and duplicate-ack the gap.
+            // Out of order: buffer and duplicate-ack the gap. The
+            // first buffered segment opens a reordering window that
+            // stays open until the gap fills.
+            if (ooo.empty()) {
+                oooWindowOpen = true;
+                oooWindowOpenedAt = clockNow;
+            }
             ++oooArrivals;
             auto [it, inserted] = ooo.emplace(seg.seq, seg_end);
             if (!inserted && seg_end > it->second)
                 it->second = seg_end;
+            noteOooDepth();
             ackNow = true;
         }
     }
@@ -429,6 +502,7 @@ void
 TcpConnection::onSegment(const Segment &seg, sim::Tick now,
                          std::vector<Segment> &replies)
 {
+    clockNow = now;
     if (seg.rst()) {
         abort();
         rstPending = false; // never answer an RST with an RST
@@ -441,6 +515,7 @@ TcpConnection::onSegment(const Segment &seg, sim::Tick now,
             irs = seg.seq;
             rcvNxt = irs + 1;
             irs0 = rcvNxt;
+            irsKnown = true;
             rwnd = seg.wnd;
             st = TcpState::SynRcvd;
             listening = false;
@@ -462,6 +537,7 @@ TcpConnection::onSegment(const Segment &seg, sim::Tick now,
             irs = seg.seq;
             rcvNxt = irs + 1;
             irs0 = rcvNxt;
+            irsKnown = true;
             rwnd = seg.wnd;
             sndUna = iss + 1;
             maybeDisarmRto();
@@ -540,6 +616,7 @@ TcpConnection::pullSegments(sim::Tick now)
 void
 TcpConnection::pullSegments(sim::Tick now, std::vector<Segment> &out)
 {
+    clockNow = now;
     if (rstPending) {
         Segment rst;
         rst.seq = sndNxt;
@@ -598,6 +675,7 @@ TcpConnection::pullSegments(sim::Tick now, std::vector<Segment> &out)
         ackNow = false;
         fastRetransmitPending = false;
         ++retransmits;
+        recordRtxMark(sndUna + len);
         rttSampling = false; // Karn: retransmitted data gives no sample
         armRto(now);
     } else if (fastRetransmitPending && finSent && sndUna == finSeq) {
@@ -607,6 +685,8 @@ TcpConnection::pullSegments(sim::Tick now, std::vector<Segment> &out)
         fin.ack = rcvNxt;
         fin.wnd = advertisedWindow();
         fin.flags = flagFin | flagAck;
+        fin.tsVal = clockNow;
+        fin.tsEcho = tsRecent;
         out.push_back(fin);
         lastAdvertisedWnd = fin.wnd;
         fastRetransmitPending = false;
@@ -653,6 +733,8 @@ TcpConnection::pullSegments(sim::Tick now, std::vector<Segment> &out)
             fin.ack = rcvNxt;
             fin.wnd = advertisedWindow();
             fin.flags = flagFin | flagAck;
+            fin.tsVal = clockNow;
+            fin.tsEcho = tsRecent;
             out.push_back(fin);
             lastAdvertisedWnd = fin.wnd;
             finSeq = sndNxt;
@@ -671,6 +753,7 @@ TcpConnection::pullSegments(sim::Tick now, std::vector<Segment> &out)
 void
 TcpConnection::onRtoTimer(sim::Tick now)
 {
+    clockNow = now;
     if (st == TcpState::SynSent) {
         sndNxt = iss; // re-send SYN
         ++retransmits;
@@ -706,7 +789,7 @@ TcpConnection::onRtoTimer(sim::Tick now)
 void
 TcpConnection::onDelackTimer(sim::Tick now, std::vector<Segment> &replies)
 {
-    (void)now;
+    clockNow = now;
     if (delayedAckPending)
         pushAck(replies);
 }

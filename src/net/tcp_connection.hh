@@ -22,6 +22,7 @@
 #ifndef NETAFFINITY_NET_TCP_CONNECTION_HH
 #define NETAFFINITY_NET_TCP_CONNECTION_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string_view>
@@ -183,6 +184,14 @@ class TcpConnection
     std::uint64_t sndPushedAbs() const { return sndPushed; }
     /** First payload byte the peer will send (0 before handshake). */
     std::uint64_t firstDataSeq() const { return irs0; }
+    /**
+     * @return true once the handshake fixed the peer's first payload
+     *         sequence number. firstDataSeq() alone cannot signal
+     *         this: a peer whose ISN wraps the 64-bit space makes the
+     *         legitimate first payload seq 0, indistinguishable from
+     *         the pre-handshake default.
+     */
+    bool firstDataSeqKnown() const { return irsKnown; }
     std::uint64_t sndNxtAbs() const { return sndNxt; }
     std::uint64_t rcvNxtAbs() const { return rcvNxt; }
     std::uint32_t cwndBytes() const { return cwnd; }
@@ -196,6 +205,35 @@ class TcpConnection
      *          byte and were buffered (the reordering Flow Director's
      *          flow migrations induce). */
     std::uint64_t oooArrivalCount() const { return oooArrivals; }
+    /**
+     * @return retransmissions later proven unnecessary: the
+     *         cumulative ACK that covered the retransmitted range
+     *         echoed a timestamp older than the first retransmission
+     *         (Eifel detection, RFC 3522 sender side). A spurious
+     *         retransmit means the "lost" original was merely
+     *         reordered — the signature cost of a mid-flow RX-queue
+     *         migration.
+     */
+    std::uint64_t spuriousRetransmitCount() const
+    {
+        return spuriousRetransmits;
+    }
+    /** @return runs of consecutive duplicate ACKs (each burst counted
+     *          once, at its first duplicate). */
+    std::uint64_t dupAckBurstCount() const { return dupAckBursts; }
+    /** @return completed reordering windows (spans during which the
+     *          out-of-order queue was non-empty). */
+    std::uint64_t oooWindowCount() const { return oooWindows; }
+    /** @return total ticks spent inside reordering windows. */
+    sim::Tick oooWindowTickTotal() const { return oooWindowTicks; }
+    /** log2 buckets of the ooo-queue depth observed at each OOO
+     *  arrival: 1, 2-3, 4-7, ..., 128+. */
+    static constexpr std::size_t oooDepthBuckets = 8;
+    const std::array<std::uint64_t, oooDepthBuckets> &
+    oooDepthHistogram() const
+    {
+        return oooDepthHist;
+    }
     /** Smoothed RTT estimate (0 before the first sample). */
     sim::Tick srttTicks() const { return srtt; }
     /** RTT variance estimate. */
@@ -223,6 +261,26 @@ class TcpConnection
     std::uint64_t retransmits = 0;
     std::uint64_t dupAcksSeen = 0;
     std::uint64_t oooArrivals = 0;
+    std::uint64_t spuriousRetransmits = 0;
+    std::uint64_t dupAckBursts = 0;
+
+    /**
+     * Eifel bookkeeping: the first retransmission of each outstanding
+     * range, by end seq. When the cumulative ACK covers endSeq with a
+     * TSecr older than rtxTs, the original (not the retransmission)
+     * completed the range — the retransmit was spurious.
+     */
+    struct RtxMark
+    {
+        std::uint64_t endSeq;
+        sim::Tick rtxTs;
+    };
+    std::vector<RtxMark> rtxMarks;
+
+    /** Clock as of the last public entry point (segment timestamps). */
+    sim::Tick clockNow = 0;
+    /** Last in-order TSval seen from the peer (RFC 7323 TS.Recent). */
+    sim::Tick tsRecent = 0;
     bool finQueued = false;   ///< close() called, FIN not yet sent
     bool finSent = false;
     std::uint64_t finSeq = 0;
@@ -233,6 +291,12 @@ class TcpConnection
     std::uint64_t rcvNxt = 0;
     std::uint64_t consumed = 0; ///< bytes the app has read
     std::map<std::uint64_t, std::uint64_t> ooo; ///< seq -> end (exclusive)
+    std::array<std::uint64_t, oooDepthBuckets> oooDepthHist{};
+    std::uint64_t oooWindows = 0;
+    sim::Tick oooWindowTicks = 0;
+    bool oooWindowOpen = false;
+    sim::Tick oooWindowOpenedAt = 0;
+    bool irsKnown = false; ///< handshake fixed irs0
     bool peerFinSeen = false;     ///< FIN seq known
     std::uint64_t peerFinSeq = 0;
     bool peerFinDelivered = false;
@@ -275,6 +339,16 @@ class TcpConnection
                std::vector<Segment> &replies);
     void onData(const Segment &seg, std::vector<Segment> &replies);
     void deliverInOrder();
+    /** Advance TS.Recent from an in-order segment (RFC 7323). */
+    void noteTsRecent(const Segment &seg);
+    /** Remember the first retransmission of [.., end_seq) for Eifel. */
+    void recordRtxMark(std::uint64_t end_seq);
+    /** Classify newly acked retransmissions as genuine or spurious. */
+    void processEifelOnAck(const Segment &seg);
+    /** Record the current ooo-queue depth in the log2 histogram. */
+    void noteOooDepth();
+    /** Close the reordering window if the ooo queue just drained. */
+    void maybeCloseOooWindow();
     Segment makeAck() const;
     Segment makeDataSegment(std::uint64_t seq, std::uint32_t len) const;
     void advanceCwndOnAck(std::uint64_t acked_bytes);

@@ -35,12 +35,20 @@ specLabel(const Spec &spec)
     if (kindOf(spec) == Kind::Ttcp)
         return "";
     const auto &mix = std::get<FlowMixConfig>(spec);
+    // The hop suffix appears only when the migration driver is armed,
+    // keeping every pre-existing label byte-identical.
+    const std::string hop =
+        mix.senderHopTicks > 0
+            ? sim::format(",hop=%llu",
+                          (unsigned long long)mix.senderHopTicks)
+            : "";
     if (mix.rpc) {
-        return sim::format(" wl:mix(rpc=%ux%u,n=%d)", mix.rpcRequestBytes,
-                           mix.rpcResponseBytes, mix.maxConcurrentFlows);
+        return sim::format(" wl:mix(rpc=%ux%u,n=%d%s)",
+                           mix.rpcRequestBytes, mix.rpcResponseBytes,
+                           mix.maxConcurrentFlows, hop.c_str());
     }
-    return sim::format(" wl:mix(z=%g,n=%d)", mix.flowSizeShape,
-                       mix.maxConcurrentFlows);
+    return sim::format(" wl:mix(z=%g,n=%d%s)", mix.flowSizeShape,
+                       mix.maxConcurrentFlows, hop.c_str());
 }
 
 void

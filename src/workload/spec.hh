@@ -51,6 +51,17 @@ struct FlowMixConfig
     int listenBacklog = 128;
     /** Bytes per server read() call. */
     std::uint32_t readChunk = 16 * 1024;
+
+    /**
+     * Scheduler-induced migration driver: every senderHopTicks the
+     * system re-pins each server task to the next CPU (round-robin),
+     * forcing its transmissions onto a new core mid-flow. Under Flow
+     * Director every hop re-steers the live flows' RX queue — the
+     * controlled reordering source bench/ext_reorder sweeps. 0 (the
+     * default) disables hopping; nothing else in the run changes, so
+     * default-config results stay bit-identical.
+     */
+    std::uint64_t senderHopTicks = 0;
 };
 
 /** Discriminator for Spec (stable tokens in results_json v5). */

@@ -342,7 +342,8 @@ TEST(ResultsJsonV5, DegradedPointsRoundTripWithFaultLabel)
 
     std::stringstream ss;
     core::writeResultsJson(ss, rs);
-    EXPECT_NE(ss.str().find("\"schema_version\": 5"),
+    EXPECT_NE(ss.str().find("\"schema_version\": " +
+                            std::to_string(core::resultsSchemaVersion)),
               std::string::npos);
 
     const core::JsonCampaign parsed = core::readResultsJson(ss);

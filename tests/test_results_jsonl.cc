@@ -115,10 +115,11 @@ TEST(ResultsJsonl, CampaignStreamsOneRecordPerPoint)
 
 TEST(ResultsJsonl, MonolithicAndJsonlReadersAgreeAcrossLadder)
 {
-    // The same v2-v5 record payload must parse identically whichever
+    // The same v2-v6 record payload must parse identically whichever
     // container carried it (per-file schema_version vs per-line
     // schema token).
-    for (int version = 2; version <= 5; ++version) {
+    for (int version = 2; version <= core::resultsSchemaVersion;
+         ++version) {
         std::ostringstream mono;
         mono << "{\"schema_version\": " << version
              << ", \"campaign_seed\": 1, \"threads\": 1, "
